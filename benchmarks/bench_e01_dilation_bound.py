@@ -1,0 +1,10 @@
+"""E1 — Lemma 1: dilation <= b(2D + 1) on every constructed shortcut."""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import run_e01
+
+
+def test_e01_dilation_bound(benchmark, scale):
+    result = run_experiment(benchmark, run_e01, scale)
+    assert all(ratio <= 1.0 for ratio in result.data["ratios"])

@@ -1,0 +1,10 @@
+"""E2 — Lemma 2: pipelined subtree convergecast in <= D + c rounds."""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import run_e02
+
+
+def test_e02_tree_routing(benchmark, scale):
+    result = run_experiment(benchmark, run_e02, scale)
+    assert all(ratio <= 1.0 for ratio in result.data["ratios"])

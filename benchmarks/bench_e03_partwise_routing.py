@@ -1,0 +1,10 @@
+"""E3 — Theorem 2: part-parallel leader election in O(b(D + c))."""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import run_e03
+
+
+def test_e03_partwise_routing(benchmark, scale):
+    result = run_experiment(benchmark, run_e03, scale)
+    assert all(ratio <= 1.5 for ratio in result.data["ratios"])

@@ -1,0 +1,11 @@
+"""E4 — Lemmas 3/6: Verification exactness in O(b'(D + c)) rounds."""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import run_e04
+
+
+def test_e04_verification(benchmark, scale):
+    result = run_experiment(benchmark, run_e04, scale)
+    assert result.data["all_exact"]
+    assert all(ratio <= 2.0 for ratio in result.data["ratios"])

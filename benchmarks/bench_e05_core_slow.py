@@ -1,0 +1,11 @@
+"""E5 — Lemma 7: CoreSlow guarantees (congestion 2c, N/2 good, O(Dc))."""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import run_e05
+
+
+def test_e05_core_slow(benchmark, scale):
+    result = run_experiment(benchmark, run_e05, scale)
+    assert result.data["all_ok"]
+    assert all(ratio <= 1.0 for ratio in result.data["ratios"])

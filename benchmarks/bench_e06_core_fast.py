@@ -1,0 +1,12 @@
+"""E6 — Lemma 5: CoreFast w.h.p. guarantees over independent seeds."""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import run_e06
+
+
+def test_e06_core_fast(benchmark, scale):
+    result = run_experiment(benchmark, run_e06, scale)
+    for congestion_rate, good_rate in result.data["rates"]:
+        assert congestion_rate >= 0.9
+        assert good_rate >= 0.9

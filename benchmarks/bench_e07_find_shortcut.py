@@ -1,0 +1,11 @@
+"""E7 — Theorem 3: FindShortcut quality and iteration count vs log N."""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import run_e07
+
+
+def test_e07_find_shortcut(benchmark, scale):
+    result = run_experiment(benchmark, run_e07, scale)
+    assert result.data["iteration_ok"]
+    assert result.data["quality_ok"]

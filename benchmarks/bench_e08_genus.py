@@ -1,0 +1,11 @@
+"""E8 — Theorem 1 + Corollary 1: the genus-g sweep, no embedding needed."""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import run_e08
+
+
+def test_e08_genus(benchmark, scale):
+    result = run_experiment(benchmark, run_e08, scale)
+    # The rounds / (gD log^2 D log N) ratio stays bounded across g.
+    assert max(result.data["ratios"]) <= 40

@@ -1,0 +1,10 @@
+"""E9 — Lemma 4: exact shortcut-Borůvka MST on bounded-genus graphs."""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import run_e09
+
+
+def test_e09_mst(benchmark, scale):
+    result = run_experiment(benchmark, run_e09, scale)
+    assert result.data["all_exact"]

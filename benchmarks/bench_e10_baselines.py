@@ -1,0 +1,14 @@
+"""E10 — shortcut MST vs the Ω̃(√n + D) world: who wins where."""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import run_e10
+
+
+def test_e10_baselines(benchmark, scale):
+    result = run_experiment(benchmark, run_e10, scale)
+    slopes = result.data["slopes"]
+    # The paper's shape: shortcut rounds grow the slowest in n at
+    # fixed D, the no-shortcut Borůvka the fastest.
+    assert slopes["shortcut"] < slopes["no_shortcut"]
+    assert slopes["no_shortcut"] > 0.5  # pays part diameters ~ n

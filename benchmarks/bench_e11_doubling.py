@@ -1,0 +1,10 @@
+"""E11 — Appendix A: parameter-oblivious doubling search."""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import run_e11
+
+
+def test_e11_doubling(benchmark, scale):
+    result = run_experiment(benchmark, run_e11, scale)
+    assert result.table.rows  # all instances completed without knowledge

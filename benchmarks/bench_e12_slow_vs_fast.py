@@ -1,0 +1,14 @@
+"""E12 — Sections 5.3 vs 5.4: the CoreSlow / CoreFast trade-off in c."""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import run_e12
+
+
+def test_e12_slow_vs_fast(benchmark, scale):
+    result = run_experiment(benchmark, run_e12, scale)
+    slow, fast = result.data["slow"], result.data["fast"]
+    # CoreFast must win for the largest c (the regime it exists for).
+    assert fast[-1] < slow[-1]
+    # CoreSlow's rounds grow with c before the unusable cap bites.
+    assert slow[2] > slow[0]

@@ -1,0 +1,17 @@
+"""E13 — Section 1.2: part diameter >> D, and shortcuts erasing it."""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import run_e13
+
+
+def test_e13_motivation(benchmark, scale):
+    result = run_experiment(benchmark, run_e13, scale)
+    speedups = result.data["speedups"]
+    # The gap widens with n: the largest instance shows the biggest win.
+    assert speedups[-1] == max(speedups)
+    assert speedups[-1] > 2.0
+    # Part diameters exceed the network diameter, increasingly with n.
+    ratios = result.data["diam_ratio"]
+    assert ratios == sorted(ratios)
+    assert max(ratios) > 2.0

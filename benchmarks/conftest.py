@@ -1,0 +1,29 @@
+"""Benchmark harness configuration.
+
+Each benchmark wraps one experiment runner from
+:mod:`repro.analysis.experiments`, executes it once (the experiments
+are internally repeated/averaged where that matters), prints the
+regenerated paper-style table, and asserts the claim it reproduces.
+
+Scale with ``REPRO_SCALE=paper pytest benchmarks/ --benchmark-only``
+for the larger instances recorded in EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return os.environ.get("REPRO_SCALE", "small")
+
+
+def run_experiment(benchmark, runner, scale):
+    """Run one experiment under pytest-benchmark and print its table."""
+    result = benchmark.pedantic(runner, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    benchmark.extra_info["experiment"] = result.experiment
+    benchmark.extra_info["claim"] = result.claim
+    return result

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: build a tree-restricted shortcut and route on it.
+
+Walks the full public API surface in one script:
+
+1. generate a planar grid and a partition into connected parts;
+2. compute a BFS tree *distributively* (O(D) rounds);
+3. certify an existential (c, b) pair and run FindShortcut (Theorem 3);
+4. measure the shortcut (congestion / block parameter / dilation);
+5. elect a leader for every part in parallel (Theorem 2).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.congest import RoundLedger, Topology, build_bfs_tree
+from repro.core import PartwiseEngine, best_certified, find_shortcut, measure
+from repro.graphs import generators, voronoi
+
+def main() -> None:
+    # A 12x12 planar grid, partitioned into 12 connected Voronoi cells.
+    topology = generators.grid(12, 12)
+    partition = voronoi(topology, 12, seed=1)
+    print(f"network: {topology}, diameter {topology.diameter()}")
+    print(f"partition: {partition}")
+
+    # Distributed BFS tree; the ledger accumulates the round costs of
+    # everything that follows.
+    ledger = RoundLedger()
+    tree, _ = build_bfs_tree(topology, root=0, ledger=ledger)
+    print(f"BFS tree height (the paper's D): {tree.height}")
+
+    # The existential promise: certify a (c, b) pair on this instance.
+    point = best_certified(tree, partition)
+    print(f"certified existential parameters: c={point.congestion}, b={point.block}")
+
+    # Theorem 3: construct a shortcut that is (up to log factors) as
+    # good as the promise — without any embedding.
+    result = find_shortcut(
+        topology, tree, partition, point.congestion, point.block,
+        seed=7, ledger=ledger,
+    )
+    report = measure(result.shortcut, topology)
+    print(f"FindShortcut: {result.iterations} iteration(s), quality {report}")
+
+    # Theorem 2: part-parallel leader election on the shortcut.
+    engine = PartwiseEngine(topology, result.shortcut, seed=7, ledger=ledger)
+    leaders, _knowledge = engine.elect_leaders(3 * point.block)
+    print(f"leaders (part -> min node id): {leaders}")
+
+    print()
+    print("round accounting:")
+    print(ledger.summary())
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Analysis harness: metrics, tables, and per-claim experiment runners."""
+
+from repro.analysis.metrics import bound_ratio, fraction, geometric_mean, loglog_slope
+from repro.analysis.tables import Table
+from repro.analysis.experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    run_all,
+    standard_instances,
+)
+
+__all__ = [
+    "bound_ratio",
+    "fraction",
+    "geometric_mean",
+    "loglog_slope",
+    "Table",
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "run_all",
+    "standard_instances",
+]

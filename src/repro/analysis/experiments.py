@@ -1,0 +1,685 @@
+"""Experiment runners: one per quantitative claim of the paper.
+
+The paper is a theory paper — its "evaluation" is the set of theorems
+and lemmas listed in DESIGN.md.  Each ``run_eXX`` function below
+regenerates the corresponding table: it builds the workload, runs the
+relevant distributed algorithms on the CONGEST simulator, and reports
+*measured vs claimed* quantities.  Benchmarks in ``benchmarks/`` wrap
+these runners; ``EXPERIMENTS.md`` records their output.
+
+Scale: ``"small"`` keeps every runner in seconds (CI-sized), ``"paper"``
+uses larger instances for the record in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import bound_ratio, fraction, loglog_slope
+from repro.analysis.tables import Table
+from repro.apps.aggregation import min_outgoing_edges
+from repro.apps.fragment_comm import fragment_aggregate
+from repro.apps.mst import kruskal_reference, minimum_spanning_tree
+from repro.apps.mst_baselines import (
+    mst_collect_at_root,
+    mst_kutten_peleg,
+    mst_no_shortcut,
+)
+from repro.congest.randomness import mix
+from repro.congest.topology import Topology
+from repro.congest.trace import RoundLedger
+from repro.core import quality
+from repro.core.core_fast import core_fast, sampling_parameters
+from repro.core.core_slow import core_slow
+from repro.core.doubling import find_shortcut_doubling
+from repro.core.existence import best_certified, genus_bound
+from repro.core.find_shortcut import find_shortcut
+from repro.core.partwise import PartwiseEngine
+from repro.core.tree_routing import (
+    convergecast,
+    make_task,
+    task_edge_congestion,
+)
+from repro.core.verification import verification
+from repro.graphs import generators, partitions
+from repro.graphs.hard_instances import square_instance
+from repro.graphs.spanning_trees import SpanningTree
+from repro.graphs.weights import hub_adversarial_weights, weighted
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table plus machine-checkable data."""
+
+    experiment: str
+    claim: str
+    table: Table
+    data: Dict = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self) -> str:
+        lines = [f"## {self.experiment}: {self.claim}", "", str(self.table)]
+        if self.notes:
+            lines += ["", self.notes]
+        return "\n".join(lines)
+
+
+def _log2(x: float) -> float:
+    return math.log2(max(2.0, x))
+
+
+def standard_instances(scale: str) -> List[Tuple[str, Topology, "partitions.Partition"]]:
+    """The shared instance pool: planar, genus-1, and hub worst case."""
+    big = scale == "paper"
+    side = 14 if big else 9
+    rows = []
+    grid = generators.grid(side, side)
+    rows.append(("grid/voronoi", grid, partitions.voronoi(grid, side, 1)))
+    rows.append(("grid/rows", grid, partitions.grid_rows(side, side)))
+    torus = generators.torus(side, side)
+    rows.append(("torus/voronoi", torus, partitions.voronoi(torus, side, 2)))
+    hub_n = 16 * side
+    hub = generators.cycle_with_hub(hub_n, 8)
+    rows.append(
+        ("hub/arcs", hub, partitions.cycle_arcs(hub_n, 8, extra_nodes=1))
+    )
+    tri = generators.delaunay(side * side, 3)
+    rows.append(("delaunay/voronoi", tri, partitions.voronoi(tri, side, 3)))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E1 — Lemma 1: dilation <= b (2 depth(T) + 1)
+# ----------------------------------------------------------------------
+
+
+def run_e01(scale: str = "small") -> ExperimentResult:
+    table = Table(
+        "E1 (Lemma 1): dilation of constructed shortcuts vs b(2D+1)",
+        ["instance", "D", "b", "dilation", "bound", "ratio"],
+    )
+    ratios = []
+    for name, topology, partition in standard_instances(scale):
+        tree = SpanningTree.bfs(topology, 0)
+        point = best_certified(tree, partition)
+        result = find_shortcut(
+            topology, tree, partition, point.congestion, point.block, seed=11
+        )
+        report = quality.measure(result.shortcut, topology, with_dilation=True)
+        bound = quality.lemma1_bound(report.block_parameter, tree.height)
+        ratio = bound_ratio(report.dilation, bound)
+        ratios.append(ratio)
+        table.add_row(
+            name, tree.height, report.block_parameter,
+            report.dilation, bound, ratio,
+        )
+    return ExperimentResult(
+        "E1",
+        "dilation <= b(2D+1) for every constructed shortcut",
+        table,
+        data={"ratios": ratios},
+        notes="All ratios must be <= 1: Lemma 1 is a worst-case bound.",
+    )
+
+
+# ----------------------------------------------------------------------
+# E2 — Lemma 2: subtree convergecast in <= D + c rounds
+# ----------------------------------------------------------------------
+
+
+def run_e02(scale: str = "small") -> ExperimentResult:
+    table = Table(
+        "E2 (Lemma 2): pipelined convergecast rounds vs D + c",
+        ["instance", "tasks", "D", "c", "rounds", "D+c", "ratio"],
+    )
+    side = 16 if scale == "paper" else 10
+    topology = generators.grid(side, side)
+    tree = SpanningTree.bfs(topology, 0)
+    rng = random.Random(7)
+    ratios = []
+    for n_tasks in (4, 16, 48, 96):
+        tasks = []
+        for tid in range(n_tasks):
+            v = rng.randrange(topology.n)
+            nodes = {v} | set(tree.ancestors(v))
+            tasks.append(make_task(tree, tid, nodes))
+        c = task_edge_congestion(tree, tasks)
+        values = {t.key: {v: v for v in t.nodes} for t in tasks}
+        combined, run = convergecast(topology, tree, tasks, values, "min", seed=3)
+        for t in tasks:
+            assert combined[t.key] == min(t.nodes)
+        bound = tree.height + c
+        ratio = bound_ratio(run.rounds, bound)
+        ratios.append(ratio)
+        table.add_row(
+            f"grid{side}x{side}", n_tasks, tree.height, c, run.rounds, bound, ratio
+        )
+    return ExperimentResult(
+        "E2",
+        "subtree-family convergecast completes within D + c rounds",
+        table,
+        data={"ratios": ratios},
+        notes="Root-path task families; the deterministic priority rule "
+        "of Lemma 2 keeps every ratio <= 1 (up to the +O(1) start-up).",
+    )
+
+
+# ----------------------------------------------------------------------
+# E3 — Theorem 2: part-parallel routing in O(b (D + c))
+# ----------------------------------------------------------------------
+
+
+def run_e03(scale: str = "small") -> ExperimentResult:
+    table = Table(
+        "E3 (Theorem 2): leader election rounds vs b(D + c)",
+        ["instance", "D", "c", "b", "rounds", "4b(D+c)", "ratio", "correct"],
+    )
+    ratios = []
+    for name, topology, partition in standard_instances(scale):
+        tree = SpanningTree.bfs(topology, 0)
+        point = best_certified(tree, partition)
+        built = find_shortcut(
+            topology, tree, partition, point.congestion, point.block, seed=13
+        )
+        report = quality.measure(built.shortcut, topology, with_dilation=False)
+        ledger = RoundLedger()
+        engine = PartwiseEngine(topology, built.shortcut, seed=5, ledger=ledger)
+        b_bound = max(1, report.block_parameter)
+        leaders, knowledge = engine.elect_leaders(b_bound)
+        correct = all(
+            leaders[i] == min(partition.members(i))
+            for i in range(partition.size)
+        )
+        c = report.shortcut_congestion
+        bound = 4 * b_bound * (tree.height + max(1, c))
+        ratio = bound_ratio(ledger.total_rounds, bound)
+        ratios.append(ratio)
+        table.add_row(
+            name, tree.height, c, b_bound,
+            ledger.total_rounds, bound, ratio, correct,
+        )
+    return ExperimentResult(
+        "E3",
+        "leader election for all parts in parallel in O(b(D+c)) rounds",
+        table,
+        data={"ratios": ratios},
+        notes="One superstep costs <= 2(D+c)+1; election runs b+1 "
+        "supersteps, so 4b(D+c) normalises the constant.",
+    )
+
+
+# ----------------------------------------------------------------------
+# E4 — Lemmas 3/6: Verification in O(b'(D + c)), exact answers
+# ----------------------------------------------------------------------
+
+
+def run_e04(scale: str = "small") -> ExperimentResult:
+    table = Table(
+        "E4 (Lemma 3/6): Verification rounds and exactness",
+        ["instance", "b_limit", "rounds", "14 b'(D+c)", "ratio", "exact"],
+    )
+    ratios = []
+    all_exact = True
+    for name, topology, partition in standard_instances(scale):
+        tree = SpanningTree.bfs(topology, 0)
+        point = best_certified(tree, partition)
+        outcome = core_slow(topology, tree, partition, point.congestion, seed=17)
+        report = quality.measure(outcome.shortcut, topology, with_dilation=False)
+        truth = quality.block_counts(outcome.shortcut)
+        for b_limit in {1, max(1, report.block_parameter)}:
+            ledger = RoundLedger()
+            verdict = verification(
+                topology, outcome.shortcut, b_limit, seed=19, ledger=ledger
+            )
+            expected = frozenset(
+                i for i, count in enumerate(truth) if count <= b_limit
+            )
+            exact = verdict.good_parts == expected
+            all_exact = all_exact and exact
+            c = max(1, report.shortcut_congestion)
+            bound = 14 * b_limit * (tree.height + c)
+            ratio = bound_ratio(ledger.total_rounds, bound)
+            ratios.append(ratio)
+            table.add_row(
+                name, b_limit, ledger.total_rounds, bound, ratio, exact
+            )
+    return ExperimentResult(
+        "E4",
+        "Verification finds exactly the parts with <= b' blocks, in O(b'(D+c))",
+        table,
+        data={"ratios": ratios, "all_exact": all_exact},
+        notes="The protocol uses ~4 b' supersteps (flood, BFS, count, "
+        "verdict) of <= 2(D+c)+1 rounds plus constant overhead.",
+    )
+
+
+# ----------------------------------------------------------------------
+# E5 — Lemma 7: CoreSlow guarantees
+# ----------------------------------------------------------------------
+
+
+def run_e05(scale: str = "small") -> ExperimentResult:
+    table = Table(
+        "E5 (Lemma 7): CoreSlow congestion <= 2c, >= N/2 good parts, O(Dc) rounds",
+        ["instance", "c", "congestion", "<=2c", "good", "N", ">=N/2", "rounds", "3D(2c+2)", "ratio"],
+    )
+    ratios = []
+    all_ok = True
+    for name, topology, partition in standard_instances(scale):
+        tree = SpanningTree.bfs(topology, 0)
+        point = best_certified(tree, partition)
+        c, b = point.congestion, point.block
+        outcome = core_slow(topology, tree, partition, c, seed=23)
+        report = quality.measure(outcome.shortcut, topology, with_dilation=False)
+        counts = quality.block_counts(outcome.shortcut)
+        good = sum(1 for count in counts if count <= 3 * b)
+        congestion_ok = report.shortcut_congestion <= 2 * c
+        good_ok = good >= partition.size / 2
+        all_ok = all_ok and congestion_ok and good_ok
+        bound = 3 * tree.height * (2 * c + 2)
+        ratio = bound_ratio(outcome.rounds, bound)
+        ratios.append(ratio)
+        table.add_row(
+            name, c, report.shortcut_congestion, congestion_ok,
+            good, partition.size, good_ok, outcome.rounds, bound, ratio,
+        )
+    return ExperimentResult(
+        "E5",
+        "CoreSlow: congestion <= 2c and >= N/2 good parts, O(D c) rounds",
+        table,
+        data={"ratios": ratios, "all_ok": all_ok},
+    )
+
+
+# ----------------------------------------------------------------------
+# E6 — Lemma 5: CoreFast guarantees (w.h.p., over seeds)
+# ----------------------------------------------------------------------
+
+
+def run_e06(scale: str = "small", seeds: Optional[Sequence[int]] = None) -> ExperimentResult:
+    if seeds is None:
+        seeds = range(10 if scale == "small" else 25)
+    table = Table(
+        "E6 (Lemma 5): CoreFast over seeds: congestion <= 8c, >= N/2 good",
+        ["instance", "c", "tau", "max congestion", "<=8c rate", ">=N/2 rate", "max rounds"],
+    )
+    rates = []
+    for name, topology, partition in standard_instances(scale):
+        tree = SpanningTree.bfs(topology, 0)
+        point = best_certified(tree, partition)
+        c, b = point.congestion, point.block
+        _p, tau = sampling_parameters(topology.n, c)
+        congestion_hits = good_hits = 0
+        max_congestion = max_rounds = 0
+        for seed in seeds:
+            outcome = core_fast(
+                topology, tree, partition, c, shared_seed=mix(97, seed), seed=seed
+            )
+            report = quality.measure(outcome.shortcut, topology, with_dilation=False)
+            counts = quality.block_counts(outcome.shortcut)
+            good = sum(1 for count in counts if count <= 3 * b)
+            congestion_hits += report.shortcut_congestion <= 8 * c
+            good_hits += good >= partition.size / 2
+            max_congestion = max(max_congestion, report.shortcut_congestion)
+            max_rounds = max(max_rounds, outcome.rounds)
+        c_rate = fraction(congestion_hits, len(list(seeds)))
+        g_rate = fraction(good_hits, len(list(seeds)))
+        rates.append((c_rate, g_rate))
+        table.add_row(name, c, tau, max_congestion, c_rate, g_rate, max_rounds)
+    return ExperimentResult(
+        "E6",
+        "CoreFast: congestion <= 8c w.h.p. and >= N/2 good parts",
+        table,
+        data={"rates": rates},
+        notes="Rates are success fractions over independent shared seeds.",
+    )
+
+
+# ----------------------------------------------------------------------
+# E7 — Theorem 3: FindShortcut quality and round scaling
+# ----------------------------------------------------------------------
+
+
+def run_e07(scale: str = "small") -> ExperimentResult:
+    table = Table(
+        "E7 (Theorem 3): FindShortcut on grids of growing size",
+        ["n", "N", "c", "b", "iters", "ceil(log2 N)+1", "congestion", "c*8*iters", "block", "3b", "rounds"],
+    )
+    sides = (6, 9, 12, 16) if scale == "small" else (8, 12, 16, 22, 28)
+    iteration_ok = True
+    quality_ok = True
+    ns, rounds_list = [], []
+    for side in sides:
+        topology = generators.grid(side, side)
+        partition = partitions.voronoi(topology, side, 4)
+        tree = SpanningTree.bfs(topology, 0)
+        point = best_certified(tree, partition)
+        result = find_shortcut(
+            topology, tree, partition, point.congestion, point.block, seed=29
+        )
+        report = quality.measure(result.shortcut, topology, with_dilation=False)
+        iter_bound = math.ceil(_log2(partition.size)) + 1
+        iteration_ok = iteration_ok and result.iterations <= iter_bound + 2
+        quality_ok = quality_ok and report.block_parameter <= 3 * point.block
+        ns.append(topology.n)
+        rounds_list.append(result.rounds)
+        table.add_row(
+            topology.n, partition.size, point.congestion, point.block,
+            result.iterations, iter_bound,
+            report.shortcut_congestion, 8 * point.congestion * result.iterations,
+            report.block_parameter, 3 * point.block, result.rounds,
+        )
+    return ExperimentResult(
+        "E7",
+        "FindShortcut: O(log N) iterations, congestion O(c log N), block <= 3b",
+        table,
+        data={
+            "iteration_ok": iteration_ok,
+            "quality_ok": quality_ok,
+            "ns": ns,
+            "rounds": rounds_list,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# E8 — Theorem 1 + Corollary 1: genus sweep
+# ----------------------------------------------------------------------
+
+
+def run_e08(scale: str = "small") -> ExperimentResult:
+    table = Table(
+        "E8 (Cor. 1): construction on genus-g chains with Theorem 1 parameters",
+        ["g", "n", "D", "c=gDlogD", "b=logD", "iters", "congestion", "block", "rounds", "rounds/gDlog2DlogN"],
+    )
+    side = 5 if scale == "small" else 7
+    ratios = []
+    for g in (0, 1, 2, 3):
+        topology = generators.genus_chain(g, side, side)
+        partition = partitions.voronoi(topology, max(2, topology.n // 12), 5)
+        tree = SpanningTree.bfs(topology, 0)
+        c, b = genus_bound(g, tree.height)
+        result = find_shortcut(topology, tree, partition, c, b, seed=31)
+        report = quality.measure(result.shortcut, topology, with_dilation=False)
+        denom = (
+            max(1, g) * tree.height * _log2(tree.height) ** 2
+            * _log2(partition.size)
+        )
+        ratio = result.rounds / denom
+        ratios.append(ratio)
+        table.add_row(
+            g, topology.n, tree.height, c, b, result.iterations,
+            report.shortcut_congestion, report.block_parameter,
+            result.rounds, ratio,
+        )
+    return ExperimentResult(
+        "E8",
+        "genus-g graphs admit O(gD logD logN)-congestion shortcuts, built in O(gD log^2 D logN)",
+        table,
+        data={"ratios": ratios},
+        notes="The rounds/bound column stays bounded as g grows — the "
+        "construction never needed an embedding.",
+    )
+
+
+# ----------------------------------------------------------------------
+# E9 — Lemma 4: MST rounds on bounded-genus graphs
+# ----------------------------------------------------------------------
+
+
+def run_e09(scale: str = "small") -> ExperimentResult:
+    table = Table(
+        "E9 (Lemma 4): shortcut Boruvka MST (mode=genus)",
+        ["instance", "n", "D", "phases", "O(log n)?", "rounds", "exact"],
+    )
+    if scale == "paper":
+        cases = [("grid", generators.grid(10, 10), 0), ("torus", generators.torus(8, 8), 1)]
+    else:
+        cases = [("grid", generators.grid(7, 7), 0), ("torus", generators.torus(6, 6), 1)]
+    all_exact = True
+    for name, base, g in cases:
+        topology = weighted(base, seed=41)
+        result = minimum_spanning_tree(topology, mode="genus", genus=g, seed=43)
+        _edges, ref_weight = kruskal_reference(topology)
+        exact = result.weight == ref_weight
+        all_exact = all_exact and exact
+        phase_bound = 8 * math.ceil(_log2(topology.n)) + 8
+        table.add_row(
+            name, topology.n, topology.diameter(), result.phases,
+            result.phases <= phase_bound, result.rounds, exact,
+        )
+    return ExperimentResult(
+        "E9",
+        "MST on genus-g graphs in O(gD log^2 D log^2 n) rounds, exact output",
+        table,
+        data={"all_exact": all_exact},
+    )
+
+
+# ----------------------------------------------------------------------
+# E10 — baselines and the crossover
+# ----------------------------------------------------------------------
+
+
+def run_e10(scale: str = "small") -> ExperimentResult:
+    """Round growth of shortcut MST vs baselines as n grows at fixed D.
+
+    On the planar hub family the diameter stays ~O(spoke distance)
+    while n grows, so the asymptotics — and not the polylog constants —
+    decide the ranking: no-shortcut Borůvka pays component diameters
+    (slope ~1), Kutten–Peleg pays ~sqrt(n) (slope ~0.5), and the
+    shortcut MST pays polylog (slope ~0).  The Peleg–Rubinovich row
+    shows the regime where the Ω̃(√n) lower bound bites everyone.
+    """
+    table = Table(
+        "E10: round growth on the hub family (fixed D) + the lower-bound graph",
+        ["instance", "n", "D", "shortcut", "kutten-peleg", "no-shortcut", "collect"],
+    )
+    sizes = (96, 192, 384) if scale == "small" else (128, 256, 512, 1024)
+    ns, shortcut_rounds, kp_rounds, plain_rounds = [], [], [], []
+    for hub_n in sizes:
+        topology = hub_adversarial_weights(
+            generators.cycle_with_hub(hub_n, 8), hub_n, seed=47
+        )
+        shortcut_result = minimum_spanning_tree(topology, mode="doubling", seed=59)
+        kp = mst_kutten_peleg(topology, seed=59)
+        plain = mst_no_shortcut(topology, seed=59)
+        collect = mst_collect_at_root(topology, seed=59)
+        _edges, ref = kruskal_reference(topology)
+        for result in (shortcut_result, kp, plain, collect):
+            assert result.weight == ref
+        ns.append(topology.n)
+        shortcut_rounds.append(shortcut_result.rounds)
+        kp_rounds.append(kp.rounds)
+        plain_rounds.append(plain.rounds)
+        table.add_row(
+            f"hub({hub_n})", topology.n, topology.diameter(),
+            shortcut_result.rounds, kp.rounds, plain.rounds, collect.rounds,
+        )
+    pr = weighted(square_instance(7 if scale == "small" else 10).topology, seed=53)
+    pr_shortcut = minimum_spanning_tree(pr, mode="doubling", seed=59)
+    pr_kp = mst_kutten_peleg(pr, seed=59)
+    pr_plain = mst_no_shortcut(pr, seed=59)
+    pr_collect = mst_collect_at_root(pr, seed=59)
+    _edges, pr_ref = kruskal_reference(pr)
+    for result in (pr_shortcut, pr_kp, pr_plain, pr_collect):
+        assert result.weight == pr_ref
+    table.add_row(
+        "peleg-rubinovich", pr.n, pr.diameter(),
+        pr_shortcut.rounds, pr_kp.rounds, pr_plain.rounds, pr_collect.rounds,
+    )
+    slopes = {
+        "shortcut": loglog_slope(ns, shortcut_rounds),
+        "kutten_peleg": loglog_slope(ns, kp_rounds),
+        "no_shortcut": loglog_slope(ns, plain_rounds),
+    }
+    return ExperimentResult(
+        "E10",
+        "Shortcuts win asymptotically on low-diameter planar topologies; "
+        "on the lower-bound family nobody beats ~sqrt(n)",
+        table,
+        data={
+            "ns": ns,
+            "shortcut": shortcut_rounds,
+            "kutten_peleg": kp_rounds,
+            "no_shortcut": plain_rounds,
+            "slopes": slopes,
+        },
+        notes=(
+            f"log-log growth slopes vs n at fixed D — shortcut: "
+            f"{slopes['shortcut']:.2f}, kutten-peleg: "
+            f"{slopes['kutten_peleg']:.2f}, no-shortcut: "
+            f"{slopes['no_shortcut']:.2f}.  The ordering (shortcut "
+            f"flattest, no-shortcut steepest) is the paper's claim; at "
+            f"small n the polylog constants still favour the baselines."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# E11 — Appendix A: doubling without parameter knowledge
+# ----------------------------------------------------------------------
+
+
+def run_e11(scale: str = "small") -> ExperimentResult:
+    table = Table(
+        "E11 (Appendix A): doubling search vs known parameters",
+        ["instance", "trials", "final c", "final b", "congestion", "block", "rounds", "known-rounds"],
+    )
+    found_better = False
+    for name, topology, partition in standard_instances(scale)[:3]:
+        tree = SpanningTree.bfs(topology, 0)
+        outcome = find_shortcut_doubling(topology, tree, partition, seed=61)
+        report = quality.measure(outcome.result.shortcut, topology, with_dilation=False)
+        point = best_certified(tree, partition)
+        known = find_shortcut(
+            topology, tree, partition, point.congestion, point.block, seed=61
+        )
+        if report.shortcut_congestion < quality.shortcut_congestion(known.shortcut):
+            found_better = True
+        table.add_row(
+            name, len(outcome.trials), outcome.c, outcome.b,
+            report.shortcut_congestion, report.block_parameter,
+            outcome.rounds, known.rounds,
+        )
+    return ExperimentResult(
+        "E11",
+        "doubling removes the (b, c) knowledge requirement at ~log(bc) extra cost",
+        table,
+        data={"found_better": found_better},
+        notes="As Appendix A remarks, the search can return far better "
+        "shortcuts than the worst-case parameters.",
+    )
+
+
+# ----------------------------------------------------------------------
+# E12 — CoreSlow vs CoreFast trade-off
+# ----------------------------------------------------------------------
+
+
+def run_e12(scale: str = "small") -> ExperimentResult:
+    table = Table(
+        "E12 (Sec. 5.3 vs 5.4): rounds of CoreSlow (O(Dc)) vs CoreFast (O(Dlogn + c))",
+        ["c", "slow rounds", "fast rounds", "fast/slow"],
+    )
+    side = 12 if scale == "small" else 18
+    topology = generators.grid(side, side)
+    tree = SpanningTree.bfs(topology, 0)
+    partition = partitions.grid_rows(side, side)
+    cs, slows, fasts = [], [], []
+    for c in (1, 2, 4, 8, 16, 32):
+        slow = core_slow(topology, tree, partition, c, seed=67)
+        fast = core_fast(topology, tree, partition, c, shared_seed=71, seed=67)
+        cs.append(c)
+        slows.append(slow.rounds)
+        fasts.append(fast.rounds)
+        table.add_row(c, slow.rounds, fast.rounds, fast.rounds / slow.rounds)
+    slope_slow = loglog_slope(cs[2:], slows[2:])
+    return ExperimentResult(
+        "E12",
+        "CoreSlow grows linearly in c; CoreFast stays ~flat until c dominates",
+        table,
+        data={"cs": cs, "slow": slows, "fast": fasts, "slope_slow": slope_slow},
+        notes=f"log-log slope of CoreSlow rounds vs c (tail): {slope_slow:.2f} (~1 expected).",
+    )
+
+
+# ----------------------------------------------------------------------
+# E13 — the motivation: part diameter >> D
+# ----------------------------------------------------------------------
+
+
+def run_e13(scale: str = "small") -> ExperimentResult:
+    table = Table(
+        "E13 (Sec. 1.2): aggregation rounds, intra-part vs shortcut",
+        ["n_cycle", "D", "max part diam", "no-shortcut rounds", "shortcut rounds", "speedup"],
+    )
+    sizes = (128, 256, 512) if scale == "small" else (256, 512, 1024)
+    speedups = []
+    diam_ratio = []
+    for n_cycle in sizes:
+        topology = generators.cycle_with_hub(n_cycle, 8)
+        partition = partitions.cycle_arcs(n_cycle, 8, extra_nodes=1)
+        labels = {
+            v: partition.part_of(v) for v in topology.nodes
+        }
+        values = {v: v for v in topology.nodes if labels[v] is not None}
+        ledger_plain = RoundLedger()
+        plain = fragment_aggregate(
+            topology, labels, values, "min", seed=73, ledger=ledger_plain
+        )
+        tree = SpanningTree.bfs(topology, n_cycle)  # root at the hub
+        outcome = find_shortcut_doubling(topology, tree, partition, seed=73)
+        ledger_fast = RoundLedger()
+        engine = PartwiseEngine(
+            topology, outcome.result.shortcut, seed=73, ledger=ledger_fast
+        )
+        fast = engine.minimum_per_part(values, 3 * outcome.result.b)
+        for i in range(partition.size):
+            expect = min(partition.members(i))
+            for v in partition.members(i):
+                assert plain[v] == expect and fast[v] == expect
+        d = topology.diameter()
+        max_diam = max(partition.part_diameters(topology))
+        speedup = ledger_plain.total_rounds and (
+            ledger_plain.total_rounds / max(1, ledger_fast.total_rounds)
+        )
+        speedups.append(speedup)
+        diam_ratio.append(max_diam / d)
+        table.add_row(
+            n_cycle, d, max_diam,
+            ledger_plain.total_rounds, ledger_fast.total_rounds, speedup,
+        )
+    return ExperimentResult(
+        "E13",
+        "intra-part aggregation pays part diameter >> D; shortcuts pay ~D",
+        table,
+        data={"speedups": speedups, "diam_ratio": diam_ratio},
+        notes="The hub graph has D = O(1) while arcs have diameter "
+        "Theta(n/8); the speedup grows linearly with n.",
+    )
+
+
+ALL_EXPERIMENTS: Dict[str, Callable[[str], ExperimentResult]] = {
+    "E1": run_e01,
+    "E2": run_e02,
+    "E3": run_e03,
+    "E4": run_e04,
+    "E5": run_e05,
+    "E6": run_e06,
+    "E7": run_e07,
+    "E8": run_e08,
+    "E9": run_e09,
+    "E10": run_e10,
+    "E11": run_e11,
+    "E12": run_e12,
+    "E13": run_e13,
+}
+
+
+def run_all(scale: str = "small") -> List[ExperimentResult]:
+    """Run every experiment; used to regenerate EXPERIMENTS.md."""
+    return [runner(scale) for runner in ALL_EXPERIMENTS.values()]

@@ -1,0 +1,54 @@
+"""Measurement helpers for the experiment harness.
+
+The paper's claims are asymptotic bounds, so the experiments report:
+
+* **bound ratios** — measured quantity / claimed bound (must stay
+  bounded, typically ≤ 1 after normalising constants);
+* **log-log slopes** — the growth exponent of measured rounds against
+  the driving parameter, compared with the bound's exponent.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+
+def bound_ratio(measured: float, bound: float) -> float:
+    """measured / bound; infinity when the bound is zero but measured isn't."""
+    if bound == 0:
+        return math.inf if measured else 0.0
+    return measured / bound
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log(y) against log(x).
+
+    The empirical growth exponent: ~1.0 for linear scaling, ~0.5 for
+    square-root scaling, ~0 for constant.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two (x, y) points")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(max(y, 1e-12)) for y in ys]
+    mean_x = sum(lx) / len(lx)
+    mean_y = sum(ly) / len(ly)
+    num = sum((a - mean_x) * (b - mean_y) for a, b in zip(lx, ly))
+    den = sum((a - mean_x) ** 2 for a in lx)
+    if den == 0:
+        raise ValueError("x values are all equal")
+    return num / den
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (0 if any value is 0)."""
+    if not values:
+        raise ValueError("empty sequence")
+    if any(v <= 0 for v in values):
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def fraction(hits: int, total: int) -> float:
+    """Safe ratio for success-rate style statistics."""
+    return hits / total if total else 0.0

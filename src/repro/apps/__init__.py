@@ -1,0 +1,57 @@
+"""Applications and baselines built on tree-restricted shortcuts."""
+
+from repro.apps.encoding import (
+    decode_edge_candidate,
+    decode_pair,
+    encode_edge_candidate,
+    encode_pair,
+)
+from repro.apps.aggregation import (
+    aggregate_max,
+    aggregate_min,
+    aggregate_sum,
+    exchange_labels,
+    min_outgoing_edges,
+)
+from repro.apps.leader_election import LeaderElectionResult, elect_leaders
+from repro.apps.mst import (
+    MSTResult,
+    PhaseRecord,
+    kruskal_reference,
+    minimum_spanning_tree,
+)
+from repro.apps.mst_baselines import (
+    mst_collect_at_root,
+    mst_kutten_peleg,
+    mst_no_shortcut,
+)
+from repro.apps.fragment_comm import fragment_aggregate, fragment_flood_min
+from repro.apps.connectivity import ConnectivityResult, connected_components
+from repro.apps.mincut import MinCutResult, approximate_min_cut
+
+__all__ = [
+    "decode_edge_candidate",
+    "decode_pair",
+    "encode_edge_candidate",
+    "encode_pair",
+    "aggregate_max",
+    "aggregate_min",
+    "aggregate_sum",
+    "exchange_labels",
+    "min_outgoing_edges",
+    "LeaderElectionResult",
+    "elect_leaders",
+    "MSTResult",
+    "PhaseRecord",
+    "kruskal_reference",
+    "minimum_spanning_tree",
+    "mst_collect_at_root",
+    "mst_kutten_peleg",
+    "mst_no_shortcut",
+    "fragment_aggregate",
+    "fragment_flood_min",
+    "ConnectivityResult",
+    "connected_components",
+    "MinCutResult",
+    "approximate_min_cut",
+]

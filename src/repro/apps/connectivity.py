@@ -1,0 +1,189 @@
+"""Connected-components labelling over a designated edge subset.
+
+The "connectivity verification" application from the Ω̃(√n + D) lower
+bound literature: given a subset of *alive* edges, label every node
+with the minimum node id of its alive-component.  The components are
+connected subgraphs of ``G``, so they are valid parts — and merging
+them Borůvka-style rides on exactly the same shortcut primitives as
+the MST (minus the weights).
+
+Both variants are provided: shortcut-accelerated (per-phase
+FindShortcut + Theorem 2 aggregation) and intra-fragment-only (the
+baseline whose cost scales with component diameters).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro.apps.aggregation import exchange_labels, min_outgoing_edges
+from repro.apps.encoding import decode_edge_candidate, encode_edge_candidate
+from repro.apps.fragment_comm import fragment_aggregate
+from repro.congest.bfs import build_bfs_tree
+from repro.congest.randomness import coin, mix, share_randomness
+from repro.congest.topology import Edge, Topology, canonical_edge
+from repro.congest.trace import RoundLedger
+from repro.core.doubling import find_shortcut_doubling
+from repro.core.partwise import PartwiseEngine
+from repro.errors import ReproError
+from repro.graphs.partitions import Partition
+
+MERGE_COIN_SALT = 0xC0C0
+
+
+@dataclass(frozen=True)
+class ConnectivityResult:
+    """Per-node component labels plus round accounting."""
+
+    labels: Dict[int, int]
+    components: int
+    phases: int
+    ledger: RoundLedger
+
+    @property
+    def rounds(self) -> int:
+        return self.ledger.total_rounds
+
+
+def _alive_set(alive_edges: Iterable[Tuple[int, int]]) -> FrozenSet[Edge]:
+    return frozenset(canonical_edge(u, v) for u, v in alive_edges)
+
+
+def _min_alive_candidates(
+    topology: Topology,
+    labels: Dict[int, int],
+    alive: FrozenSet[Edge],
+    neighbor_labels,
+) -> Dict[int, Optional[int]]:
+    candidates: Dict[int, Optional[int]] = {}
+    for v in topology.nodes:
+        best = None
+        for w in topology.neighbors(v):
+            if canonical_edge(v, w) not in alive:
+                continue
+            if neighbor_labels[v].get(w) == labels[v]:
+                continue
+            code = encode_edge_candidate(0, v, w, topology.n)
+            if best is None or code < best:
+                best = code
+        candidates[v] = best
+    return candidates
+
+
+def connected_components(
+    topology: Topology,
+    alive_edges: Iterable[Tuple[int, int]],
+    *,
+    use_shortcuts: bool = True,
+    seed: int = 0,
+    max_phases: Optional[int] = None,
+) -> ConnectivityResult:
+    """Label the components of the alive subgraph.
+
+    With ``use_shortcuts`` the per-phase fragment aggregation runs over
+    tree-restricted shortcuts (Appendix A doubling, no parameter
+    knowledge); otherwise it floods within fragments only.
+    """
+    n = topology.n
+    alive = _alive_set(alive_edges)
+    if max_phases is None:
+        max_phases = 8 * max(1, math.ceil(math.log2(n + 1))) + 8
+    ledger = RoundLedger()
+    tree, _ = build_bfs_tree(topology, 0, seed=seed, ledger=ledger)
+    shared_seed, _ = share_randomness(topology, tree, seed=seed, ledger=ledger)
+
+    labels = {v: v for v in topology.nodes}
+    phase = 0
+    while True:
+        phase += 1
+        if phase > max_phases:
+            raise ReproError(f"components did not converge in {max_phases} phases")
+        neighbor_labels = exchange_labels(
+            topology, labels, seed=mix(seed, phase, 1), ledger=ledger
+        )
+        candidates = _min_alive_candidates(topology, labels, alive, neighbor_labels)
+        if use_shortcuts:
+            partition = Partition.from_labels([labels[v] for v in topology.nodes])
+            outcome = find_shortcut_doubling(
+                topology, tree, partition,
+                seed=mix(seed, phase, 2),
+                shared_seed=mix(shared_seed, phase),
+                ledger=ledger,
+            )
+            engine = PartwiseEngine(
+                topology, outcome.result.shortcut,
+                seed=mix(seed, phase, 3), ledger=ledger,
+            )
+            b_bound = 3 * outcome.result.b
+            minima = engine.minimum_per_part(candidates, b_bound)
+        else:
+            minima = fragment_aggregate(
+                topology, labels, candidates, "min",
+                seed=mix(seed, phase, 4), ledger=ledger,
+                phase_name=f"components#{phase}/min",
+            )
+
+        injections: Dict[int, Optional[int]] = {}
+        merges = 0
+        for v in topology.nodes:
+            code = minima.get(v)
+            if code is None:
+                continue
+            _zero, u, w = decode_edge_candidate(code, n)
+            if u != v:
+                continue
+            own_label = labels[u]
+            other_label = neighbor_labels[u].get(w)
+            own_head = coin(shared_seed, own_label, MERGE_COIN_SALT, phase) < 0.5
+            other_head = coin(shared_seed, other_label, MERGE_COIN_SALT, phase) < 0.5
+            if not own_head and other_head:
+                injections[u] = other_label
+                merges += 1
+        if merges == 0 and all(minima.get(v) is None for v in topology.nodes):
+            phase -= 1
+            break
+        if use_shortcuts:
+            adopted = engine.broadcast_from_leaders(injections, b_bound)
+        else:
+            adopted = fragment_aggregate(
+                topology, labels, injections, "min",
+                seed=mix(seed, phase, 5), ledger=ledger,
+                phase_name=f"components#{phase}/adopt",
+            )
+        for v in topology.nodes:
+            new_label = adopted.get(v)
+            if new_label is not None:
+                labels[v] = new_label
+        ledger.charge_phase("components/termination-check", 2 * tree.height + 1)
+
+    # Canonicalise: every component label becomes its minimum node id.
+    canonical: Dict[int, int] = {}
+    if use_shortcuts:
+        partition = Partition.from_labels([labels[v] for v in topology.nodes])
+        outcome = find_shortcut_doubling(
+            topology, tree, partition,
+            seed=mix(seed, 7777), shared_seed=shared_seed, ledger=ledger,
+        )
+        engine = PartwiseEngine(
+            topology, outcome.result.shortcut,
+            seed=mix(seed, 7778), ledger=ledger,
+        )
+        minima = engine.minimum_per_part(
+            {v: v for v in topology.nodes}, 3 * outcome.result.b
+        )
+        canonical = {v: minima[v] for v in topology.nodes}
+    else:
+        minima = fragment_aggregate(
+            topology, labels, {v: v for v in topology.nodes}, "min",
+            seed=mix(seed, 7779), ledger=ledger,
+            phase_name="components/canonicalise",
+        )
+        canonical = {v: minima[v] for v in topology.nodes}
+    return ConnectivityResult(
+        labels=canonical,
+        components=len(set(canonical.values())),
+        phases=phase,
+        ledger=ledger,
+    )

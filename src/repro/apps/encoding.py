@@ -1,0 +1,49 @@
+"""Integer encodings for O(log n)-bit message payloads.
+
+Composite values (a weighted edge candidate, a labelled pair) are
+packed into single integers so they can ride through the generic
+``min``-combining primitives: the lexicographic order on
+``(weight, u, v)`` coincides with the numeric order of the packed
+value, which is exactly the unique-MST tie-break.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import ReproError
+
+NO_CANDIDATE = None
+
+
+def encode_edge_candidate(weight: int, u: int, v: int, n: int) -> int:
+    """Pack ``(weight, u, v)`` so numeric order = lexicographic order.
+
+    Requires ``0 <= u, v < n`` and ``weight >= 0``; weights are
+    polynomially bounded in the CONGEST model so the result stays
+    within O(log n) bits.
+    """
+    if weight < 0:
+        raise ReproError("edge weights must be non-negative for encoding")
+    if not (0 <= u < n and 0 <= v < n):
+        raise ReproError(f"endpoint out of range: ({u}, {v}) with n={n}")
+    return (weight * n + u) * n + v
+
+
+def decode_edge_candidate(code: int, n: int) -> Tuple[int, int, int]:
+    """Inverse of :func:`encode_edge_candidate`: ``(weight, u, v)``."""
+    code, v = divmod(code, n)
+    weight, u = divmod(code, n)
+    return weight, u, v
+
+
+def encode_pair(a: int, b: int, n: int) -> int:
+    """Pack an ordered pair of node-range integers."""
+    if not (0 <= a < n and 0 <= b < n):
+        raise ReproError(f"pair out of range: ({a}, {b}) with n={n}")
+    return a * n + b
+
+
+def decode_pair(code: int, n: int) -> Tuple[int, int]:
+    """Inverse of :func:`encode_pair`."""
+    return divmod(code, n)

@@ -1,0 +1,212 @@
+"""Intra-fragment communication *without* shortcuts.
+
+This is the baseline world the paper improves on: a fragment may only
+use its own induced edges ``G[P_i]``, so every aggregation costs
+Θ(diameter of G[P_i]) rounds — which can vastly exceed the network
+diameter ``D`` (Section 1.2).
+
+Two node programs implement the standard toolkit:
+
+* :class:`FragmentFloodAlgorithm` — flood the minimum value through
+  each fragment; as a side effect each node learns a parent pointer
+  towards the minimum's origin, giving a fragment BFS tree;
+* :class:`FragmentTreeAggregateAlgorithm` — convergecast + broadcast an
+  associative combine over that fragment tree.
+
+The drivers compose them into :func:`fragment_flood_min` and
+:func:`fragment_aggregate`, whose measured rounds scale with fragment
+diameter — the quantity experiment E13 exhibits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.congest.algorithm import NodeAlgorithm
+from repro.congest.simulator import Simulator
+from repro.congest.topology import Topology
+from repro.congest.trace import RoundLedger
+from repro.errors import ShortcutError
+
+FLOOD_TOKEN = "f"
+CLAIM_TOKEN = "cl"
+UP_TOKEN = "up"
+DOWN_TOKEN = "dn"
+
+
+class FragmentFloodAlgorithm(NodeAlgorithm):
+    """Flood the fragment-wide minimum value over fragment edges.
+
+    Per-node inputs: ``fragment_neighbors`` (same-fragment neighbors)
+    and ``value`` (int or ``None``).  Outputs: ``best`` — the fragment
+    minimum — and ``flood_parent`` — the neighbor that delivered it
+    (``None`` at the value's origin), forming a tree towards it.
+    """
+
+    name = "fragment-flood"
+
+    def on_start(self, node) -> None:
+        node.state.best = node.state.value
+        node.state.flood_parent = None
+        if node.state.best is not None:
+            self._spread(node)
+
+    def on_round(self, node, messages) -> None:
+        improved = False
+        for sender, payload in messages:
+            value = payload[1]
+            if node.state.best is None or value < node.state.best:
+                node.state.best = value
+                node.state.flood_parent = sender
+                improved = True
+        if improved:
+            self._spread(node)
+
+    def _spread(self, node) -> None:
+        for neighbor in node.state.fragment_neighbors:
+            node.send(neighbor, (FLOOD_TOKEN, node.state.best))
+
+
+class FragmentTreeAggregateAlgorithm(NodeAlgorithm):
+    """Convergecast + broadcast over a fragment tree.
+
+    Per-node inputs: ``agg_parent`` (``None`` at fragment roots) and
+    ``value``.  Round 1 discovers children via claims; values then
+    combine upward and the root's result floods back down.
+
+    Outputs: ``agg_result`` at every fragment node.
+    """
+
+    name = "fragment-tree-aggregate"
+
+    def __init__(self, inputs, combine: str):
+        super().__init__(inputs)
+        self.combine = combine
+
+    def _merge(self, left: Optional[int], right: Optional[int]) -> Optional[int]:
+        if left is None:
+            return right
+        if right is None:
+            return left
+        if self.combine == "min":
+            return min(left, right)
+        if self.combine == "max":
+            return max(left, right)
+        if self.combine == "sum":
+            return left + right
+        raise ShortcutError(f"unknown combine op {self.combine!r}")
+
+    def on_start(self, node) -> None:
+        state = node.state
+        state.children = []
+        state.pending = None
+        state.acc = state.value
+        state.agg_result = None
+        state.sent_up = False
+        if state.agg_parent is not None:
+            node.send(state.agg_parent, (CLAIM_TOKEN,))
+        node.wake_at(2)  # children are known after the claim round
+
+    def on_round(self, node, messages) -> None:
+        state = node.state
+        for sender, payload in messages:
+            tag = payload[0]
+            if tag == CLAIM_TOKEN:
+                state.children.append(sender)
+            elif tag == UP_TOKEN:
+                state.acc = self._merge(state.acc, payload[1])
+                state.pending -= 1
+            elif tag == DOWN_TOKEN:
+                state.agg_result = payload[1]
+                for child in state.children:
+                    node.send(child, (DOWN_TOKEN, payload[1]))
+        if node.round >= 2 and state.pending is None:
+            state.pending = len(state.children)
+        if state.pending == 0 and not state.sent_up:
+            state.sent_up = True
+            if state.agg_parent is not None:
+                node.send(state.agg_parent, (UP_TOKEN, state.acc))
+            else:
+                state.agg_result = state.acc
+                for child in state.children:
+                    node.send(child, (DOWN_TOKEN, state.acc))
+
+
+def _fragment_neighbors(
+    topology: Topology, labels: Dict[int, Optional[int]]
+) -> Dict[int, Tuple[int, ...]]:
+    out = {}
+    for v in topology.nodes:
+        label = labels.get(v)
+        if label is None:
+            out[v] = ()
+        else:
+            out[v] = tuple(
+                w for w in topology.neighbors(v) if labels.get(w) == label
+            )
+    return out
+
+
+def fragment_flood_min(
+    topology: Topology,
+    labels: Dict[int, Optional[int]],
+    values: Dict[int, Optional[int]],
+    *,
+    seed: int = 0,
+    ledger: Optional[RoundLedger] = None,
+    phase_name: str = "fragment-flood",
+) -> Tuple[Dict[int, Optional[int]], Dict[int, Optional[int]]]:
+    """Flood each fragment's minimum value; return (minima, parents)."""
+    neighbors = _fragment_neighbors(topology, labels)
+    inputs = {
+        v: {"fragment_neighbors": neighbors[v], "value": values.get(v)}
+        for v in topology.nodes
+    }
+    result = Simulator(topology, FragmentFloodAlgorithm(inputs), seed=seed).run()
+    if ledger is not None:
+        ledger.charge_phase(phase_name, result.rounds, result.messages)
+    best = {v: result.states[v].best for v in topology.nodes}
+    parents = {v: result.states[v].flood_parent for v in topology.nodes}
+    return best, parents
+
+
+def fragment_aggregate(
+    topology: Topology,
+    labels: Dict[int, Optional[int]],
+    values: Dict[int, Optional[int]],
+    combine: str = "min",
+    *,
+    seed: int = 0,
+    ledger: Optional[RoundLedger] = None,
+    phase_name: str = "fragment-aggregate",
+) -> Dict[int, Optional[int]]:
+    """Aggregate ``values`` within each fragment (no shortcuts).
+
+    First floods node ids to elect a fragment root and build a BFS-like
+    fragment tree, then convergecasts + broadcasts ``combine`` over it.
+    Every fragment member ends up knowing the fragment-wide result.
+    Rounds scale with the largest fragment diameter.
+    """
+    ids = {v: v if labels.get(v) is not None else None for v in topology.nodes}
+    _best, parents = fragment_flood_min(
+        topology, labels, ids, seed=seed, ledger=ledger,
+        phase_name=phase_name + "/flood",
+    )
+    inputs = {
+        v: {
+            "agg_parent": parents[v],
+            "value": values.get(v) if labels.get(v) is not None else None,
+        }
+        for v in topology.nodes
+    }
+    result = Simulator(
+        topology, FragmentTreeAggregateAlgorithm(inputs, combine), seed=seed + 1
+    ).run()
+    if ledger is not None:
+        ledger.charge_phase(
+            phase_name + "/tree", result.rounds, result.messages
+        )
+    return {
+        v: (result.states[v].agg_result if labels.get(v) is not None else None)
+        for v in topology.nodes
+    }

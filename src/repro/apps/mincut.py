@@ -1,0 +1,212 @@
+"""Approximate minimum cut via greedy tree packing (the paper's second
+application).
+
+The paper applies shortcuts to "Min-Cut approximation" through the
+framework of [7], whose engine is repeated MST-like computations.  We
+reproduce that shape with the classic greedy tree-packing approach
+(Thorup/Karger): pack ``k`` spanning trees, each a minimum spanning
+tree under the edge loads accumulated so far; for each packed tree,
+evaluate every *1-respecting* cut (the cut induced by removing one
+tree edge); return the smallest cut seen.
+
+Every 1-respecting cut is a real cut, so the result is always an upper
+bound on the minimum cut; with a packing of Θ(log n) trees it is a
+close approximation in practice (validated against exact Stoer–Wagner
+in the tests — within a small constant factor on every family we
+generate, as the tree-packing theory predicts).
+
+Faithfulness note (documented substitution): the packing loop runs the
+*distributed* shortcut MST when ``use_distributed_mst=True`` — that is
+the shortcut-relevant workload — while the per-tree 1-respecting cut
+evaluation (subtree degree sums) is computed centrally.  The
+distributed version of that evaluation is a convergecast per tree and
+costs O(D) extra rounds per tree; it contains no shortcut-specific
+logic, so its omission does not change what the experiments measure.
+The round cost of one such convergecast is charged to the ledger.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.congest.topology import Edge, Topology, canonical_edge
+from repro.congest.trace import RoundLedger
+from repro.graphs.spanning_trees import SpanningTree
+
+
+@dataclass(frozen=True)
+class MinCutResult:
+    """An upper-bound cut found by the packing."""
+
+    value: int
+    cut_edges: FrozenSet[Edge]
+    side: FrozenSet[int]
+    trees_packed: int
+    ledger: RoundLedger
+
+    @property
+    def rounds(self) -> int:
+        return self.ledger.total_rounds
+
+
+def _mst_under_loads(
+    topology: Topology, loads: Dict[Edge, int]
+) -> FrozenSet[Edge]:
+    """Kruskal under current loads (ties by edge id)."""
+    parent = list(range(topology.n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    chosen: Set[Edge] = set()
+    for edge in sorted(topology.edges, key=lambda e: (loads[e], e)):
+        u, v = edge
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            chosen.add(edge)
+    return frozenset(chosen)
+
+
+def _one_respecting_cuts(
+    topology: Topology, tree_edges: FrozenSet[Edge]
+) -> Tuple[int, Edge, FrozenSet[int]]:
+    """Best 1-respecting cut of a spanning tree.
+
+    For each tree edge, the cut crossing its subtree is
+    ``sum(deg(v) for v in S) - 2 * |edges inside S|`` where ``S`` is
+    the subtree below the edge.  Returns (value, tree edge, side).
+    """
+    parent: List[Optional[int]] = [None] * topology.n
+    order: List[int] = []
+    seen = [False] * topology.n
+    adjacency: Dict[int, List[int]] = {v: [] for v in topology.nodes}
+    for u, v in tree_edges:
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+    stack = [0]
+    seen[0] = True
+    while stack:
+        u = stack.pop()
+        order.append(u)
+        for w in adjacency[u]:
+            if not seen[w]:
+                seen[w] = True
+                parent[w] = u
+                stack.append(w)
+
+    # Subtree degree sums and subtree-internal edge counts, bottom-up.
+    # A graph edge (a, b) lies inside subtree(v) exactly when v is an
+    # ancestor of lca(a, b), so accumulating +1 at each lca and summing
+    # over subtrees yields the internal-edge counts.
+    tree = SpanningTree(0, parent)
+    lca_count = [0] * topology.n
+    depth = [tree.depth(v) for v in topology.nodes]
+    for a, b in topology.edges:
+        x, y = a, b
+        while x != y:
+            if depth[x] < depth[y]:
+                y = parent[y]
+            else:
+                x = parent[x]
+        lca_count[x] += 1
+    subtree_deg = [topology.degree(v) for v in topology.nodes]
+    subtree_inside = lca_count[:]
+    for v in reversed(order):
+        p = parent[v]
+        if p is not None:
+            subtree_deg[p] += subtree_deg[v]
+            subtree_inside[p] += subtree_inside[v]
+
+    best_value = None
+    best_edge = None
+    best_root = None
+    for v in topology.nodes:
+        if parent[v] is None:
+            continue
+        value = subtree_deg[v] - 2 * subtree_inside[v]
+        if best_value is None or value < best_value:
+            best_value = value
+            best_edge = canonical_edge(v, parent[v])
+            best_root = v
+    # Recover the side of the best cut.
+    side: Set[int] = set()
+    stack = [best_root]
+    children: Dict[int, List[int]] = {v: [] for v in topology.nodes}
+    for v in topology.nodes:
+        if parent[v] is not None:
+            children[parent[v]].append(v)
+    while stack:
+        u = stack.pop()
+        side.add(u)
+        stack.extend(children[u])
+    return best_value, best_edge, frozenset(side)
+
+
+def approximate_min_cut(
+    topology: Topology,
+    *,
+    trees: Optional[int] = None,
+    seed: int = 0,
+    use_distributed_mst: bool = False,
+) -> MinCutResult:
+    """Greedy-tree-packing min-cut approximation.
+
+    Packs ``trees`` spanning trees (default ``⌈3 log2 n⌉``) by repeated
+    minimum spanning trees under accumulated edge loads; returns the
+    best 1-respecting cut over all packed trees.
+
+    With ``use_distributed_mst`` each packing iteration runs the full
+    distributed shortcut MST (slow; exercises the complete stack) and
+    its rounds are charged to the ledger; otherwise only the per-tree
+    O(D) cut-evaluation convergecasts are charged.
+    """
+    n = topology.n
+    if trees is None:
+        trees = max(3, math.ceil(3 * math.log2(n + 1)))
+    ledger = RoundLedger()
+    depth_estimate = topology.eccentricity(0)
+    ledger.barrier_depth = depth_estimate
+
+    loads: Dict[Edge, int] = {edge: 0 for edge in topology.edges}
+    best: Optional[Tuple[int, Edge, FrozenSet[int]]] = None
+    for index in range(trees):
+        if use_distributed_mst:
+            from repro.apps.mst import minimum_spanning_tree
+            from repro.graphs.weights import perturbed_weights
+
+            weighted = topology.with_weights(
+                perturbed_weights(topology, loads)
+            )
+            result = minimum_spanning_tree(
+                weighted, mode="doubling", seed=seed + index
+            )
+            ledger.merge(result.ledger, prefix=f"pack#{index}/")
+            tree_edges = result.edges
+        else:
+            tree_edges = _mst_under_loads(topology, loads)
+        value, edge, side = _one_respecting_cuts(topology, tree_edges)
+        # One subtree convergecast per tree evaluates all its
+        # 1-respecting cuts distributively: O(D) rounds.
+        ledger.charge_phase(f"cut-eval#{index}", 2 * depth_estimate + 1)
+        if best is None or value < best[0]:
+            best = (value, edge, side)
+        for e in tree_edges:
+            loads[e] += 1
+
+    value, _edge, side = best
+    cut_edges = frozenset(
+        e for e in topology.edges if (e[0] in side) != (e[1] in side)
+    )
+    return MinCutResult(
+        value=value,
+        cut_edges=cut_edges,
+        side=side,
+        trees_packed=trees,
+        ledger=ledger,
+    )

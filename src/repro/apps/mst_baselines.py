@@ -1,0 +1,503 @@
+"""Baseline distributed MST algorithms (the paper's comparison world).
+
+Three baselines bracket the shortcut algorithm of :mod:`repro.apps.mst`:
+
+* :func:`mst_no_shortcut` — Borůvka where each fragment communicates
+  only inside ``G[P_i]`` (no shortcuts).  Per-phase cost scales with
+  the largest *fragment* diameter, which can be Θ(n) even when the
+  network diameter is tiny — the failure mode motivating the paper.
+* :func:`mst_kutten_peleg` — a two-phase Õ(√n + D) pipeline in the
+  style of Kutten–Peleg [13] / Garay–Kutten–Peleg [5]: size-capped
+  Borůvka until every fragment has ≥ √n nodes, then upcast each
+  fragment's minimum outgoing edge to the BFS root, which merges
+  centrally and broadcasts label remaps back.  This is the bound the
+  Ω̃(√n + D) lower bound says is optimal *in general* — and the bound
+  shortcuts beat on planar/bounded-genus topologies.
+* :func:`mst_collect_at_root` — the O(m + D) strawman: ship the whole
+  graph to the root, solve locally, ship the answer back.
+
+All three are real node programs; the upcast/downcast pipelines follow
+the classic sorted-merge pipelining argument (O(D + k) rounds for k
+items).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.apps.aggregation import exchange_labels
+from repro.apps.encoding import decode_edge_candidate, encode_edge_candidate
+from repro.apps.fragment_comm import fragment_aggregate
+from repro.apps.mst import MSTResult, PhaseRecord
+from repro.congest.algorithm import NodeAlgorithm
+from repro.congest.bfs import build_bfs_tree
+from repro.congest.randomness import coin, mix, share_randomness
+from repro.congest.simulator import Simulator
+from repro.congest.topology import Topology, canonical_edge
+from repro.congest.trace import RoundLedger
+from repro.errors import ReproError
+from repro.graphs.spanning_trees import SpanningTree
+
+HEAD_COIN_SALT = 0x4EAD  # same star-merge coin as the shortcut MST
+
+UP_TOKEN = "u"
+UP_DONE_TOKEN = "ud"
+DOWN_TOKEN = "d"
+
+
+class PipelinedUpcastAlgorithm(NodeAlgorithm):
+    """Upcast keyed records to the tree root in O(D + k) rounds.
+
+    Every node holds records ``key -> value-tuple``; records with equal
+    keys merge by taking the lexicographically smaller value.  Children
+    emit records in ascending key order, so a node may safely forward
+    its smallest pending key once every unfinished child has reported a
+    key at least that large — the classic pipelining argument.
+
+    Per-node inputs: ``tree_parent``, ``tree_children``, ``items``.
+    Outputs: ``store`` (at the root: all merged records).
+    """
+
+    name = "pipelined-upcast"
+
+    def on_start(self, node) -> None:
+        state = node.state
+        state.store: Dict[int, tuple] = dict(state.items)
+        state.child_last: Dict[int, Optional[int]] = {
+            child: None for child in state.tree_children
+        }
+        state.child_done: Set[int] = set()
+        state.emitted: Set[int] = set()
+        state.done_sent = False
+        self._pump(node)
+
+    def on_round(self, node, messages) -> None:
+        state = node.state
+        for sender, payload in messages:
+            if payload[0] == UP_TOKEN:
+                key = payload[1]
+                value = tuple(payload[2:])
+                state.child_last[sender] = key
+                current = state.store.get(key)
+                if current is None or value < current:
+                    state.store[key] = value
+            elif payload[0] == UP_DONE_TOKEN:
+                state.child_done.add(sender)
+        self._pump(node)
+
+    def _pump(self, node) -> None:
+        state = node.state
+        if state.tree_parent is None or state.done_sent:
+            return
+        pending = [k for k in state.store if k not in state.emitted]
+        if pending:
+            smallest = min(pending)
+            safe = all(
+                child in state.child_done
+                or (last is not None and last >= smallest)
+                for child, last in state.child_last.items()
+            )
+            if safe:
+                state.emitted.add(smallest)
+                node.send(
+                    state.tree_parent,
+                    (UP_TOKEN, smallest) + state.store[smallest],
+                )
+                node.wake_after(1)
+                return
+        if not pending and len(state.child_done) == len(state.child_last):
+            node.send(state.tree_parent, (UP_DONE_TOKEN,))
+            state.done_sent = True
+
+
+class PipelinedDowncastAlgorithm(NodeAlgorithm):
+    """Stream a list of records from the root to every node, FIFO.
+
+    Per-node inputs: ``tree_children`` and ``records`` (non-empty only
+    at the root).  Outputs: ``received`` — the full record list at
+    every node.  O(D + k) rounds for k records.
+    """
+
+    name = "pipelined-downcast"
+
+    def __init__(self, inputs, total: int):
+        super().__init__(inputs)
+        self.total = total
+
+    def on_start(self, node) -> None:
+        node.state.received: List[tuple] = list(node.state.records)
+        node.state.forwarded = 0
+        self._pump(node)
+
+    def on_round(self, node, messages) -> None:
+        for _sender, payload in messages:
+            node.state.received.append(tuple(payload[1:]))
+        self._pump(node)
+
+    def _pump(self, node) -> None:
+        state = node.state
+        if state.forwarded < len(state.received):
+            record = state.received[state.forwarded]
+            state.forwarded += 1
+            for child in state.tree_children:
+                node.send(child, (DOWN_TOKEN,) + record)
+            if state.forwarded < len(state.received):
+                node.wake_after(1)
+
+
+def _upcast(
+    topology: Topology,
+    tree: SpanningTree,
+    items: Dict[int, Dict[int, tuple]],
+    *,
+    seed: int,
+    ledger: RoundLedger,
+    phase_name: str,
+) -> Dict[int, tuple]:
+    inputs = {
+        v: {
+            "tree_parent": tree.parent(v),
+            "tree_children": tree.children(v),
+            "items": items.get(v, {}),
+        }
+        for v in topology.nodes
+    }
+    result = Simulator(topology, PipelinedUpcastAlgorithm(inputs), seed=seed).run()
+    ledger.charge_phase(phase_name, result.rounds, result.messages)
+    return dict(result.states[tree.root].store)
+
+
+def _downcast(
+    topology: Topology,
+    tree: SpanningTree,
+    records: List[tuple],
+    *,
+    seed: int,
+    ledger: RoundLedger,
+    phase_name: str,
+) -> Dict[int, List[tuple]]:
+    inputs = {
+        v: {
+            "tree_children": tree.children(v),
+            "records": records if v == tree.root else [],
+        }
+        for v in topology.nodes
+    }
+    result = Simulator(
+        topology, PipelinedDowncastAlgorithm(inputs, len(records)), seed=seed
+    ).run()
+    ledger.charge_phase(phase_name, result.rounds, result.messages)
+    return {v: result.states[v].received for v in topology.nodes}
+
+
+# ----------------------------------------------------------------------
+# Baseline 1: Borůvka without shortcuts
+# ----------------------------------------------------------------------
+
+
+def _fragment_phase(
+    topology: Topology,
+    labels: Dict[int, int],
+    shared_seed: int,
+    phase: int,
+    *,
+    propose: Dict[int, bool],
+    seed: int,
+    ledger: RoundLedger,
+) -> Tuple[int, Set[Tuple[int, int]], bool]:
+    """One Borůvka phase over intra-fragment communication.
+
+    ``propose[label]`` gates which fragments may initiate a merge.
+    Returns (merge count, new MST edges, any-fragment-had-outgoing).
+    """
+    n = topology.n
+    neighbor_labels = exchange_labels(
+        topology, labels, seed=mix(seed, 1), ledger=ledger
+    )
+    candidates: Dict[int, Optional[int]] = {}
+    for v in topology.nodes:
+        best = None
+        for w in topology.neighbors(v):
+            if neighbor_labels[v].get(w) == labels[v]:
+                continue
+            code = encode_edge_candidate(topology.weight(v, w), v, w, n)
+            if best is None or code < best:
+                best = code
+        candidates[v] = best
+    minima = fragment_aggregate(
+        topology, labels, candidates, "min",
+        seed=mix(seed, 2), ledger=ledger, phase_name=f"boruvka#{phase}/min-edge",
+    )
+
+    injections: Dict[int, Optional[int]] = {}
+    mst_edges: Set[Tuple[int, int]] = set()
+    merges = 0
+    any_outgoing = False
+    for v in topology.nodes:
+        code = minima.get(v)
+        if code is None:
+            continue
+        any_outgoing = True
+        _weight, u, w = decode_edge_candidate(code, n)
+        if u != v:
+            continue  # only the chosen endpoint decides
+        own_label = labels[u]
+        if not propose.get(own_label, True):
+            continue
+        other_label = neighbor_labels[u].get(w)
+        own_head = coin(shared_seed, own_label, HEAD_COIN_SALT, phase) < 0.5
+        other_head = coin(shared_seed, other_label, HEAD_COIN_SALT, phase) < 0.5
+        if not own_head and other_head:
+            injections[u] = other_label
+            mst_edges.add(canonical_edge(u, w))
+            merges += 1
+    adopted = fragment_aggregate(
+        topology, labels, injections, "min",
+        seed=mix(seed, 3), ledger=ledger, phase_name=f"boruvka#{phase}/adopt",
+    )
+    for v in topology.nodes:
+        new_label = adopted.get(v)
+        if new_label is not None:
+            labels[v] = new_label
+    return merges, mst_edges, any_outgoing
+
+
+def mst_no_shortcut(
+    topology: Topology,
+    *,
+    seed: int = 0,
+    max_phases: Optional[int] = None,
+) -> MSTResult:
+    """Borůvka with intra-fragment communication only (no shortcuts)."""
+    n = topology.n
+    if max_phases is None:
+        max_phases = 8 * max(1, math.ceil(math.log2(n + 1))) + 8
+    ledger = RoundLedger()
+    tree, _ = build_bfs_tree(topology, 0, seed=seed, ledger=ledger)
+    shared_seed, _ = share_randomness(topology, tree, seed=seed, ledger=ledger)
+
+    labels = {v: v for v in topology.nodes}
+    mst_edges: Set[Tuple[int, int]] = set()
+    records: List[PhaseRecord] = []
+    phase = 0
+    while True:
+        phase += 1
+        if phase > max_phases:
+            raise ReproError(f"Borůvka did not converge in {max_phases} phases")
+        fragments = len(set(labels.values()))
+        if fragments <= 1:
+            phase -= 1
+            break
+        merges, new_edges, any_outgoing = _fragment_phase(
+            topology, labels, shared_seed, phase,
+            propose={}, seed=mix(seed, phase), ledger=ledger,
+        )
+        mst_edges |= new_edges
+        records.append(
+            PhaseRecord(
+                phase=phase, fragments=fragments,
+                shortcut_c=0, shortcut_b=0, merges=merges,
+            )
+        )
+        ledger.charge_phase("boruvka/termination-check", 2 * tree.height + 1)
+        if not any_outgoing:
+            break
+    weight = sum(topology.weight(u, v) for u, v in mst_edges)
+    return MSTResult(
+        edges=frozenset(mst_edges), weight=weight, phases=phase,
+        ledger=ledger, phase_records=tuple(records),
+    )
+
+
+# ----------------------------------------------------------------------
+# Baseline 2: Kutten–Peleg-style Õ(√n + D) pipeline
+# ----------------------------------------------------------------------
+
+
+def mst_kutten_peleg(
+    topology: Topology,
+    *,
+    seed: int = 0,
+    cap: Optional[int] = None,
+    max_small_phases: Optional[int] = None,
+) -> MSTResult:
+    """Two-phase Õ(√n + D) MST (Kutten–Peleg style).
+
+    Phase 1 runs size-capped Borůvka (only fragments smaller than
+    ``cap = ⌈√n⌉`` propose merges) so the per-phase intra-fragment cost
+    stays O(√n).  Phase 2 upcasts each remaining fragment's minimum
+    outgoing edge to the BFS root, merges centrally, and downcasts
+    label remaps — O(D + F) per iteration with F ≤ √n fragments w.h.p.
+    """
+    n = topology.n
+    if cap is None:
+        cap = max(2, math.isqrt(n - 1) + 1)
+    if max_small_phases is None:
+        max_small_phases = 4 * max(1, math.ceil(math.log2(n + 1))) + 8
+    ledger = RoundLedger()
+    tree, _ = build_bfs_tree(topology, 0, seed=seed, ledger=ledger)
+    shared_seed, _ = share_randomness(topology, tree, seed=seed, ledger=ledger)
+
+    labels = {v: v for v in topology.nodes}
+    mst_edges: Set[Tuple[int, int]] = set()
+    records: List[PhaseRecord] = []
+    phase = 0
+
+    # --- Phase 1: size-capped Borůvka --------------------------------
+    for _ in range(max_small_phases):
+        fragments = len(set(labels.values()))
+        if fragments <= 1:
+            break
+        sizes = fragment_aggregate(
+            topology, labels, {v: 1 for v in topology.nodes}, "sum",
+            seed=mix(seed, phase, 11), ledger=ledger,
+            phase_name=f"kp1#{phase + 1}/sizes",
+        )
+        propose = {}
+        any_small = False
+        for v in topology.nodes:
+            small = sizes[v] is not None and sizes[v] < cap
+            propose[labels[v]] = small
+            any_small = any_small or small
+        ledger.charge_phase("kp1/small-check", 2 * tree.height + 1)
+        if not any_small:
+            break
+        phase += 1
+        merges, new_edges, _any = _fragment_phase(
+            topology, labels, shared_seed, phase,
+            propose=propose, seed=mix(seed, phase), ledger=ledger,
+        )
+        mst_edges |= new_edges
+        records.append(
+            PhaseRecord(
+                phase=phase, fragments=fragments,
+                shortcut_c=0, shortcut_b=0, merges=merges,
+            )
+        )
+
+    # --- Phase 2: centralized merging at the BFS root ----------------
+    while True:
+        fragments = len(set(labels.values()))
+        if fragments <= 1:
+            break
+        phase += 1
+        neighbor_labels = exchange_labels(
+            topology, labels, seed=mix(seed, phase, 21), ledger=ledger
+        )
+        items: Dict[int, Dict[int, tuple]] = {}
+        for v in topology.nodes:
+            best = None
+            target = None
+            for w in topology.neighbors(v):
+                other = neighbor_labels[v].get(w)
+                if other == labels[v]:
+                    continue
+                code = encode_edge_candidate(topology.weight(v, w), v, w, n)
+                if best is None or code < best:
+                    best, target = code, other
+            if best is not None:
+                items[v] = {labels[v]: (best, target)}
+        table = _upcast(
+            topology, tree, items,
+            seed=mix(seed, phase, 22), ledger=ledger,
+            phase_name=f"kp2#{phase}/upcast",
+        )
+        if not table:
+            break
+        # Central merge at the root: union fragments along selected
+        # edges; the new label is the minimum old label of the cluster.
+        parent: Dict[int, int] = {}
+
+        def find(x: int) -> int:
+            parent.setdefault(x, x)
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        chosen_codes = []
+        merges = 0
+        for label, (code, target) in sorted(table.items()):
+            ru, rv = find(label), find(target)
+            if ru != rv:
+                parent[max(ru, rv)] = min(ru, rv)
+                chosen_codes.append(code)
+                merges += 1
+        remap_records = []
+        for label in sorted(table):
+            root_label = find(label)
+            if root_label != label:
+                remap_records.append((label, root_label))
+        down_records = [("r",) + r for r in remap_records] + [
+            ("e", code) for code in chosen_codes
+        ]
+        delivered = _downcast(
+            topology, tree, down_records,
+            seed=mix(seed, phase, 23), ledger=ledger,
+            phase_name=f"kp2#{phase}/downcast",
+        )
+        for v in topology.nodes:
+            remap = {}
+            for record in delivered[v]:
+                if record[0] == "r":
+                    remap[record[1]] = record[2]
+                elif record[0] == "e":
+                    _w, a, bnode = decode_edge_candidate(record[1], n)
+                    if a == v:
+                        mst_edges.add(canonical_edge(a, bnode))
+            # Follow remap chains (the union-find flattened them to one hop).
+            labels[v] = remap.get(labels[v], labels[v])
+        records.append(
+            PhaseRecord(
+                phase=phase, fragments=fragments,
+                shortcut_c=0, shortcut_b=0, merges=merges,
+            )
+        )
+
+    weight = sum(topology.weight(u, v) for u, v in mst_edges)
+    return MSTResult(
+        edges=frozenset(mst_edges), weight=weight, phases=phase,
+        ledger=ledger, phase_records=tuple(records),
+    )
+
+
+# ----------------------------------------------------------------------
+# Baseline 3: collect everything at the root
+# ----------------------------------------------------------------------
+
+
+def mst_collect_at_root(topology: Topology, *, seed: int = 0) -> MSTResult:
+    """The O(m + D) strawman: upcast all edges, solve at the root."""
+    from repro.apps.mst import kruskal_reference
+
+    n = topology.n
+    ledger = RoundLedger()
+    tree, _ = build_bfs_tree(topology, 0, seed=seed, ledger=ledger)
+    items: Dict[int, Dict[int, tuple]] = {}
+    for u, v in topology.edges:
+        code = encode_edge_candidate(topology.weight(u, v), u, v, n)
+        items.setdefault(u, {})[code] = ()
+    store = _upcast(
+        topology, tree, items, seed=seed + 1, ledger=ledger,
+        phase_name="collect/upcast",
+    )
+    edges = [decode_edge_candidate(code, n) for code in store]
+    collected = Topology(
+        n,
+        [(u, v) for _w, u, v in edges],
+        weights={canonical_edge(u, v): w for w, u, v in edges},
+    )
+    mst_edges, weight = kruskal_reference(collected)
+    down_records = [
+        ("e", encode_edge_candidate(collected.weight(u, v), u, v, n))
+        for u, v in sorted(mst_edges)
+    ]
+    _delivered = _downcast(
+        topology, tree, down_records, seed=seed + 2, ledger=ledger,
+        phase_name="collect/downcast",
+    )
+    return MSTResult(
+        edges=frozenset(mst_edges), weight=weight, phases=1,
+        ledger=ledger, phase_records=(),
+    )

@@ -1,0 +1,56 @@
+"""Base class for CONGEST node programs.
+
+A distributed algorithm is written once, from the perspective of a
+single node, by subclassing :class:`NodeAlgorithm`:
+
+* :meth:`NodeAlgorithm.on_start` runs for every node in round 0.
+* :meth:`NodeAlgorithm.on_round` runs in every later round for each
+  node that either received messages or scheduled a wake-up.
+
+All per-node data lives in ``node.state``; the algorithm object itself
+must stay stateless across nodes (one instance serves the whole
+network), except for read-only configuration passed to ``__init__``.
+Per-node *inputs* (for example "my part identifier" or "my tree
+parent") are supplied through the ``inputs`` mapping and appear on
+``node.state`` before ``on_start``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+Inbox = List[Tuple[int, Any]]
+
+
+class NodeAlgorithm:
+    """A synchronous message-passing node program.
+
+    Parameters
+    ----------
+    inputs:
+        Optional mapping ``node_id -> {attribute: value}``.  Each entry
+        is copied onto ``node.state`` before the algorithm starts,
+        modelling local knowledge (inputs of the distributed problem or
+        outputs of a previous phase).
+    """
+
+    name: str = "algorithm"
+
+    def __init__(self, inputs: Optional[Mapping[int, Dict[str, Any]]] = None):
+        self._inputs = dict(inputs) if inputs else {}
+
+    def setup(self, node) -> None:
+        """Install per-node inputs.  Called by the simulator."""
+        for key, value in self._inputs.get(node.id, {}).items():
+            setattr(node.state, key, value)
+
+    def on_start(self, node) -> None:
+        """Round-0 hook: initialise state and send first messages."""
+
+    def on_round(self, node, messages: Inbox) -> None:
+        """Per-round hook for active nodes.
+
+        ``messages`` holds ``(sender, payload)`` pairs delivered this
+        round, in ascending sender order (the simulator sorts them so
+        node programs are deterministic).
+        """

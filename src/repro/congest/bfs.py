@@ -1,0 +1,85 @@
+"""Distributed BFS spanning-tree construction (O(D) rounds).
+
+Computing a BFS tree is the standard first step of every construction
+in the paper (Section 5.2: "Computing a BFS tree T in our distributed
+CONGEST model is a standard subroutine and can be computed in O(D)
+rounds").  The node program floods a ``bfs`` token outward from the
+root; each node adopts the smallest-id neighbor among the first round
+of arrivals as its parent and confirms with a ``child`` message, so
+that on completion every node knows its parent, its children, and its
+depth — exactly the local tree knowledge later phases assume.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.congest.algorithm import NodeAlgorithm
+from repro.congest.simulator import RunResult, Simulator
+from repro.congest.topology import Topology
+from repro.congest.trace import RoundLedger
+from repro.graphs.spanning_trees import SpanningTree
+
+BFS_TOKEN = "bfs"
+CHILD_TOKEN = "child"
+
+
+class BFSTreeAlgorithm(NodeAlgorithm):
+    """Flood-based BFS tree construction rooted at ``root``.
+
+    Outputs (on ``node.state``): ``parent`` (``None`` at the root),
+    ``children`` (set), and ``dist`` (BFS depth).
+    """
+
+    name = "bfs-tree"
+
+    def __init__(self, root: int):
+        super().__init__()
+        self.root = root
+
+    def on_start(self, node) -> None:
+        node.state.parent = None
+        node.state.children = set()
+        node.state.dist = None
+        if node.id == self.root:
+            node.state.dist = 0
+            node.broadcast((BFS_TOKEN, 0))
+
+    def on_round(self, node, messages) -> None:
+        token_senders = []
+        for sender, payload in messages:
+            tag = payload[0]
+            if tag == BFS_TOKEN:
+                token_senders.append(sender)
+            elif tag == CHILD_TOKEN:
+                node.state.children.add(sender)
+        if token_senders and node.state.dist is None:
+            parent = min(token_senders)
+            node.state.parent = parent
+            node.state.dist = node.round
+            node.send(parent, (CHILD_TOKEN,))
+            for neighbor in node.neighbors:
+                if neighbor != parent:
+                    node.send(neighbor, (BFS_TOKEN, node.state.dist))
+
+
+def build_bfs_tree(
+    topology: Topology,
+    root: int = 0,
+    *,
+    seed: int = 0,
+    ledger: Optional[RoundLedger] = None,
+) -> Tuple[SpanningTree, RunResult]:
+    """Run the distributed BFS and return the resulting spanning tree.
+
+    When a ``ledger`` is given, the phase cost is recorded on it (and
+    the ledger's barrier depth is set to the tree height, so later
+    phases are charged realistic synchronisation barriers).
+    """
+    result = Simulator(topology, BFSTreeAlgorithm(root), seed=seed).run()
+    parent = [result.states[v].parent for v in topology.nodes]
+    tree = SpanningTree(root, parent)
+    if ledger is not None:
+        ledger.barrier_depth = tree.height
+        ledger.charge_phase("bfs-tree", result.rounds, result.messages)
+    return tree, result

@@ -1,0 +1,79 @@
+"""Message payloads and the O(log n)-bit bandwidth audit.
+
+The CONGEST model allows each node to send one B-bit message per edge
+per direction per round, with ``B = O(log n)``.  Payloads in this
+library are plain Python values built from a small vocabulary — string
+tags (opcodes), integers, booleans, ``None`` — optionally grouped in a
+flat tuple.  :func:`message_bits` estimates the wire size of a payload
+and :func:`bandwidth_limit` gives the per-message budget for a network
+of ``n`` nodes.
+
+A string tag is charged a constant opcode cost (an implementation
+would enumerate the finitely many message types of the protocol), an
+integer is charged its two's-complement width, and tuple framing is
+charged a small constant.  Constant factors are irrelevant in the
+CONGEST model; the audit exists to catch *asymptotic* violations such
+as shipping a whole vertex list in one message.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import BandwidthExceededError
+
+TAG_BITS = 6
+FRAME_BITS = 4
+
+
+def message_bits(payload: Any) -> int:
+    """Estimated wire size of ``payload`` in bits.
+
+    Raises
+    ------
+    BandwidthExceededError
+        If the payload contains a type outside the allowed vocabulary
+        (for example a list, set, or dict — containers whose size could
+        silently smuggle more than O(log n) bits).
+    """
+    if payload is None or isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        return max(1, payload.bit_length()) + 1
+    if isinstance(payload, str):
+        return TAG_BITS
+    if isinstance(payload, tuple):
+        total = FRAME_BITS
+        for item in payload:
+            if isinstance(item, tuple):
+                raise BandwidthExceededError(
+                    "nested tuples are not a valid message payload"
+                )
+            total += message_bits(item)
+        return total
+    raise BandwidthExceededError(
+        f"payload of type {type(payload).__name__} is not a valid "
+        f"CONGEST message; use tags, ints, bools, None, or a flat tuple"
+    )
+
+
+def bandwidth_limit(n: int, beta: int = 8, floor: int = 32) -> int:
+    """Per-message bit budget ``B = max(floor, beta * ceil(log2(n + 1)))``.
+
+    ``beta`` absorbs the constant factor hidden by ``O(log n)``; the
+    floor keeps tiny test graphs from tripping the audit on framing
+    overhead alone.
+    """
+    bits = (n).bit_length()
+    return max(floor, beta * bits + 16)
+
+
+def check_message(payload: Any, limit: int) -> int:
+    """Validate ``payload`` against ``limit`` bits; return its size."""
+    size = message_bits(payload)
+    if size > limit:
+        raise BandwidthExceededError(
+            f"message of {size} bits exceeds the CONGEST budget of "
+            f"{limit} bits: {payload!r}"
+        )
+    return size

@@ -1,0 +1,86 @@
+"""Per-node API exposed to CONGEST node programs.
+
+A :class:`NodeHandle` is the only object a :class:`~repro.congest.algorithm.
+NodeAlgorithm` touches.  It exposes exactly the local knowledge the
+CONGEST model grants a node — its identifier, its incident edges — plus
+the actions available in a synchronous round: sending one message per
+incident edge, scheduling a wake-up, and halting.
+"""
+
+from __future__ import annotations
+
+import random
+from types import SimpleNamespace
+from typing import Any, Tuple
+
+from repro.errors import SimulationError
+
+
+class NodeHandle:
+    """Local view and action interface of a single network node."""
+
+    __slots__ = ("id", "neighbors", "state", "random", "_sim", "_halted")
+
+    def __init__(self, node_id: int, neighbors: Tuple[int, ...], sim, rng_seed: int):
+        self.id = node_id
+        self.neighbors = neighbors
+        self.state = SimpleNamespace()
+        self.random = random.Random(rng_seed)
+        self._sim = sim
+        self._halted = False
+
+    # ------------------------------------------------------------------
+    # Round context
+    # ------------------------------------------------------------------
+
+    @property
+    def round(self) -> int:
+        """The current round number (0 is the start-up round)."""
+        return self._sim.current_round
+
+    @property
+    def degree(self) -> int:
+        """Number of incident edges."""
+        return len(self.neighbors)
+
+    @property
+    def halted(self) -> bool:
+        """Whether this node has halted."""
+        return self._halted
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+
+    def send(self, to: int, payload: Any) -> None:
+        """Send one message over the edge to neighbor ``to``.
+
+        The message is delivered at the start of the next round.  At
+        most one message per neighbor per round is allowed, and the
+        payload must fit in O(log n) bits.
+        """
+        if self._halted:
+            raise SimulationError(f"halted node {self.id} tried to send")
+        self._sim.queue_message(self.id, to, payload)
+
+    def broadcast(self, payload: Any) -> None:
+        """Send the same message to every neighbor."""
+        for neighbor in self.neighbors:
+            self.send(neighbor, payload)
+
+    def wake_at(self, round_number: int) -> None:
+        """Schedule this node to be activated in the given future round."""
+        self._sim.schedule_wakeup(self.id, round_number)
+
+    def wake_after(self, delay: int) -> None:
+        """Schedule this node to be activated ``delay`` rounds from now."""
+        if delay <= 0:
+            raise SimulationError("wake_after requires a positive delay")
+        self._sim.schedule_wakeup(self.id, self._sim.current_round + delay)
+
+    def halt(self) -> None:
+        """Stop participating.  A halted node never runs again."""
+        self._halted = True
+
+    def __repr__(self) -> str:
+        return f"NodeHandle(id={self.id}, degree={self.degree})"

@@ -1,0 +1,236 @@
+"""Immutable network topology used by the CONGEST simulator.
+
+A :class:`Topology` is an undirected, connected graph on nodes
+``0 .. n-1`` with optional integer edge weights.  It is the single
+graph representation shared by the simulator, the shortcut machinery,
+and the applications.  Edges are always stored in canonical
+``(min(u, v), max(u, v))`` form; :func:`canonical_edge` converts.
+
+The class is deliberately small and read-only: generators build a
+topology once, and everything downstream treats it as a value.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import TopologyError
+
+Edge = Tuple[int, int]
+
+
+def canonical_edge(u: int, v: int) -> Edge:
+    """Return the canonical ``(min, max)`` form of the edge ``{u, v}``."""
+    if u == v:
+        raise TopologyError(f"self-loop at node {u} is not a valid edge")
+    return (u, v) if u < v else (v, u)
+
+
+class Topology:
+    """An undirected, connected graph on nodes ``0 .. n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    edges:
+        Iterable of node pairs.  Duplicates and orientation are
+        normalised away; self-loops are rejected.
+    weights:
+        Optional mapping from canonical edges to integer weights.
+        Missing edges default to weight ``1``.
+    require_connected:
+        When true (the default), reject disconnected graphs.  The
+        CONGEST model in the paper assumes a connected network.
+    """
+
+    __slots__ = ("_n", "_edges", "_adj", "_weights", "_edge_set")
+
+    def __init__(
+        self,
+        n: int,
+        edges: Iterable[Tuple[int, int]],
+        weights: Optional[Dict[Edge, int]] = None,
+        require_connected: bool = True,
+    ) -> None:
+        if n <= 0:
+            raise TopologyError("a topology needs at least one node")
+        canon = set()
+        for u, v in edges:
+            if not (0 <= u < n and 0 <= v < n):
+                raise TopologyError(f"edge ({u}, {v}) out of range for n={n}")
+            canon.add(canonical_edge(u, v))
+        self._n = n
+        self._edges: Tuple[Edge, ...] = tuple(sorted(canon))
+        self._edge_set = frozenset(self._edges)
+        adj: List[List[int]] = [[] for _ in range(n)]
+        for u, v in self._edges:
+            adj[u].append(v)
+            adj[v].append(u)
+        self._adj: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(neighbors)) for neighbors in adj
+        )
+        if weights is not None:
+            normalised = {}
+            for (u, v), w in weights.items():
+                e = canonical_edge(u, v)
+                if e not in self._edge_set:
+                    raise TopologyError(f"weight given for non-edge {e}")
+                normalised[e] = int(w)
+            self._weights: Optional[Dict[Edge, int]] = normalised
+        else:
+            self._weights = None
+        if require_connected and not self._check_connected():
+            raise TopologyError("topology is not connected")
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return len(self._edges)
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        """All edges in canonical, sorted order."""
+        return self._edges
+
+    @property
+    def nodes(self) -> range:
+        """The node identifiers ``0 .. n-1``."""
+        return range(self._n)
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """Sorted neighbors of node ``v``."""
+        return self._adj[v]
+
+    def degree(self, v: int) -> int:
+        """Degree of node ``v``."""
+        return len(self._adj[v])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``{u, v}`` is an edge."""
+        if u == v:
+            return False
+        return canonical_edge(u, v) in self._edge_set
+
+    @property
+    def is_weighted(self) -> bool:
+        """Whether explicit edge weights were provided."""
+        return self._weights is not None
+
+    def weight(self, u: int, v: int) -> int:
+        """Weight of the edge ``{u, v}`` (default 1)."""
+        e = canonical_edge(u, v)
+        if e not in self._edge_set:
+            raise TopologyError(f"no edge {e}")
+        if self._weights is None:
+            return 1
+        return self._weights.get(e, 1)
+
+    def with_weights(self, weights: Dict[Edge, int]) -> "Topology":
+        """Return a copy of this topology carrying the given weights."""
+        return Topology(self._n, self._edges, weights=weights)
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+
+    def bfs_distances(self, source: int) -> List[int]:
+        """Unweighted distances from ``source``; ``-1`` for unreachable."""
+        dist = [-1] * self._n
+        dist[source] = 0
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            du = dist[u]
+            for w in self._adj[u]:
+                if dist[w] < 0:
+                    dist[w] = du + 1
+                    queue.append(w)
+        return dist
+
+    def eccentricity(self, source: int) -> int:
+        """Largest distance from ``source`` to any node."""
+        dist = self.bfs_distances(source)
+        if min(dist) < 0:
+            raise TopologyError("eccentricity undefined on disconnected graph")
+        return max(dist)
+
+    def diameter(self, exact: Optional[bool] = None) -> int:
+        """Diameter of the graph.
+
+        With ``exact=True`` (or ``None`` and ``n <= 2048``), runs a BFS
+        from every node.  Otherwise uses a double-sweep: the result is
+        a lower bound that is exact on trees and very tight on the
+        mesh-like topologies used in this repository.
+        """
+        if exact is None:
+            exact = self._n <= 2048
+        if exact:
+            return max(self.eccentricity(v) for v in range(self._n))
+        far = max(range(self._n), key=lambda v: self.bfs_distances(0)[v])
+        return self.eccentricity(far)
+
+    def _check_connected(self) -> bool:
+        return min(self.bfs_distances(0)) >= 0 if self._n > 1 else True
+
+    # ------------------------------------------------------------------
+    # Interop
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_networkx(cls, graph, weight_attr: str = "weight") -> "Topology":
+        """Build a topology from a ``networkx`` graph.
+
+        Node labels are relabelled to ``0 .. n-1`` in sorted order (or
+        insertion order when labels are not sortable).  Edge weights
+        are taken from ``weight_attr`` when present on every edge.
+        """
+        nodes = list(graph.nodes())
+        try:
+            nodes.sort()
+        except TypeError:
+            pass
+        index = {node: i for i, node in enumerate(nodes)}
+        edges = [(index[u], index[v]) for u, v in graph.edges()]
+        weights = None
+        if all(weight_attr in data for _, _, data in graph.edges(data=True)):
+            if graph.number_of_edges() > 0:
+                weights = {
+                    canonical_edge(index[u], index[v]): int(data[weight_attr])
+                    for u, v, data in graph.edges(data=True)
+                }
+        return cls(len(nodes), edges, weights=weights)
+
+    def to_networkx(self):
+        """Convert to a ``networkx.Graph`` with ``weight`` attributes."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self._n))
+        for u, v in self._edges:
+            graph.add_edge(u, v, weight=self.weight(u, v))
+        return graph
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._n))
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:
+        tag = "weighted" if self.is_weighted else "unweighted"
+        return f"Topology(n={self._n}, m={self.m}, {tag})"

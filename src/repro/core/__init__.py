@@ -1,0 +1,104 @@
+"""The paper's contribution: tree-restricted shortcuts and their construction.
+
+Layout mirrors the paper:
+
+* :mod:`repro.core.shortcut`, :mod:`repro.core.quality` — Definitions
+  1-3 and Lemma 1;
+* :mod:`repro.core.tree_routing` — Lemma 2 (pipelined subtree routing);
+* :mod:`repro.core.partwise`, :mod:`repro.core.verification` —
+  Theorem 2 and Lemmas 3/6 (part-parallel primitives);
+* :mod:`repro.core.existence` — Theorem 1 (genus bound) and certified
+  existential inputs;
+* :mod:`repro.core.core_slow`, :mod:`repro.core.core_fast` —
+  Algorithms 1 and 2 (Lemmas 7 and 5);
+* :mod:`repro.core.find_shortcut` — Theorem 3;
+* :mod:`repro.core.doubling` — Appendix A.
+"""
+
+from repro.core.shortcut import GeneralShortcut, TreeRestrictedShortcut
+from repro.core.quality import (
+    BlockComponent,
+    QualityReport,
+    block_components,
+    block_counts,
+    block_parameter,
+    congestion,
+    dilation,
+    lemma1_bound,
+    measure,
+    shortcut_congestion,
+)
+from repro.core.existence import (
+    CertifiedPoint,
+    best_certified,
+    certify_frontier,
+    empty_shortcut,
+    full_ancestor_shortcut,
+    genus_bound,
+    greedy_capped_shortcut,
+)
+from repro.core.tree_routing import (
+    SubtreeTask,
+    broadcast,
+    convergecast,
+    make_task,
+    task_edge_congestion,
+)
+from repro.core.partwise import PartwiseEngine
+from repro.core.core_slow import CoreOutcome, core_slow, core_slow_reference
+from repro.core.core_fast import (
+    active_parts,
+    core_fast,
+    core_fast_reference,
+    sampling_parameters,
+)
+from repro.core.verification import VerificationOutcome, verification
+from repro.core.find_shortcut import (
+    FindShortcutResult,
+    default_iteration_limit,
+    find_shortcut,
+)
+from repro.core.doubling import DoublingResult, Trial, find_shortcut_doubling
+
+__all__ = [
+    "GeneralShortcut",
+    "TreeRestrictedShortcut",
+    "BlockComponent",
+    "QualityReport",
+    "block_components",
+    "block_counts",
+    "block_parameter",
+    "congestion",
+    "dilation",
+    "lemma1_bound",
+    "measure",
+    "shortcut_congestion",
+    "CertifiedPoint",
+    "best_certified",
+    "certify_frontier",
+    "empty_shortcut",
+    "full_ancestor_shortcut",
+    "genus_bound",
+    "greedy_capped_shortcut",
+    "SubtreeTask",
+    "broadcast",
+    "convergecast",
+    "make_task",
+    "task_edge_congestion",
+    "PartwiseEngine",
+    "CoreOutcome",
+    "core_slow",
+    "core_slow_reference",
+    "active_parts",
+    "core_fast",
+    "core_fast_reference",
+    "sampling_parameters",
+    "VerificationOutcome",
+    "verification",
+    "FindShortcutResult",
+    "default_iteration_limit",
+    "find_shortcut",
+    "DoublingResult",
+    "Trial",
+    "find_shortcut_doubling",
+]

@@ -1,0 +1,219 @@
+"""CoreSlow — Algorithm 1 / Lemma 7 (deterministic, O(D · c) rounds).
+
+Each part tries to claim all tree ancestors of its nodes; an edge that
+would be claimed by more than ``2c`` parts is marked *unusable* and
+claimed by nobody.  Lemma 7 shows the result has congestion at most
+``2c`` and at least half of the parts end up with block parameter at
+most ``3b`` — provided a shortcut with congestion ``c`` and block
+parameter ``b`` exists at all.
+
+The node program is message-driven: a node waits for a ``done`` marker
+from every child, merges the received part-id lists with its own id,
+then either declares its parent edge unusable (too many ids) or streams
+the ids up one per round — the serial transmission that makes this the
+O(D · c) variant.  The centralized twin :func:`core_slow_reference`
+computes the identical assignment offline; the two are compared
+bit-for-bit in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.congest.algorithm import NodeAlgorithm
+from repro.congest.simulator import RunResult, Simulator
+from repro.congest.topology import Edge, Topology
+from repro.congest.trace import RoundLedger
+from repro.core.shortcut import TreeRestrictedShortcut
+from repro.errors import ShortcutError
+from repro.graphs.partitions import Partition
+from repro.graphs.spanning_trees import SpanningTree
+
+ID_TOKEN = "id"
+DONE_TOKEN = "done"
+
+
+@dataclass(frozen=True)
+class CoreOutcome:
+    """Result of one core subroutine invocation."""
+
+    shortcut: TreeRestrictedShortcut
+    unusable: FrozenSet[Edge]
+    rounds: int
+    messages: int
+
+
+class CoreSlowAlgorithm(NodeAlgorithm):
+    """The Algorithm 1 node program.
+
+    Per-node inputs: ``part`` (id or ``None``), ``tree_parent``,
+    ``tree_children``, ``cap`` (the ``2c`` threshold).
+
+    Outputs: ``edge_parts`` — sorted tuple of part ids assigned to the
+    node's parent edge (``None`` when the edge is unusable or absent),
+    and ``unusable`` — whether the parent edge was marked unusable.
+    """
+
+    name = "core-slow"
+
+    def on_start(self, node) -> None:
+        state = node.state
+        state.ids: Set[int] = set()
+        if state.part is not None:
+            state.ids.add(state.part)
+        state.done_children = 0
+        state.unusable = False
+        state.sealed = False
+        state.done_sent = False
+        state.edge_parts = None
+        state.send_queue: List[int] = []
+        if not state.tree_children:
+            self._seal(node)
+            self._pump(node)
+
+    def on_round(self, node, messages) -> None:
+        state = node.state
+        for _sender, payload in messages:
+            if payload[0] == ID_TOKEN:
+                state.ids.add(payload[1])
+            elif payload[0] == DONE_TOKEN:
+                state.done_children += 1
+        if state.done_children == len(state.tree_children) and not state.sealed:
+            self._seal(node)
+        self._pump(node)
+
+    def _seal(self, node) -> None:
+        """All children reported: decide usability and queue the stream."""
+        state = node.state
+        state.sealed = True
+        if state.tree_parent is None:
+            return
+        if len(state.ids) > state.cap:
+            state.unusable = True
+        else:
+            state.edge_parts = tuple(sorted(state.ids))
+            state.send_queue = list(state.edge_parts)
+
+    def _pump(self, node) -> None:
+        """Send at most one message up the parent edge this round."""
+        state = node.state
+        if not state.sealed or state.tree_parent is None or state.done_sent:
+            return
+        if state.send_queue:
+            node.send(state.tree_parent, (ID_TOKEN, state.send_queue.pop(0)))
+            node.wake_after(1)  # stream the next id (or the done marker)
+        else:
+            node.send(state.tree_parent, (DONE_TOKEN,))
+            state.done_sent = True
+
+
+def _make_inputs(
+    topology: Topology,
+    tree: SpanningTree,
+    partition: Partition,
+    cap: int,
+    participating: Optional[Set[int]],
+) -> Dict[int, Dict]:
+    inputs = {}
+    for v in topology.nodes:
+        part = partition.part_of(v)
+        if participating is not None and part not in participating:
+            part = None
+        inputs[v] = {
+            "part": part,
+            "tree_parent": tree.parent(v),
+            "tree_children": tree.children(v),
+            "cap": cap,
+        }
+    return inputs
+
+
+def _extract_outcome(
+    tree: SpanningTree,
+    partition: Partition,
+    result: RunResult,
+) -> CoreOutcome:
+    edge_map: Dict[Edge, Tuple[int, ...]] = {}
+    unusable: Set[Edge] = set()
+    for v in range(tree.n):
+        edge = tree.parent_edge(v)
+        if edge is None:
+            continue
+        state = result.states[v]
+        if state.unusable:
+            unusable.add(edge)
+        elif state.edge_parts:
+            edge_map[edge] = state.edge_parts
+    shortcut = TreeRestrictedShortcut.from_edge_map(tree, partition, edge_map)
+    return CoreOutcome(
+        shortcut=shortcut,
+        unusable=frozenset(unusable),
+        rounds=result.rounds,
+        messages=result.messages,
+    )
+
+
+def core_slow(
+    topology: Topology,
+    tree: SpanningTree,
+    partition: Partition,
+    c: int,
+    *,
+    participating: Optional[Iterable[int]] = None,
+    seed: int = 0,
+    ledger: Optional[RoundLedger] = None,
+) -> CoreOutcome:
+    """Run the distributed CoreSlow subroutine (cap ``2c``).
+
+    ``participating`` restricts the construction to a subset of part
+    ids (FindShortcut re-runs the core only on still-bad parts); other
+    parts' nodes behave as relays.
+    """
+    if c < 1:
+        raise ShortcutError("congestion parameter c must be >= 1")
+    participating_set = set(participating) if participating is not None else None
+    inputs = _make_inputs(topology, tree, partition, 2 * c, participating_set)
+    result = Simulator(topology, CoreSlowAlgorithm(inputs), seed=seed).run()
+    outcome = _extract_outcome(tree, partition, result)
+    if ledger is not None:
+        ledger.charge_phase("core-slow", outcome.rounds, outcome.messages)
+    return outcome
+
+
+def core_slow_reference(
+    tree: SpanningTree,
+    partition: Partition,
+    c: int,
+    participating: Optional[Iterable[int]] = None,
+) -> Tuple[Dict[Edge, Tuple[int, ...]], FrozenSet[Edge]]:
+    """Centralized twin of :func:`core_slow` (identical output).
+
+    Processes tree edges bottom-up with cap ``2c``; returns the edge
+    assignment and the unusable edge set.
+    """
+    cap = 2 * c
+    participating_set = set(participating) if participating is not None else None
+    visible: Dict[int, Set[int]] = {}
+    edge_map: Dict[Edge, Tuple[int, ...]] = {}
+    unusable: Set[Edge] = set()
+    for v in tree.order_bottom_up():
+        ids: Set[int] = set()
+        own = partition.part_of(v)
+        if own is not None and (
+            participating_set is None or own in participating_set
+        ):
+            ids.add(own)
+        for child in tree.children(v):
+            ids |= visible.get(child, set())
+        edge = tree.parent_edge(v)
+        if edge is None:
+            continue
+        if len(ids) > cap:
+            unusable.add(edge)
+            visible[v] = set()
+        else:
+            if ids:
+                edge_map[edge] = tuple(sorted(ids))
+            visible[v] = ids
+    return edge_map, frozenset(unusable)

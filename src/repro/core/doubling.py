@@ -1,0 +1,117 @@
+"""Parameter-oblivious construction by doubling (Appendix A).
+
+FindShortcut needs upper bounds on ``b`` and ``c``.  Appendix A
+observes that the construction *detects its own failure* (parts remain
+bad after the iteration budget), enabling a doubling search: start with
+small estimates, and on failure double them and retry.  This removes
+the knowledge requirement at the cost of an extra ``log(bc)`` factor —
+and, as the paper notes, it can find *much better* shortcuts than the
+theoretical bound whenever they happen to exist.
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.congest.randomness import mix, share_randomness
+from repro.congest.topology import Topology
+from repro.congest.trace import RoundLedger
+from repro.core.find_shortcut import FindShortcutResult, find_shortcut
+from repro.errors import ConstructionFailedError
+from repro.graphs.partitions import Partition
+from repro.graphs.spanning_trees import SpanningTree
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One doubling attempt."""
+
+    c: int
+    b: int
+    succeeded: bool
+    iterations: int
+
+
+@dataclass(frozen=True)
+class DoublingResult:
+    """Outcome of the Appendix A search."""
+
+    result: FindShortcutResult
+    trials: Tuple[Trial, ...]
+    ledger: RoundLedger
+
+    @property
+    def c(self) -> int:
+        return self.result.c
+
+    @property
+    def b(self) -> int:
+        return self.result.b
+
+    @property
+    def rounds(self) -> int:
+        return self.ledger.total_rounds
+
+
+def find_shortcut_doubling(
+    topology: Topology,
+    tree: SpanningTree,
+    partition: Partition,
+    *,
+    c_start: int = 1,
+    b_start: int = 1,
+    use_fast: bool = True,
+    seed: int = 0,
+    shared_seed: Optional[int] = None,
+    gamma: float = 2.0,
+    max_trials: int = 64,
+    ledger: Optional[RoundLedger] = None,
+) -> DoublingResult:
+    """Construct a shortcut with no prior knowledge of (c, b).
+
+    Doubles both parameter estimates on every failed trial.  The search
+    always terminates: once ``2c`` exceeds the number of parts no edge
+    is ever unusable, every part receives its full-ancestor subgraph
+    (one block), and the first iteration succeeds.
+    """
+    if ledger is None:
+        ledger = RoundLedger(barrier_depth=tree.height)
+    if use_fast and shared_seed is None:
+        shared_seed, _result = share_randomness(
+            topology, tree, seed=seed, ledger=ledger
+        )
+    trials: List[Trial] = []
+    c, b = max(1, c_start), max(1, b_start)
+    # A tight per-trial budget: the halving argument needs ~log2 N
+    # iterations when the estimates are adequate, so a trial that
+    # exceeds log2 N + 2 is declared failed and the estimates double.
+    trial_budget = max(3, math.ceil(math.log2(partition.size + 1)) + 2)
+    for trial_index in range(max_trials):
+        try:
+            result = find_shortcut(
+                topology,
+                tree,
+                partition,
+                c,
+                b,
+                use_fast=use_fast,
+                seed=mix(seed, 1000 + trial_index),
+                shared_seed=shared_seed,
+                gamma=gamma,
+                max_iterations=trial_budget,
+                ledger=ledger,
+            )
+        except ConstructionFailedError:
+            trials.append(Trial(c=c, b=b, succeeded=False, iterations=0))
+            c *= 2
+            b *= 2
+            continue
+        trials.append(Trial(c=c, b=b, succeeded=True, iterations=result.iterations))
+        return DoublingResult(result=result, trials=tuple(trials), ledger=ledger)
+    raise ConstructionFailedError(
+        f"doubling search failed after {max_trials} trials "
+        f"(last estimates c={c // 2}, b={b // 2})"
+    )

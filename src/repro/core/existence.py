@@ -1,0 +1,177 @@
+"""Existential shortcuts: witnesses, certification, and the genus bound.
+
+Theorem 3 takes as *input* the promise that a ``T``-restricted shortcut
+with congestion ``c`` and block parameter ``b`` exists.  This module
+provides that promise three ways:
+
+1. **Trivial witnesses** — the full-ancestor shortcut (every part gets
+   all tree ancestors of its nodes; block parameter exactly 1, possibly
+   huge congestion) and the empty shortcut (congestion 0, block
+   parameter = largest part size).  Between them a congestion/block
+   trade-off frontier always exists.
+2. **Certification** — :func:`certify_frontier` sweeps congestion caps
+   through a centralized greedy (the offline twin of CoreSlow) and
+   *measures* the achieved (congestion, block) pairs on the concrete
+   instance.  Feeding a certified point into the distributed
+   construction exactly matches the paper's interface, with no
+   topology assumption.
+3. **The genus bound** (Theorem 1, from Ghaffari–Haeupler [7]) — for a
+   genus-``g`` graph and any depth-``D`` tree, a shortcut with
+   congestion ``O(gD log D)`` and block parameter ``O(log D)`` exists.
+   :func:`genus_bound` evaluates those formulas with unit constants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.congest.topology import Edge
+from repro.core.quality import block_counts, shortcut_congestion
+from repro.core.shortcut import TreeRestrictedShortcut
+from repro.errors import ShortcutError
+from repro.graphs.partitions import Partition
+from repro.graphs.spanning_trees import SpanningTree
+
+
+def full_ancestor_shortcut(
+    tree: SpanningTree, partition: Partition
+) -> TreeRestrictedShortcut:
+    """``H_i`` = every tree edge on a member-to-root path.
+
+    Each ``H_i`` is one subtree containing the root, so the block
+    parameter is exactly 1; congestion can reach ``N`` at the root.
+    This is the universal existence witness: *some* (c, b) pair always
+    exists.
+    """
+    subgraphs: List[Set[Edge]] = [set() for _ in range(partition.size)]
+    for index in range(partition.size):
+        for member in partition.members(index):
+            for edge in tree.path_to_root_edges(member):
+                if edge in subgraphs[index]:
+                    break  # the rest of the path is already present
+                subgraphs[index].add(edge)
+    return TreeRestrictedShortcut(tree, partition, subgraphs)
+
+
+def empty_shortcut(
+    tree: SpanningTree, partition: Partition
+) -> TreeRestrictedShortcut:
+    """``H_i = ∅``: congestion 0, block parameter = largest part size."""
+    return TreeRestrictedShortcut.empty(tree, partition)
+
+
+def greedy_capped_shortcut(
+    tree: SpanningTree, partition: Partition, cap: int
+) -> Tuple[TreeRestrictedShortcut, Set[Edge]]:
+    """Centralized congestion-capped ancestor assignment.
+
+    The offline twin of CoreSlow's sweep: process tree edges bottom-up;
+    an edge is assigned every part id visible below it through usable
+    edges, unless more than ``cap`` ids arrive — then the edge becomes
+    *unusable* and gets nothing.  Returns the shortcut and the unusable
+    edge set.
+    """
+    if cap < 0:
+        raise ShortcutError("congestion cap must be non-negative")
+    visible: Dict[int, Set[int]] = {}
+    edge_map: Dict[Edge, Set[int]] = {}
+    unusable: Set[Edge] = set()
+    for v in tree.order_bottom_up():
+        ids: Set[int] = set()
+        own = partition.part_of(v)
+        if own is not None:
+            ids.add(own)
+        for child in tree.children(v):
+            ids |= visible.get(child, set())
+        edge = tree.parent_edge(v)
+        if edge is None:
+            continue
+        if len(ids) > cap:
+            unusable.add(edge)
+            visible[v] = set()
+        else:
+            edge_map[edge] = ids
+            visible[v] = ids
+    shortcut = TreeRestrictedShortcut.from_edge_map(tree, partition, edge_map)
+    return shortcut, unusable
+
+
+@dataclass(frozen=True)
+class CertifiedPoint:
+    """One certified existential quality point on a concrete instance."""
+
+    cap: int
+    congestion: int
+    block: int
+
+    def routing_cost(self, depth: int) -> int:
+        """The Theorem 2 routing bound b(D + c) this point implies."""
+        return self.block * (depth + self.congestion)
+
+
+def certify_frontier(
+    tree: SpanningTree,
+    partition: Partition,
+    caps: Optional[Sequence[int]] = None,
+) -> List[CertifiedPoint]:
+    """Measure the (congestion, block) frontier of the greedy sweep.
+
+    Sweeps congestion caps (powers of two up to ``N`` by default) and
+    records the achieved quality of each greedy shortcut.  Every
+    returned point is a *constructive existence proof* of a
+    ``T``-restricted shortcut with those exact parameters on this
+    instance.
+    """
+    if caps is None:
+        caps = []
+        cap = 1
+        while cap < 2 * partition.size:
+            caps.append(cap)
+            cap *= 2
+    points = []
+    for cap in caps:
+        shortcut, _unusable = greedy_capped_shortcut(tree, partition, cap)
+        counts = block_counts(shortcut)
+        points.append(
+            CertifiedPoint(
+                cap=cap,
+                congestion=max(1, shortcut_congestion(shortcut)),
+                block=max(1, max(counts) if counts else 1),
+            )
+        )
+    return points
+
+
+def best_certified(
+    tree: SpanningTree,
+    partition: Partition,
+    caps: Optional[Sequence[int]] = None,
+) -> CertifiedPoint:
+    """The frontier point minimising the routing cost ``b (D + c)``.
+
+    This is the natural scalarisation: Theorem 2 routes in
+    ``O(b (D + c))`` rounds, so the best existential promise to hand to
+    FindShortcut is the one minimising that product.
+    """
+    points = certify_frontier(tree, partition, caps)
+    depth = max(1, tree.height)
+    return min(points, key=lambda p: (p.routing_cost(depth), p.congestion))
+
+
+def genus_bound(genus: int, depth: int) -> Tuple[int, int]:
+    """Theorem 1 parameters for a genus-``g`` graph and depth-``D`` tree.
+
+    Returns ``(c, b)`` with ``c = max(1, g) * D * ceil(log2(D + 2))``
+    and ``b = ceil(log2(D + 2))`` — the paper's ``O(gD log D)`` and
+    ``O(log D)`` with unit constants (planar graphs use ``g = 0`` and
+    get the ``O(D log D)`` bound of [7]).
+    """
+    if genus < 0:
+        raise ShortcutError("genus must be non-negative")
+    if depth < 0:
+        raise ShortcutError("tree depth must be non-negative")
+    log_term = max(1, math.ceil(math.log2(depth + 2)))
+    c = max(1, genus) * max(1, depth) * log_term
+    return c, log_term

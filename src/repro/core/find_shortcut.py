@@ -1,0 +1,172 @@
+"""FindShortcut — the main construction (Theorem 3).
+
+Repeat until every part is *good*:
+
+1. run a core subroutine (CoreFast by default, CoreSlow for the
+   deterministic variant) on the not-yet-good parts — it produces a
+   tentative shortcut with congestion O(c) in which at least half of
+   the participating parts have block parameter at most ``3b``;
+2. run Verification with threshold ``3b``; freeze the subgraphs of the
+   parts that pass and remove them.
+
+Each iteration halves the number of unfinished parts (w.h.p. for
+CoreFast, deterministically for CoreSlow), so there are O(log N)
+iterations; the frozen subgraphs accumulate congestion O(c log N)
+while every part's block parameter is at most ``3b`` — Theorem 3.
+
+The round cost — O(D log n log N + bD log N + bc log N) — is recorded
+phase by phase on a :class:`~repro.congest.trace.RoundLedger`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.congest.randomness import mix, share_randomness
+from repro.congest.topology import Topology
+from repro.congest.trace import RoundLedger
+from repro.core.core_fast import core_fast
+from repro.core.core_slow import core_slow
+from repro.core.shortcut import TreeRestrictedShortcut
+from repro.core.verification import verification
+from repro.errors import ConstructionFailedError
+from repro.graphs.partitions import Partition
+from repro.graphs.spanning_trees import SpanningTree
+
+
+@dataclass(frozen=True)
+class FindShortcutResult:
+    """Outcome of the Theorem 3 construction."""
+
+    shortcut: TreeRestrictedShortcut
+    c: int
+    b: int
+    iterations: int
+    good_history: Tuple[FrozenSet[int], ...]
+    ledger: RoundLedger
+
+    @property
+    def rounds(self) -> int:
+        """Total rounds including synchronisation barriers."""
+        return self.ledger.total_rounds
+
+
+def default_iteration_limit(n_parts: int) -> int:
+    """Iteration budget before the construction declares failure.
+
+    Theorem 3 halves the unfinished parts per iteration w.h.p., so
+    O(log N) iterations suffice; the constant-4 slack makes a w.h.p.
+    statement into a practically-never-failing one while still letting
+    the doubling driver (Appendix A) detect hopeless parameter guesses
+    quickly.
+    """
+    return 4 * max(1, math.ceil(math.log2(n_parts + 1))) + 4
+
+
+def find_shortcut(
+    topology: Topology,
+    tree: SpanningTree,
+    partition: Partition,
+    c: int,
+    b: int,
+    *,
+    use_fast: bool = True,
+    seed: int = 0,
+    shared_seed: Optional[int] = None,
+    gamma: float = 2.0,
+    max_iterations: Optional[int] = None,
+    ledger: Optional[RoundLedger] = None,
+) -> FindShortcutResult:
+    """Construct a T-restricted shortcut given the existential (c, b).
+
+    Parameters
+    ----------
+    c, b:
+        The promised congestion and block parameter: a T-restricted
+        shortcut with these parameters must exist (certify one with
+        :mod:`repro.core.existence`, use Theorem 1's bound on a
+        bounded-genus graph, or let :mod:`repro.core.doubling` search).
+    use_fast:
+        CoreFast (randomized, O(D log n + c) per iteration) vs CoreSlow
+        (deterministic, O(D c) per iteration).
+    shared_seed:
+        The shared-randomness seed; when ``None`` and CoreFast is used,
+        the seed is distributed over the network first (O(D + log n)
+        rounds, charged on the ledger).
+
+    Raises
+    ------
+    ConstructionFailedError
+        If parts remain bad after the iteration budget — the failure
+        signal consumed by the Appendix A doubling mechanism.
+    """
+    if ledger is None:
+        ledger = RoundLedger(barrier_depth=tree.height)
+    if max_iterations is None:
+        max_iterations = default_iteration_limit(partition.size)
+    if use_fast and shared_seed is None:
+        shared_seed, _result = share_randomness(
+            topology, tree, seed=seed, ledger=ledger
+        )
+
+    remaining = set(range(partition.size))
+    accumulated = TreeRestrictedShortcut.empty(tree, partition)
+    good_history: List[FrozenSet[int]] = []
+    iteration = 0
+    while remaining:
+        if iteration >= max_iterations:
+            raise ConstructionFailedError(
+                f"FindShortcut(c={c}, b={b}): {len(remaining)} parts still "
+                f"bad after {iteration} iterations — parameters too small?"
+            )
+        iteration += 1
+        if use_fast:
+            outcome = core_fast(
+                topology,
+                tree,
+                partition,
+                c,
+                mix(shared_seed, iteration),
+                gamma=gamma,
+                participating=remaining,
+                seed=mix(seed, iteration),
+                ledger=ledger,
+            )
+        else:
+            outcome = core_slow(
+                topology,
+                tree,
+                partition,
+                c,
+                participating=remaining,
+                seed=mix(seed, iteration),
+                ledger=ledger,
+            )
+        verdict = verification(
+            topology,
+            outcome.shortcut,
+            3 * b,
+            consider=remaining,
+            seed=mix(seed, iteration, 1),
+            ledger=ledger,
+        )
+        good = verdict.good_parts
+        good_history.append(good)
+        # The "all parts good?" global check: one convergecast over T.
+        ledger.charge_phase("termination-check", 2 * tree.height + 1)
+        if good:
+            accumulated = accumulated.merged_with(
+                outcome.shortcut.restricted_to(good)
+            )
+            remaining -= good
+
+    return FindShortcutResult(
+        shortcut=accumulated,
+        c=c,
+        b=b,
+        iterations=iteration,
+        good_history=tuple(good_history),
+        ledger=ledger,
+    )

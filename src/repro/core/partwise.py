@@ -1,0 +1,434 @@
+"""Part-parallel primitives on a tree-restricted shortcut.
+
+Implements Theorem 2 and Lemma 3: leader election, convergecast,
+broadcast, and block counting *for all parts in parallel*, each in
+``O(b (D + c))`` rounds.
+
+The engine follows the paper's supergraph view: contract every block
+component of ``H_i`` into a supernode; ``G[P_i]``'s connectivity makes
+the supergraph connected, with at most ``b`` supernodes.  One
+**superstep** is
+
+1. an intra-block convergecast + broadcast (Lemma 2 routing over all
+   blocks of all parts at once — ``O(D + c)`` rounds), and
+2. one **exchange** round over part-internal edges (``G[P_i]``).
+
+Every higher-level operation is a fixed number of supersteps with
+purely node-local state updates between them, so the round accounting
+(recorded on the ledger) matches the paper's analysis exactly while the
+information flow stays faithful to the CONGEST model: a node only ever
+uses values it received through simulated messages or could derive
+locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.congest.algorithm import NodeAlgorithm
+from repro.congest.simulator import Simulator
+from repro.congest.topology import Topology
+from repro.congest.trace import RoundLedger
+from repro.core.quality import BlockComponent, block_components
+from repro.core.shortcut import TreeRestrictedShortcut
+from repro.core.tree_routing import (
+    SubtreeTask,
+    broadcast as subtree_broadcast,
+    convergecast as subtree_convergecast,
+    make_task,
+)
+from repro.graphs.spanning_trees import SpanningTree
+
+Values = Dict[int, Optional[int]]
+
+EXCHANGE_TOKEN = "x"
+
+
+class PartExchangeAlgorithm(NodeAlgorithm):
+    """One round of message exchange over part-internal edges.
+
+    Per-node inputs: ``part_neighbors`` (neighbors in the same part)
+    and ``payload`` (a flat tuple of small ints, or ``None`` to stay
+    silent).  Outputs: ``received`` — list of ``(sender, payload)``.
+    """
+
+    name = "part-exchange"
+
+    def on_start(self, node) -> None:
+        node.state.received = []
+        if node.state.payload is not None:
+            for neighbor in node.state.part_neighbors:
+                node.send(neighbor, (EXCHANGE_TOKEN,) + node.state.payload)
+
+    def on_round(self, node, messages) -> None:
+        for sender, payload in messages:
+            node.state.received.append((sender, payload[1:]))
+
+
+class PartwiseEngine:
+    """Runs Theorem 2 / Lemma 3 operations over one shortcut.
+
+    Parameters
+    ----------
+    topology, tree, partition:
+        The instance.  ``partition`` is taken from the shortcut.
+    shortcut:
+        The tree-restricted shortcut to route on.
+    seed:
+        Simulation seed.
+    ledger:
+        Optional ledger accumulating round costs (one entry per
+        simulated phase).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        shortcut: TreeRestrictedShortcut,
+        *,
+        seed: int = 0,
+        ledger: Optional[RoundLedger] = None,
+    ) -> None:
+        self.topology = topology
+        self.tree: SpanningTree = shortcut.tree
+        self.partition = shortcut.partition
+        self.shortcut = shortcut
+        self.seed = seed
+        self.ledger = ledger if ledger is not None else RoundLedger()
+        self._step = 0
+
+        # Block structure.  Distributively this is local knowledge: a
+        # node knows which parts use its parent edge (the construction
+        # outputs) plus the block-root depth from the paper's
+        # "distributed representation" (Section 4.1).
+        self.blocks: List[BlockComponent] = []
+        self.block_of: Dict[int, BlockComponent] = {}  # Pi member -> its block
+        for index in range(self.partition.size):
+            for block in block_components(shortcut, index):
+                self.blocks.append(block)
+                for v in block.nodes & self.partition.members(index):
+                    self.block_of[v] = block
+        self.tasks: Dict[Tuple[int, int], SubtreeTask] = {
+            (blk.part, blk.root): make_task(self.tree, blk.part, blk.nodes)
+            for blk in self.blocks
+        }
+        self.max_blocks = max(
+            (sum(1 for b in self.blocks if b.part == i) for i in range(self.partition.size)),
+            default=0,
+        )
+
+        # Part-internal neighborhood (one round of neighbor discovery,
+        # charged up front).
+        self.part_neighbors: Dict[int, Tuple[int, ...]] = {}
+        for v in topology.nodes:
+            part = self.partition.part_of(v)
+            if part is None:
+                self.part_neighbors[v] = ()
+            else:
+                self.part_neighbors[v] = tuple(
+                    w for w in topology.neighbors(v) if self.partition.part_of(w) == part
+                )
+        self.ledger.charge("partwise/neighbor-discovery", 1, 2 * topology.m)
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+
+    def block_aggregate(self, values: Values, combine: str = "min") -> Values:
+        """One intra-block convergecast + broadcast (<= 2(D + c) rounds).
+
+        ``values[v]`` is the contribution of part member ``v`` (``None``
+        contributes nothing).  Returns, for every part member, the
+        combined value over its block; ``None`` for nodes outside all
+        parts.
+        """
+        task_values: Dict[Tuple[int, int], Dict[int, int]] = {}
+        for v, block in self.block_of.items():
+            value = values.get(v)
+            if value is not None:
+                task_values.setdefault((block.part, block.root), {})[v] = value
+        self._step += 1
+        combined, cc_result = subtree_convergecast(
+            self.topology,
+            self.tree,
+            self.tasks.values(),
+            task_values,
+            combine,
+            seed=self.seed + self._step,
+            ledger=self.ledger,
+            phase_name=f"partwise/convergecast#{self._step}",
+        )
+        root_values = {key: val for key, val in combined.items() if val is not None}
+        self._step += 1
+        delivered, bc_result = subtree_broadcast(
+            self.topology,
+            self.tree,
+            [self.tasks[key] for key in root_values],
+            root_values,
+            seed=self.seed + self._step,
+            ledger=self.ledger,
+            phase_name=f"partwise/broadcast#{self._step}",
+        )
+        out: Values = {}
+        for v, block in self.block_of.items():
+            out[v] = delivered.get((block.part, block.root), {}).get(v)
+        return out
+
+    def exchange(self, payloads: Dict[int, Optional[tuple]]) -> Dict[int, List[Tuple[int, tuple]]]:
+        """One round of exchange over part-internal edges."""
+        inputs = {
+            v: {
+                "part_neighbors": self.part_neighbors[v],
+                "payload": payloads.get(v),
+            }
+            for v in self.topology.nodes
+        }
+        self._step += 1
+        result = Simulator(
+            self.topology,
+            PartExchangeAlgorithm(inputs),
+            seed=self.seed + self._step,
+        ).run()
+        self.ledger.charge(
+            f"partwise/exchange#{self._step}", max(1, result.rounds), result.messages
+        )
+        return {v: result.states[v].received for v in self.topology.nodes}
+
+    # ------------------------------------------------------------------
+    # Theorem 2 operations
+    # ------------------------------------------------------------------
+
+    def minimum_per_part(self, values: Values, iterations: int) -> Values:
+        """Part-global semilattice aggregation (Theorem 2 ii, min form).
+
+        After ``iterations >= supergraph diameter`` flooding rounds,
+        every member of every part holds the part-wide minimum.  With
+        block parameter ``b`` the supergraph has at most ``b``
+        supernodes, so ``iterations = b`` always suffices.
+        """
+        current = self.block_aggregate(values, "min")
+        for _ in range(iterations):
+            received = self.exchange(
+                {
+                    v: (current[v],) if current.get(v) is not None else None
+                    for v in self.block_of
+                }
+            )
+            merged: Values = {}
+            for v in self.block_of:
+                best = current.get(v)
+                for _sender, payload in received[v]:
+                    incoming = payload[0]
+                    if best is None or (incoming is not None and incoming < best):
+                        best = incoming
+                merged[v] = best
+            current = self.block_aggregate(merged, "min")
+        return current
+
+    def elect_leaders(self, iterations: int) -> Tuple[Dict[int, int], Values]:
+        """Leader election for all parts in parallel (Theorem 2 i).
+
+        The leader is the minimum node id of the part.  Returns
+        ``(per-part leader, per-node leader knowledge)``.
+        """
+        values = {v: v for v in self.block_of}
+        knowledge = self.minimum_per_part(values, iterations)
+        leaders: Dict[int, int] = {}
+        for v, leader in knowledge.items():
+            if leader is not None:
+                leaders[self.partition.part_of(v)] = leader
+        return leaders, knowledge
+
+    def broadcast_from_leaders(
+        self, leader_values: Dict[int, int], iterations: int
+    ) -> Values:
+        """Broadcast one value per part from its leader (Theorem 2 iii).
+
+        ``leader_values`` maps *node ids* (the leaders) to values; the
+        value floods the part in at most ``iterations`` supersteps.
+        """
+        values: Values = {
+            v: leader_values.get(v) for v in self.block_of
+        }
+        # Flooding with 'min' is value-preserving: only one node per
+        # part injects a value, so the minimum is that value.
+        return self.minimum_per_part(values, iterations)
+
+    # ------------------------------------------------------------------
+    # Lemma 3: block counting via a supergraph BFS
+    # ------------------------------------------------------------------
+
+    def count_blocks(
+        self, b_limit: int, values: Optional[Values] = None
+    ) -> Tuple[Dict[int, Optional[int]], Values]:
+        """Find all parts with at most ``b_limit`` block components.
+
+        Runs the Lemma 3 protocol: flood leader candidates for
+        ``b_limit`` supersteps, build a BFS tree over the supergraph,
+        detect conflicts (multiple leaders / unreached supernodes),
+        convergecast the supernode count (or the sum of ``values``)
+        level by level, and broadcast the verdict back down.  A part
+        whose nodes receive no verdict by the deadline is *bad*.
+
+        Returns ``(per-part count, per-node count)``; the count is
+        ``None`` exactly for parts with more than ``b_limit`` blocks.
+        O(b_limit · (D + c)) rounds.
+        """
+        if b_limit < 1:
+            return {i: None for i in range(self.partition.size)}, {}
+        node_ids = {v: v for v in self.block_of}
+        leader_of = self.minimum_per_part(node_ids, b_limit)
+
+        # --- Supergraph BFS from the leader's block -------------------
+        # Level 0: the block containing the leader (its block-min equals
+        # the flooded leader).
+        block_min = self.block_aggregate(node_ids, "min")
+        depth: Values = {}
+        parent_root: Values = {}
+        for v in self.block_of:
+            if block_min.get(v) is not None and block_min[v] == leader_of.get(v):
+                depth[v] = 0
+        for level in range(1, b_limit + 1):
+            payloads = {}
+            for v in self.block_of:
+                if depth.get(v) is not None:
+                    payloads[v] = (depth[v], self.block_of[v].root)
+            received = self.exchange(payloads)
+            candidate: Values = {}
+            for v in self.block_of:
+                if depth.get(v) is not None:
+                    continue
+                best = None
+                for _sender, payload in received[v]:
+                    nbr_depth, nbr_root = payload
+                    if nbr_depth == level - 1:
+                        if best is None or nbr_root < best:
+                            best = nbr_root
+                candidate[v] = best
+            adopted = self.block_aggregate(candidate, "min")
+            for v in self.block_of:
+                if depth.get(v) is None and adopted.get(v) is not None:
+                    depth[v] = level
+                    parent_root[v] = adopted[v]
+
+        # --- Conflict detection ---------------------------------------
+        # A part is inconsistent if two neighboring members disagree on
+        # the leader or one of them was never reached by the BFS.
+        flag_payloads = {}
+        for v in self.block_of:
+            reached = 1 if depth.get(v) is not None else 0
+            leader = leader_of.get(v)
+            flag_payloads[v] = (reached, leader if leader is not None else -1)
+        received = self.exchange(flag_payloads)
+        conflict: Values = {}
+        for v in self.block_of:
+            my_leader = leader_of.get(v)
+            bad = depth.get(v) is None
+            for _sender, payload in received[v]:
+                nbr_reached, nbr_leader = payload
+                if not nbr_reached or nbr_leader != (my_leader if my_leader is not None else -1):
+                    bad = True
+            conflict[v] = 1 if bad else 0
+
+        # --- Level-by-level count convergecast ------------------------
+        # Each block's base contribution: 1 (count) or the sum of the
+        # caller's values over its members.
+        if values is None:
+            # One designated member per block contributes 1: each node
+            # knows whether it is the block minimum from `block_min`.
+            base = {
+                v: (1 if block_min.get(v) == v else 0) for v in self.block_of
+            }
+            block_base = self.block_aggregate(base, "sum")
+        else:
+            block_base = self.block_aggregate(values, "sum")
+        acc: Values = dict(block_base)
+        conflict = self.block_aggregate(conflict, "max")
+
+        n = self.topology.n
+        for level in range(b_limit, 0, -1):
+            # Blocks at this BFS depth pick one uplink edge to their
+            # parent block (minimum encoded (member, neighbor) pair).
+            encode: Values = {}
+            for v in self.block_of:
+                if depth.get(v) != level:
+                    continue
+                pr = parent_root.get(v)
+                for w in self.part_neighbors[v]:
+                    wb = self.block_of.get(w)
+                    if wb is not None and wb.root == pr:
+                        code = v * n + w
+                        if encode.get(v) is None or code < encode[v]:
+                            encode[v] = code
+            uplink = self.block_aggregate(encode, "min")
+            payloads = {}
+            for v in self.block_of:
+                if depth.get(v) == level and uplink.get(v) is not None:
+                    sender, target = divmod(uplink[v], n)
+                    if sender == v:
+                        payloads[v] = (
+                            target,
+                            acc.get(v) or 0,
+                            conflict.get(v) or 0,
+                        )
+            received = self.exchange(payloads)
+            incoming: Values = {}
+            conflict_in: Values = {}
+            for v in self.block_of:
+                if depth.get(v) != level - 1:
+                    continue
+                total = None
+                flag = None
+                for _sender, payload in received[v]:
+                    target, amount, child_flag = payload
+                    if target == v:
+                        total = (total or 0) + amount
+                        flag = max(flag or 0, child_flag)
+                incoming[v] = total
+                conflict_in[v] = flag
+            gathered = self.block_aggregate(incoming, "sum")
+            flagged = self.block_aggregate(conflict_in, "max")
+            for v in self.block_of:
+                if depth.get(v) == level - 1:
+                    if gathered.get(v) is not None:
+                        acc[v] = (acc.get(v) or 0) + gathered[v]
+                    if flagged.get(v):
+                        conflict[v] = 1
+
+        # --- Verdict broadcast ----------------------------------------
+        verdict: Values = {}
+        for v in self.block_of:
+            if depth.get(v) == 0 and not conflict.get(v):
+                count = acc.get(v) or 0
+                if count <= b_limit or values is not None:
+                    verdict[v] = count
+        for level in range(b_limit):
+            payloads = {}
+            for v in self.block_of:
+                if depth.get(v) == level and verdict.get(v) is not None:
+                    payloads[v] = (self.block_of[v].root, verdict[v])
+            received = self.exchange(payloads)
+            adopted: Values = {}
+            for v in self.block_of:
+                if verdict.get(v) is not None or depth.get(v) != level + 1:
+                    continue
+                for _sender, payload in received[v]:
+                    sender_root, value = payload
+                    if sender_root == parent_root.get(v):
+                        adopted[v] = value
+                        break
+            spread = self.block_aggregate(adopted, "min")
+            for v in self.block_of:
+                if verdict.get(v) is None and spread.get(v) is not None:
+                    verdict[v] = spread[v]
+
+        per_part: Dict[int, Optional[int]] = {}
+        for index in range(self.partition.size):
+            members = self.partition.members(index)
+            member_verdicts = {verdict.get(v) for v in members}
+            if None in member_verdicts or not member_verdicts:
+                per_part[index] = None
+            else:
+                per_part[index] = member_verdicts.pop()
+        return per_part, verdict

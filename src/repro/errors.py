@@ -1,0 +1,48 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single exception type at the API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class TopologyError(ReproError):
+    """Raised when a graph, tree, or partition is malformed."""
+
+
+class SimulationError(ReproError):
+    """Raised when a node program violates the CONGEST model.
+
+    Examples: sending two messages over the same edge in one round,
+    sending to a non-neighbor, or acting after halting.
+    """
+
+
+class BandwidthExceededError(SimulationError):
+    """Raised when a message payload does not fit in O(log n) bits."""
+
+
+class RoundLimitExceededError(SimulationError):
+    """Raised when a simulation fails to terminate within ``max_rounds``."""
+
+
+class ShortcutError(ReproError):
+    """Raised when a shortcut object is malformed or violates its contract."""
+
+
+class ConstructionFailedError(ReproError):
+    """Raised when a shortcut construction cannot satisfy its guarantees.
+
+    This is the failure signal used by the doubling mechanism of
+    Appendix A: a trial with too-small parameter estimates raises this
+    error, and the driver retries with doubled parameters.
+    """
+
+
+class VerificationError(ReproError):
+    """Raised when the Verification subroutine is given malformed input."""

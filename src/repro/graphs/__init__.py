@@ -1,0 +1,33 @@
+"""Graph, partition, tree, and weight generators (the workload layer)."""
+
+from repro.graphs.spanning_trees import SpanningTree
+from repro.graphs.partitions import (
+    Partition,
+    cycle_arcs,
+    grid_bands,
+    grid_columns,
+    grid_rows,
+    random_arcs,
+    singletons,
+    voronoi,
+    whole,
+)
+from repro.graphs import generators
+from repro.graphs import hard_instances
+from repro.graphs import weights
+
+__all__ = [
+    "SpanningTree",
+    "Partition",
+    "cycle_arcs",
+    "grid_bands",
+    "grid_columns",
+    "grid_rows",
+    "random_arcs",
+    "singletons",
+    "voronoi",
+    "whole",
+    "generators",
+    "hard_instances",
+    "weights",
+]

@@ -1,0 +1,263 @@
+"""Workload graph generators.
+
+Every generator returns a :class:`~repro.congest.topology.Topology` on
+nodes ``0 .. n-1``.  The families here cover the graph classes the
+paper discusses:
+
+* **planar** graphs — grids, triangulated grids, Delaunay
+  triangulations of random points, cycles with a hub (Theorem 1 with
+  genus ``g = 0``);
+* **bounded-genus** graphs — toroidal grids (genus 1) and chains of
+  tori (genus ``g``, since genus is additive over biconnected
+  components);
+* **bounded-treewidth** graphs — k-trees and series-parallel graphs
+  (the classes covered by the paper's "in preparation" remark);
+* **general** graphs — connected Erdős–Rényi and random regular graphs,
+  where only the trivial shortcut guarantees apply.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.congest.topology import Topology
+from repro.errors import TopologyError
+
+
+def grid_node(r: int, c: int, cols: int) -> int:
+    """Node id of cell ``(r, c)`` in a row-major ``rows x cols`` grid."""
+    return r * cols + c
+
+
+# ----------------------------------------------------------------------
+# Elementary topologies
+# ----------------------------------------------------------------------
+
+
+def path(n: int) -> Topology:
+    """Path graph P_n (diameter n - 1)."""
+    return Topology(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle(n: int) -> Topology:
+    """Cycle graph C_n (diameter floor(n/2))."""
+    if n < 3:
+        raise TopologyError("a cycle needs at least 3 nodes")
+    return Topology(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def star(n: int) -> Topology:
+    """Star with hub 0 and n - 1 leaves (diameter 2)."""
+    return Topology(n, [(0, i) for i in range(1, n)])
+
+
+def complete(n: int) -> Topology:
+    """Complete graph K_n."""
+    return Topology(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+def binary_tree(depth: int) -> Topology:
+    """Complete binary tree of the given depth (2^(depth+1) - 1 nodes)."""
+    n = (1 << (depth + 1)) - 1
+    return Topology(n, [(v, (v - 1) // 2) for v in range(1, n)])
+
+
+# ----------------------------------------------------------------------
+# Planar graphs (genus 0)
+# ----------------------------------------------------------------------
+
+
+def grid(rows: int, cols: int) -> Topology:
+    """Planar rows x cols grid (diameter rows + cols - 2)."""
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((grid_node(r, c, cols), grid_node(r, c + 1, cols)))
+            if r + 1 < rows:
+                edges.append((grid_node(r, c, cols), grid_node(r + 1, c, cols)))
+    return Topology(rows * cols, edges)
+
+
+def triangulated_grid(rows: int, cols: int) -> Topology:
+    """Planar grid with one diagonal per cell (still planar)."""
+    edges = list(grid(rows, cols).edges)
+    for r in range(rows - 1):
+        for c in range(cols - 1):
+            edges.append((grid_node(r, c, cols), grid_node(r + 1, c + 1, cols)))
+    return Topology(rows * cols, edges)
+
+
+def cycle_with_hub(n_cycle: int, spoke_every: int) -> Topology:
+    """A cycle plus a hub node adjacent to every ``spoke_every``-th node.
+
+    Planar (a subdivided wheel), with diameter O(spoke_every) while a
+    contiguous arc of the cycle has induced diameter equal to its
+    length — the motivating scenario of Section 1.2 where part
+    diameters vastly exceed the network diameter.
+
+    The hub is node ``n_cycle``; cycle nodes are ``0 .. n_cycle - 1``.
+    """
+    if spoke_every < 1 or spoke_every > n_cycle:
+        raise TopologyError("spoke_every must be in [1, n_cycle]")
+    edges = [(i, (i + 1) % n_cycle) for i in range(n_cycle)]
+    hub = n_cycle
+    edges.extend((hub, i) for i in range(0, n_cycle, spoke_every))
+    return Topology(n_cycle + 1, edges)
+
+
+def delaunay(n: int, seed: int = 0) -> Topology:
+    """Delaunay triangulation of ``n`` random points (planar, D ~ sqrt(n))."""
+    import numpy as np
+    from scipy.spatial import Delaunay
+
+    rng = np.random.default_rng(seed)
+    points = rng.random((n, 2))
+    tri = Delaunay(points)
+    edges = set()
+    for simplex in tri.simplices:
+        a, b, c = int(simplex[0]), int(simplex[1]), int(simplex[2])
+        edges.update([(a, b), (b, c), (a, c)])
+    return Topology(n, edges)
+
+
+# ----------------------------------------------------------------------
+# Bounded-genus graphs
+# ----------------------------------------------------------------------
+
+
+def torus(rows: int, cols: int) -> Topology:
+    """Toroidal grid C_rows x C_cols (genus 1 for rows, cols >= 3)."""
+    if rows < 3 or cols < 3:
+        raise TopologyError("a toroidal grid needs rows, cols >= 3")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            edges.append((grid_node(r, c, cols), grid_node(r, (c + 1) % cols, cols)))
+            edges.append((grid_node(r, c, cols), grid_node((r + 1) % rows, c, cols)))
+    return Topology(rows * cols, edges)
+
+
+def genus_chain(g: int, rows: int, cols: int) -> Topology:
+    """A chain of ``g`` toroidal grids joined by bridge edges.
+
+    Genus is additive over biconnected components, so this graph has
+    genus exactly ``g`` — the workload for Corollary 1's genus sweep.
+    With ``g = 0`` this degenerates to a single planar grid.
+    """
+    if g <= 0:
+        return grid(rows, cols)
+    block = torus(rows, cols)
+    size = block.n
+    edges: List[Tuple[int, int]] = []
+    for i in range(g):
+        offset = i * size
+        edges.extend((u + offset, v + offset) for u, v in block.edges)
+        if i > 0:
+            # Bridge from the previous block's last node to this block's first.
+            edges.append((offset - 1, offset))
+    return Topology(g * size, edges)
+
+
+# ----------------------------------------------------------------------
+# Bounded-treewidth graphs
+# ----------------------------------------------------------------------
+
+
+def k_tree(n: int, k: int, seed: int = 0) -> Topology:
+    """A random k-tree on ``n`` nodes (treewidth exactly k)."""
+    if n < k + 1:
+        raise TopologyError(f"a {k}-tree needs at least {k + 1} nodes")
+    rng = random.Random(seed)
+    edges = [(i, j) for i in range(k + 1) for j in range(i + 1, k + 1)]
+    cliques = [tuple(range(k + 1))]
+    for v in range(k + 1, n):
+        base = rng.choice(cliques)
+        drop = rng.randrange(len(base))
+        face = tuple(u for i, u in enumerate(base) if i != drop)
+        edges.extend((u, v) for u in face)
+        cliques.append(face + (v,))
+    return Topology(n, edges)
+
+
+def clique_caterpillar(length: int, width: int) -> Topology:
+    """A path of overlapping (width+1)-cliques — pathwidth exactly ``width``.
+
+    The bounded-*pathwidth* counterpart of :func:`k_tree` (the paper's
+    closing remark covers both classes): consecutive windows of
+    ``width + 1`` nodes along a path are made into cliques.
+    """
+    if width < 1 or length < width + 1:
+        raise TopologyError("need width >= 1 and length >= width + 1 nodes")
+    edges = [
+        (i, j)
+        for i in range(length)
+        for j in range(i + 1, min(i + width + 1, length))
+    ]
+    return Topology(length, edges)
+
+
+def series_parallel(n: int, seed: int = 0) -> Topology:
+    """A random series-parallel graph (treewidth at most 2).
+
+    Built by recursively composing series and parallel blocks between
+    two terminals until the node budget is consumed.
+    """
+    rng = random.Random(seed)
+    edges: List[Tuple[int, int]] = []
+    next_node = [2]
+
+    def build(s: int, t: int, budget: int) -> None:
+        if budget <= 0 or next_node[0] >= n:
+            edges.append((s, t))
+            return
+        if rng.random() < 0.5 and next_node[0] < n:
+            mid = next_node[0]
+            next_node[0] += 1
+            left = (budget - 1) // 2
+            build(s, mid, left)
+            build(mid, t, budget - 1 - left)
+        else:
+            build(s, t, budget // 2)
+            build(s, t, budget // 2)
+
+    build(0, 1, n)
+    # Deduplicate parallel unit edges; the Topology constructor does it.
+    return Topology(next_node[0], edges)
+
+
+# ----------------------------------------------------------------------
+# General graphs
+# ----------------------------------------------------------------------
+
+
+def erdos_renyi_connected(n: int, p: float, seed: int = 0) -> Topology:
+    """Connected G(n, p): a random spanning tree plus G(n, p) edges.
+
+    The spanning-tree backbone guarantees connectivity without
+    rejection sampling; for ``p`` above the connectivity threshold the
+    distribution is dominated by the G(n, p) part.
+    """
+    rng = random.Random(seed)
+    edges = set()
+    order = list(range(n))
+    rng.shuffle(order)
+    for i in range(1, n):
+        edges.add((order[rng.randrange(i)], order[i]))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                edges.add((u, v))
+    return Topology(n, edges)
+
+
+def random_regular(n: int, d: int, seed: int = 0) -> Topology:
+    """Connected random d-regular graph (an expander w.h.p.)."""
+    import networkx as nx
+
+    for attempt in range(100):
+        graph = nx.random_regular_graph(d, n, seed=seed + attempt)
+        if nx.is_connected(graph):
+            return Topology.from_networkx(graph)
+    raise TopologyError(f"no connected {d}-regular graph found for n={n}")

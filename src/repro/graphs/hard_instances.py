@@ -1,0 +1,109 @@
+"""Lower-bound witness graphs.
+
+The pervasive Ω̃(√n + D) lower bound for CONGEST optimization problems
+(Peleg–Rubinovich FOCS'99; Das Sarma et al. STOC'11) is proven on a
+family of graphs with *small diameter* but *poor connectivity between
+distant node groups*: many long parallel paths plus one shallow tree
+whose leaves touch every path column.  Any algorithm (and any shortcut)
+must funnel path-to-path information through the few tree edges near
+the root, so congestion Ω(#paths) is unavoidable even though
+``D = O(log n)``.
+
+These graphs are the workload for experiment E10: the shortcut-based
+MST cannot beat Θ̃(√n) here (no good shortcuts exist — matching the
+lower bound), while on planar/bounded-genus graphs it runs in Õ(D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.congest.topology import Topology
+from repro.errors import TopologyError
+
+
+@dataclass(frozen=True)
+class LowerBoundInstance:
+    """A Peleg–Rubinovich-style graph with its structure exposed.
+
+    Attributes
+    ----------
+    topology:
+        The graph.
+    paths:
+        ``paths[i][j]`` is the node of path ``i`` at column ``j``.
+    tree_nodes:
+        Nodes of the shallow binary tree (including its leaves).
+    tree_root:
+        Root of the shallow tree.
+    """
+
+    topology: Topology
+    paths: Tuple[Tuple[int, ...], ...]
+    tree_nodes: Tuple[int, ...]
+    tree_root: int
+
+    @property
+    def n_paths(self) -> int:
+        return len(self.paths)
+
+    @property
+    def path_length(self) -> int:
+        return len(self.paths[0]) - 1
+
+
+def peleg_rubinovich(n_paths: int, path_length: int) -> LowerBoundInstance:
+    """Build the lower-bound family Γ(p, ℓ).
+
+    Structure:
+
+    * ``p = n_paths`` disjoint paths, each with ``ℓ + 1`` columns;
+    * a balanced binary tree over ``ℓ + 1`` leaves;
+    * leaf ``j`` of the tree is connected to column ``j`` of *every*
+      path ("spokes").
+
+    The diameter is ``O(log ℓ)`` (via the tree), and with
+    ``p = ℓ = √n`` this is the canonical Ω̃(√n + D) witness.
+    """
+    if n_paths < 1 or path_length < 1:
+        raise TopologyError("need n_paths >= 1 and path_length >= 1")
+    columns = path_length + 1
+    edges: List[Tuple[int, int]] = []
+
+    paths: List[Tuple[int, ...]] = []
+    for i in range(n_paths):
+        base = i * columns
+        paths.append(tuple(base + j for j in range(columns)))
+        edges.extend((base + j, base + j + 1) for j in range(columns - 1))
+
+    # Balanced binary tree with `columns` leaves, stored heap-style.
+    n_leaves = 1
+    while n_leaves < columns:
+        n_leaves *= 2
+    tree_size = 2 * n_leaves - 1
+    tree_base = n_paths * columns
+    edges.extend(
+        (tree_base + v, tree_base + (v - 1) // 2) for v in range(1, tree_size)
+    )
+    leaves = [tree_base + (n_leaves - 1) + j for j in range(n_leaves)]
+
+    # Spokes: leaf j touches column j of every path.
+    for j in range(columns):
+        for i in range(n_paths):
+            edges.append((leaves[j], paths[i][j]))
+    # Surplus leaves (when columns is not a power of two) hang unused on
+    # the tree; they are still connected through their tree parent.
+
+    topology = Topology(tree_base + tree_size, edges)
+    return LowerBoundInstance(
+        topology=topology,
+        paths=tuple(paths),
+        tree_nodes=tuple(range(tree_base, tree_base + tree_size)),
+        tree_root=tree_base,
+    )
+
+
+def square_instance(side: int) -> LowerBoundInstance:
+    """The balanced p = ℓ = ``side`` instance (n ≈ side² + 2·side)."""
+    return peleg_rubinovich(side, side)

@@ -1,0 +1,253 @@
+"""Node partitions into disjoint, individually-connected parts.
+
+Definition 1 of the paper works with a graph whose vertices are
+subdivided into disjoint connected subsets ``P = (P_1, ..., P_N)``.
+:class:`Partition` is that object; the generators below produce the
+part structures used across experiments — Voronoi cells (typical
+Borůvka fragments), contiguous arcs and bands (the worst cases from the
+paper's motivation), and singletons (Borůvka's starting point).
+
+A partition does not have to cover every node: nodes outside all parts
+simply relay traffic, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.congest.topology import Topology
+from repro.errors import TopologyError
+from repro.graphs.generators import grid_node
+
+
+class Partition:
+    """Disjoint node subsets ``P_1 .. P_N`` of a topology.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes of the underlying topology.
+    parts:
+        The subsets.  Empty parts are rejected; disjointness is
+        enforced.  Connectivity is a property of a specific topology —
+        check it with :meth:`validate_connected`.
+    """
+
+    __slots__ = ("_n", "_parts", "_part_of")
+
+    def __init__(self, n: int, parts: Sequence[Iterable[int]]) -> None:
+        part_of = [-1] * n
+        frozen: List[FrozenSet[int]] = []
+        for index, members in enumerate(parts):
+            fs = frozenset(members)
+            if not fs:
+                raise TopologyError(f"part {index} is empty")
+            for v in fs:
+                if not 0 <= v < n:
+                    raise TopologyError(f"part {index} contains invalid node {v}")
+                if part_of[v] != -1:
+                    raise TopologyError(
+                        f"node {v} is in both part {part_of[v]} and part {index}"
+                    )
+                part_of[v] = index
+            frozen.append(fs)
+        self._n = n
+        self._parts: Tuple[FrozenSet[int], ...] = tuple(frozen)
+        self._part_of: Tuple[int, ...] = tuple(part_of)
+
+    @property
+    def n(self) -> int:
+        """Number of nodes of the underlying topology."""
+        return self._n
+
+    @property
+    def size(self) -> int:
+        """Number of parts (the paper's ``N``)."""
+        return len(self._parts)
+
+    @property
+    def parts(self) -> Tuple[FrozenSet[int], ...]:
+        """The parts, in index order."""
+        return self._parts
+
+    def part_of(self, v: int) -> Optional[int]:
+        """Index of the part containing ``v`` (``None`` if uncovered)."""
+        index = self._part_of[v]
+        return None if index == -1 else index
+
+    def members(self, index: int) -> FrozenSet[int]:
+        """Nodes of part ``index``."""
+        return self._parts[index]
+
+    @property
+    def covered(self) -> int:
+        """Number of nodes belonging to some part."""
+        return sum(len(p) for p in self._parts)
+
+    def validate_connected(self, topology: Topology) -> None:
+        """Raise unless every part induces a connected subgraph."""
+        if topology.n != self._n:
+            raise TopologyError("partition and topology node counts differ")
+        for index, part in enumerate(self._parts):
+            if not _is_connected_subset(topology, part):
+                raise TopologyError(f"part {index} is not connected")
+
+    def part_diameters(self, topology: Topology) -> List[int]:
+        """Diameter of each ``G[P_i]`` (the quantity shortcuts fight)."""
+        return [_induced_diameter(topology, part) for part in self._parts]
+
+    @classmethod
+    def from_labels(cls, labels: Sequence[Optional[int]]) -> "Partition":
+        """Build from per-node labels (``None`` / negatives = uncovered)."""
+        groups: Dict[int, List[int]] = {}
+        for v, label in enumerate(labels):
+            if label is not None and label >= 0:
+                groups.setdefault(label, []).append(v)
+        ordered = [groups[key] for key in sorted(groups)]
+        return cls(len(labels), ordered)
+
+    def __repr__(self) -> str:
+        return f"Partition(n={self._n}, N={self.size}, covered={self.covered})"
+
+
+def _is_connected_subset(topology: Topology, part: FrozenSet[int]) -> bool:
+    start = next(iter(part))
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        u = queue.popleft()
+        for w in topology.neighbors(u):
+            if w in part and w not in seen:
+                seen.add(w)
+                queue.append(w)
+    return len(seen) == len(part)
+
+
+def _induced_diameter(topology: Topology, part: FrozenSet[int]) -> int:
+    best = 0
+    for source in part:
+        dist = {source: 0}
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            for w in topology.neighbors(u):
+                if w in part and w not in dist:
+                    dist[w] = dist[u] + 1
+                    queue.append(w)
+        if len(dist) != len(part):
+            raise TopologyError("part is not connected")
+        best = max(best, max(dist.values()))
+    return best
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+
+
+def singletons(topology: Topology) -> Partition:
+    """Each node its own part — Borůvka's initial partition."""
+    return Partition(topology.n, [[v] for v in topology.nodes])
+
+
+def whole(topology: Topology) -> Partition:
+    """One part containing every node."""
+    return Partition(topology.n, [list(topology.nodes)])
+
+
+def grid_bands(rows: int, cols: int, band_height: int) -> Partition:
+    """Horizontal bands of a rows x cols grid, ``band_height`` rows each."""
+    if band_height < 1:
+        raise TopologyError("band_height must be positive")
+    parts = []
+    r = 0
+    while r < rows:
+        top = min(r + band_height, rows)
+        parts.append(
+            [grid_node(rr, c, cols) for rr in range(r, top) for c in range(cols)]
+        )
+        r = top
+    return Partition(rows * cols, parts)
+
+
+def grid_rows(rows: int, cols: int) -> Partition:
+    """One part per grid row (N = rows parts crossing every column)."""
+    return grid_bands(rows, cols, 1)
+
+
+def grid_columns(rows: int, cols: int) -> Partition:
+    """One part per grid column."""
+    parts = [[grid_node(r, c, cols) for r in range(rows)] for c in range(cols)]
+    return Partition(rows * cols, parts)
+
+
+def cycle_arcs(n: int, n_parts: int, extra_nodes: int = 0) -> Partition:
+    """Contiguous arcs of a cycle ``0 .. n-1`` (hub nodes uncovered).
+
+    Used with :func:`repro.graphs.generators.cycle_with_hub`: each arc
+    induces a path of length ~ n / n_parts, far above the hub-graph
+    diameter — the motivating worst case of Section 1.2.
+    """
+    if n_parts < 1 or n_parts > n:
+        raise TopologyError("need 1 <= n_parts <= n")
+    bounds = [round(i * n / n_parts) for i in range(n_parts + 1)]
+    parts = [list(range(bounds[i], bounds[i + 1])) for i in range(n_parts)]
+    return Partition(n + extra_nodes, [p for p in parts if p])
+
+
+def voronoi(topology: Topology, n_parts: int, seed: int = 0) -> Partition:
+    """Multi-source BFS cells around random centers.
+
+    Every node joins the cell of the closest center (ties broken by
+    center order), so each cell is connected — the generic "random
+    connected parts" workload.
+    """
+    if not 1 <= n_parts <= topology.n:
+        raise TopologyError("need 1 <= n_parts <= n")
+    rng = random.Random(seed)
+    centers = rng.sample(range(topology.n), n_parts)
+    label = [-1] * topology.n
+    queue = deque()
+    for index, center in enumerate(centers):
+        label[center] = index
+        queue.append(center)
+    while queue:
+        u = queue.popleft()
+        for w in topology.neighbors(u):
+            if label[w] == -1:
+                label[w] = label[u]
+                queue.append(w)
+    return Partition.from_labels(label)
+
+
+def random_arcs(topology: Topology, n_parts: int, seed: int = 0) -> Partition:
+    """Voronoi cells that cover only half the nodes (random subgraph parts).
+
+    Uncovered nodes act as relays, exercising the partial-coverage code
+    paths of the constructions.
+    """
+    full = voronoi(topology, n_parts, seed)
+    rng = random.Random(seed ^ 0x5EED)
+    labels: List[Optional[int]] = [None] * topology.n
+    for index in range(full.size):
+        members = sorted(full.members(index))
+        # Keep a connected BFS-prefix of about half of each cell.
+        keep = max(1, len(members) // 2)
+        start = members[0]
+        seen = [start]
+        seen_set = {start}
+        queue = deque([start])
+        while queue and len(seen) < keep:
+            u = queue.popleft()
+            neighbors = [w for w in topology.neighbors(u) if w in full.members(index)]
+            rng.shuffle(neighbors)
+            for w in neighbors:
+                if w not in seen_set and len(seen) < keep:
+                    seen_set.add(w)
+                    seen.append(w)
+                    queue.append(w)
+        for v in seen:
+            labels[v] = index
+    return Partition.from_labels(labels)

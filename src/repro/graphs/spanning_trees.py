@@ -1,0 +1,200 @@
+"""Rooted spanning trees.
+
+Tree-restricted shortcuts (Definition 2) are defined relative to a
+rooted spanning tree ``T`` of the network, typically a BFS tree so that
+``depth(T) <= D``.  :class:`SpanningTree` is the shared representation:
+an immutable parent array plus derived depth/children structures, with
+the ancestor utilities the shortcut machinery needs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from repro.congest.topology import Edge, Topology, canonical_edge
+from repro.errors import TopologyError
+
+
+class SpanningTree:
+    """A rooted spanning tree over nodes ``0 .. n-1``.
+
+    Parameters
+    ----------
+    root:
+        The root node.
+    parent:
+        ``parent[v]`` is the tree parent of ``v``; use ``-1`` (or
+        ``None``) for the root and only for the root.
+    """
+
+    __slots__ = ("_root", "_parent", "_children", "_depth", "_height", "_edges")
+
+    def __init__(self, root: int, parent: Sequence[Optional[int]]) -> None:
+        n = len(parent)
+        if not 0 <= root < n:
+            raise TopologyError(f"root {root} out of range for n={n}")
+        norm: List[int] = []
+        for v, p in enumerate(parent):
+            p = -1 if p is None else int(p)
+            if (p == -1) != (v == root):
+                raise TopologyError(
+                    f"node {v}: parent {p} inconsistent with root {root}"
+                )
+            if p != -1 and not 0 <= p < n:
+                raise TopologyError(f"node {v}: parent {p} out of range")
+            norm.append(p)
+        self._root = root
+        self._parent: Tuple[int, ...] = tuple(norm)
+
+        children: List[List[int]] = [[] for _ in range(n)]
+        for v, p in enumerate(self._parent):
+            if p != -1:
+                children[p].append(v)
+        self._children: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(c)) for c in children
+        )
+
+        depth = [-1] * n
+        depth[root] = 0
+        queue = deque([root])
+        seen = 1
+        while queue:
+            u = queue.popleft()
+            for c in self._children[u]:
+                depth[c] = depth[u] + 1
+                seen += 1
+                queue.append(c)
+        if seen != n:
+            raise TopologyError("parent array does not describe a spanning tree")
+        self._depth: Tuple[int, ...] = tuple(depth)
+        self._height = max(depth)
+        self._edges: FrozenSet[Edge] = frozenset(
+            canonical_edge(v, p) for v, p in enumerate(self._parent) if p != -1
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return len(self._parent)
+
+    @property
+    def root(self) -> int:
+        """The root node."""
+        return self._root
+
+    @property
+    def height(self) -> int:
+        """Depth of the tree (the paper's ``D`` when T is a BFS tree)."""
+        return self._height
+
+    @property
+    def edges(self) -> FrozenSet[Edge]:
+        """All tree edges in canonical form."""
+        return self._edges
+
+    def parent(self, v: int) -> Optional[int]:
+        """Tree parent of ``v`` (``None`` for the root)."""
+        p = self._parent[v]
+        return None if p == -1 else p
+
+    def children(self, v: int) -> Tuple[int, ...]:
+        """Tree children of ``v`` in sorted order."""
+        return self._children[v]
+
+    def depth(self, v: int) -> int:
+        """Distance from the root to ``v`` along the tree."""
+        return self._depth[v]
+
+    def parent_edge(self, v: int) -> Optional[Edge]:
+        """The canonical edge between ``v`` and its parent."""
+        p = self._parent[v]
+        return None if p == -1 else canonical_edge(v, p)
+
+    def is_tree_edge(self, u: int, v: int) -> bool:
+        """Whether ``{u, v}`` is an edge of the tree."""
+        return canonical_edge(u, v) in self._edges
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+
+    def ancestors(self, v: int, include_self: bool = False) -> Iterator[int]:
+        """Yield ancestors of ``v`` walking up to (and including) the root."""
+        if include_self:
+            yield v
+        p = self._parent[v]
+        while p != -1:
+            yield p
+            p = self._parent[p]
+
+    def path_to_root_edges(self, v: int) -> Iterator[Edge]:
+        """Yield the parent edges on the path from ``v`` to the root."""
+        u = v
+        p = self._parent[u]
+        while p != -1:
+            yield canonical_edge(u, p)
+            u = p
+            p = self._parent[u]
+
+    def order_bottom_up(self) -> List[int]:
+        """All nodes sorted by decreasing depth (leaves first)."""
+        return sorted(range(self.n), key=lambda v: -self._depth[v])
+
+    def subtree_sizes(self) -> List[int]:
+        """Size of the subtree rooted at each node."""
+        sizes = [1] * self.n
+        for v in self.order_bottom_up():
+            p = self._parent[v]
+            if p != -1:
+                sizes[p] += sizes[v]
+        return sizes
+
+    def lower_endpoint(self, edge: Edge) -> int:
+        """The deeper endpoint of a tree edge (its subtree side)."""
+        u, v = edge
+        if self._parent[u] == v:
+            return u
+        if self._parent[v] == u:
+            return v
+        raise TopologyError(f"{edge} is not a tree edge")
+
+    # ------------------------------------------------------------------
+    # Validation / construction
+    # ------------------------------------------------------------------
+
+    def validate_in(self, topology: Topology) -> None:
+        """Check that every tree edge exists in ``topology``."""
+        if self.n != topology.n:
+            raise TopologyError(
+                f"tree has {self.n} nodes but topology has {topology.n}"
+            )
+        for u, v in self._edges:
+            if not topology.has_edge(u, v):
+                raise TopologyError(f"tree edge ({u}, {v}) missing from topology")
+
+    @classmethod
+    def bfs(cls, topology: Topology, root: int = 0) -> "SpanningTree":
+        """Centralized BFS spanning tree (deterministic: parents are the
+        smallest-id neighbor in the previous layer)."""
+        parent: List[Optional[int]] = [None] * topology.n
+        dist = [-1] * topology.n
+        dist[root] = 0
+        queue = deque([root])
+        while queue:
+            u = queue.popleft()
+            for w in topology.neighbors(u):
+                if dist[w] < 0:
+                    dist[w] = dist[u] + 1
+                    parent[w] = u
+                    queue.append(w)
+        if min(dist) < 0:
+            raise TopologyError("BFS tree of a disconnected topology")
+        return cls(root, parent)
+
+    def __repr__(self) -> str:
+        return f"SpanningTree(n={self.n}, root={self._root}, height={self._height})"

@@ -1,0 +1,66 @@
+"""Edge-weight assignments for MST instances.
+
+The CONGEST model assumes weights fit in O(log n) bits, i.e. are
+polynomially bounded integers; every assignment here satisfies that.
+Weights are made **unique** so the MST is unique and Borůvka's
+minimum-outgoing-edge choices are unambiguous (the standard
+lexicographic tie-break, baked into the values).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.congest.topology import Edge, Topology
+
+
+def unique_random_weights(topology: Topology, seed: int = 0) -> Dict[Edge, int]:
+    """A uniformly random bijection edges -> {1, ..., m}."""
+    rng = random.Random(seed)
+    values = list(range(1, topology.m + 1))
+    rng.shuffle(values)
+    return dict(zip(topology.edges, values))
+
+
+def perturbed_weights(
+    topology: Topology, base: Dict[Edge, int], spread: int = 1
+) -> Dict[Edge, int]:
+    """Make an arbitrary integer assignment unique.
+
+    Each weight ``w`` becomes ``w * m * spread + rank(edge)``, which
+    preserves the original order while breaking all ties
+    deterministically.
+    """
+    m = topology.m
+    return {
+        edge: base.get(edge, 1) * m * spread + rank
+        for rank, edge in enumerate(topology.edges)
+    }
+
+
+def weighted(topology: Topology, seed: int = 0) -> Topology:
+    """Convenience: attach unique random weights to a topology."""
+    return topology.with_weights(unique_random_weights(topology, seed))
+
+
+def hub_adversarial_weights(topology: Topology, n_cycle: int, seed: int = 0) -> Topology:
+    """Adversarial weights for :func:`generators.cycle_with_hub`.
+
+    Cycle edges get small unique weights and hub spokes get huge ones,
+    so the MST is (almost) the cycle and Borůvka fragments become long
+    arcs — maximal induced diameter while the hub keeps the *network*
+    diameter tiny.  This is the motivating worst case of Section 1.2
+    turned into an MST instance.
+    """
+    rng = random.Random(seed)
+    light = [e for e in topology.edges if e[0] < n_cycle and e[1] < n_cycle]
+    heavy = [e for e in topology.edges if e[0] >= n_cycle or e[1] >= n_cycle]
+    light_values = list(range(1, len(light) + 1))
+    rng.shuffle(light_values)
+    weights = dict(zip(light, light_values))
+    base = len(light) + 1
+    heavy_values = list(range(base, base + len(heavy)))
+    rng.shuffle(heavy_values)
+    weights.update(zip(heavy, heavy_values))
+    return topology.with_weights(weights)

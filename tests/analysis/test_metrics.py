@@ -1,0 +1,57 @@
+"""Tests for measurement helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    bound_ratio,
+    fraction,
+    geometric_mean,
+    loglog_slope,
+)
+
+
+def test_bound_ratio_simple():
+    assert bound_ratio(5, 10) == 0.5
+    assert bound_ratio(0, 10) == 0
+
+
+def test_bound_ratio_zero_bound():
+    assert bound_ratio(3, 0) == math.inf
+    assert bound_ratio(0, 0) == 0
+
+
+def test_loglog_slope_linear():
+    xs = [10, 20, 40, 80]
+    ys = [3 * x for x in xs]
+    assert abs(loglog_slope(xs, ys) - 1.0) < 1e-9
+
+
+def test_loglog_slope_sqrt():
+    xs = [16, 64, 256, 1024]
+    ys = [math.sqrt(x) for x in xs]
+    assert abs(loglog_slope(xs, ys) - 0.5) < 1e-9
+
+
+def test_loglog_slope_constant():
+    assert abs(loglog_slope([2, 4, 8], [7, 7, 7])) < 1e-9
+
+
+def test_loglog_slope_validation():
+    with pytest.raises(ValueError):
+        loglog_slope([1], [1])
+    with pytest.raises(ValueError):
+        loglog_slope([3, 3], [1, 2])
+
+
+def test_geometric_mean():
+    assert abs(geometric_mean([2, 8]) - 4.0) < 1e-9
+    assert geometric_mean([0, 5]) == 0.0
+    with pytest.raises(ValueError):
+        geometric_mean([])
+
+
+def test_fraction():
+    assert fraction(3, 4) == 0.75
+    assert fraction(0, 0) == 0.0

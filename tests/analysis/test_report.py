@@ -1,0 +1,23 @@
+"""Tests for the EXPERIMENTS.md report generator."""
+
+import repro.analysis.report as report_module
+from repro.analysis.experiments import run_e01, run_e05
+
+
+def test_generate_subset(monkeypatch, tmp_path):
+    monkeypatch.setattr(
+        report_module, "ALL_EXPERIMENTS", {"E1": run_e01, "E5": run_e05}
+    )
+    text = report_module.generate("small")
+    assert "E1" in text and "E5" in text
+    assert "Lemma 1" in text
+    assert "paper claims vs. measurements" in text
+
+
+def test_main_writes_file(monkeypatch, tmp_path):
+    monkeypatch.setattr(report_module, "ALL_EXPERIMENTS", {"E1": run_e01})
+    out = tmp_path / "EXP.md"
+    code = report_module.main(["report", "small", str(out)])
+    assert code == 0
+    assert out.exists()
+    assert "E1" in out.read_text()

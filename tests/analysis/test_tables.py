@@ -1,0 +1,40 @@
+"""Tests for the table renderer."""
+
+import pytest
+
+from repro.analysis.tables import Table
+
+
+def test_render_alignment():
+    table = Table("demo", ["name", "value"])
+    table.add_row("a", 1)
+    table.add_row("longer-name", 23456)
+    text = table.render()
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1]
+    assert all(len(line) == len(lines[1]) for line in lines[2:])
+
+
+def test_floats_formatted():
+    table = Table("t", ["x"])
+    table.add_row(0.123456)
+    assert "0.12" in table.render()
+
+
+def test_wrong_cell_count_rejected():
+    table = Table("t", ["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row(1)
+
+
+def test_str_equals_render():
+    table = Table("t", ["a"])
+    table.add_row("x")
+    assert str(table) == table.render()
+
+
+def test_bools_render():
+    table = Table("t", ["ok"])
+    table.add_row(True)
+    assert "True" in table.render()

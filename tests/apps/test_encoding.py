@@ -1,0 +1,52 @@
+"""Tests for payload encodings."""
+
+import pytest
+
+from repro.apps.encoding import (
+    decode_edge_candidate,
+    decode_pair,
+    encode_edge_candidate,
+    encode_pair,
+)
+from repro.errors import ReproError
+
+
+def test_edge_candidate_roundtrip():
+    for w, u, v in [(0, 0, 0), (7, 3, 9), (999, 11, 0)]:
+        code = encode_edge_candidate(w, u, v, 12)
+        assert decode_edge_candidate(code, 12) == (w, u, v)
+
+
+def test_edge_candidate_order_is_lexicographic():
+    n = 16
+    a = encode_edge_candidate(3, 2, 5, n)
+    b = encode_edge_candidate(3, 2, 6, n)
+    c = encode_edge_candidate(3, 3, 0, n)
+    d = encode_edge_candidate(4, 0, 0, n)
+    assert a < b < c < d
+
+
+def test_edge_candidate_rejects_negative_weight():
+    with pytest.raises(ReproError):
+        encode_edge_candidate(-1, 0, 1, 4)
+
+
+def test_edge_candidate_rejects_out_of_range():
+    with pytest.raises(ReproError):
+        encode_edge_candidate(1, 4, 0, 4)
+    with pytest.raises(ReproError):
+        encode_edge_candidate(1, 0, 9, 4)
+
+
+def test_pair_roundtrip():
+    for a, b in [(0, 0), (3, 7), (9, 1)]:
+        assert decode_pair(encode_pair(a, b, 10), 10) == (a, b)
+
+
+def test_pair_rejects_out_of_range():
+    with pytest.raises(ReproError):
+        encode_pair(10, 0, 10)
+
+
+def test_pair_order():
+    assert encode_pair(1, 9, 10) < encode_pair(2, 0, 10)

@@ -1,0 +1,80 @@
+"""Tests for intra-fragment communication (the no-shortcut toolkit)."""
+
+from repro.apps.fragment_comm import fragment_aggregate, fragment_flood_min
+from repro.congest.trace import RoundLedger
+from repro.graphs import generators, partitions
+
+
+def _labels(partition, n):
+    return {v: partition.part_of(v) for v in range(n)}
+
+
+def test_flood_min_finds_minimum(grid6, grid6_voronoi):
+    labels = _labels(grid6_voronoi, grid6.n)
+    values = {v: 1000 - v for v in grid6.nodes}
+    best, _parents = fragment_flood_min(grid6, labels, values)
+    for i in range(grid6_voronoi.size):
+        expected = min(1000 - v for v in grid6_voronoi.members(i))
+        assert all(best[v] == expected for v in grid6_voronoi.members(i))
+
+
+def test_flood_parents_form_tree(grid6, grid6_voronoi):
+    labels = _labels(grid6_voronoi, grid6.n)
+    values = {v: v for v in grid6.nodes}
+    _best, parents = fragment_flood_min(grid6, labels, values)
+    for i in range(grid6_voronoi.size):
+        members = grid6_voronoi.members(i)
+        roots = [v for v in members if parents[v] is None]
+        assert roots == [min(members)]
+        # Every parent chain ends at the root without leaving the part.
+        for v in members:
+            seen = set()
+            node = v
+            while parents[node] is not None:
+                assert node not in seen
+                seen.add(node)
+                node = parents[node]
+                assert node in members
+            assert node == roots[0]
+
+
+def test_aggregate_min_and_sum(grid6, grid6_voronoi):
+    labels = _labels(grid6_voronoi, grid6.n)
+    out_min = fragment_aggregate(
+        grid6, labels, {v: v for v in grid6.nodes}, "min"
+    )
+    out_sum = fragment_aggregate(
+        grid6, labels, {v: 1 for v in grid6.nodes}, "sum"
+    )
+    for i in range(grid6_voronoi.size):
+        members = grid6_voronoi.members(i)
+        assert all(out_min[v] == min(members) for v in members)
+        assert all(out_sum[v] == len(members) for v in members)
+
+
+def test_aggregate_rounds_scale_with_fragment_diameter():
+    topology = generators.cycle_with_hub(128, 8)
+    partition = partitions.cycle_arcs(128, 4, extra_nodes=1)
+    labels = {v: partition.part_of(v) for v in topology.nodes}
+    ledger = RoundLedger()
+    fragment_aggregate(
+        topology, labels, {v: v for v in topology.nodes}, "min", ledger=ledger
+    )
+    max_diameter = max(partition.part_diameters(topology))
+    # Must pay at least ~the fragment diameter, far above D.
+    assert ledger.simulated_rounds >= max_diameter
+    assert max_diameter > 2 * topology.diameter()
+
+
+def test_uncovered_nodes_are_silent(grid6):
+    partition = partitions.voronoi(grid6, 4, seed=1)
+    labels = {v: partition.part_of(v) for v in grid6.nodes}
+    labels[0] = None  # orphan one node
+    out = fragment_aggregate(grid6, labels, {v: v for v in grid6.nodes}, "min")
+    assert out[0] is None
+
+
+def test_singleton_fragments(grid6):
+    labels = {v: v for v in grid6.nodes}
+    out = fragment_aggregate(grid6, labels, {v: v * 2 for v in grid6.nodes}, "min")
+    assert all(out[v] == v * 2 for v in grid6.nodes)

@@ -1,0 +1,40 @@
+"""Tests for the leader-election app."""
+
+from repro.apps.leader_election import elect_leaders
+from repro.core import quality
+from repro.core.core_slow import core_slow
+from repro.core.existence import best_certified
+
+
+def test_leaders_are_part_minima(grid6, grid6_tree, grid6_voronoi):
+    point = best_certified(grid6_tree, grid6_voronoi)
+    outcome = core_slow(grid6, grid6_tree, grid6_voronoi, point.congestion)
+    b = max(1, quality.block_parameter(outcome.shortcut))
+    result = elect_leaders(grid6, outcome.shortcut, b, seed=1)
+    for i in range(grid6_voronoi.size):
+        assert result.leaders[i] == min(grid6_voronoi.members(i))
+
+
+def test_every_member_knows_its_leader(grid6, grid6_tree, grid6_voronoi):
+    point = best_certified(grid6_tree, grid6_voronoi)
+    outcome = core_slow(grid6, grid6_tree, grid6_voronoi, point.congestion)
+    b = max(1, quality.block_parameter(outcome.shortcut))
+    result = elect_leaders(grid6, outcome.shortcut, b, seed=2)
+    for i in range(grid6_voronoi.size):
+        for v in grid6_voronoi.members(i):
+            assert result.knowledge[v] == result.leaders[i]
+
+
+def test_rounds_recorded(grid6, grid6_tree, grid6_voronoi):
+    point = best_certified(grid6_tree, grid6_voronoi)
+    outcome = core_slow(grid6, grid6_tree, grid6_voronoi, point.congestion)
+    result = elect_leaders(grid6, outcome.shortcut, 2, seed=3)
+    assert result.rounds > 0
+
+
+def test_rounds_scale_with_b_bound(grid6, grid6_tree, grid6_voronoi):
+    point = best_certified(grid6_tree, grid6_voronoi)
+    outcome = core_slow(grid6, grid6_tree, grid6_voronoi, point.congestion)
+    fast = elect_leaders(grid6, outcome.shortcut, 1, seed=4)
+    slow = elect_leaders(grid6, outcome.shortcut, 4, seed=4)
+    assert slow.rounds > fast.rounds

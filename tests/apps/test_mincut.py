@@ -1,0 +1,74 @@
+"""Tests for the tree-packing min-cut approximation."""
+
+import networkx as nx
+import pytest
+
+from repro.apps.mincut import approximate_min_cut
+from repro.graphs import generators
+
+
+def _exact(topology):
+    return nx.stoer_wagner(topology.to_networkx(), weight=None)[0]
+
+
+@pytest.mark.parametrize(
+    "topology",
+    [
+        generators.grid(6, 6),
+        generators.torus(5, 5),
+        generators.erdos_renyi_connected(40, 0.12, seed=2),
+        generators.cycle_with_hub(40, 5),
+    ],
+    ids=["grid", "torus", "er", "hub"],
+)
+def test_upper_bound_and_approximation(topology):
+    result = approximate_min_cut(topology, seed=1)
+    exact = _exact(topology)
+    assert result.value >= exact  # any 1-respecting cut is a real cut
+    assert result.value <= 3 * exact  # packing quality (loose check)
+
+
+def test_cut_edges_consistent_with_side():
+    topology = generators.grid(5, 5)
+    result = approximate_min_cut(topology, seed=2)
+    for u, v in result.cut_edges:
+        assert (u in result.side) != (v in result.side)
+    assert len(result.cut_edges) == result.value
+    assert 0 < len(result.side) < topology.n
+
+
+def test_bridge_found_exactly():
+    # Two grids joined by one bridge: min cut 1, and the packing must
+    # find it (every spanning tree crosses the bridge once).
+    t = generators.genus_chain(2, 3, 3)
+    result = approximate_min_cut(t, seed=3)
+    assert result.value == 1
+
+
+def test_more_trees_never_hurt():
+    topology = generators.torus(5, 5)
+    few = approximate_min_cut(topology, trees=2, seed=4)
+    many = approximate_min_cut(topology, trees=12, seed=4)
+    assert many.value <= few.value
+
+
+def test_rounds_charged():
+    topology = generators.grid(5, 5)
+    result = approximate_min_cut(topology, seed=5)
+    assert result.rounds > 0
+    assert result.trees_packed >= 3
+
+
+def test_distributed_mst_variant_agrees():
+    from repro.graphs.weights import weighted
+
+    topology = generators.grid(4, 4)
+    central = approximate_min_cut(topology, trees=3, seed=6)
+    distributed = approximate_min_cut(
+        topology, trees=3, seed=6, use_distributed_mst=True
+    )
+    exact = _exact(topology)
+    assert central.value >= exact
+    assert distributed.value >= exact
+    # The distributed variant charges the full MST rounds.
+    assert distributed.rounds > central.rounds

@@ -1,0 +1,82 @@
+"""Tests for the baseline MST algorithms."""
+
+import pytest
+
+from repro.apps.mst import kruskal_reference
+from repro.apps.mst_baselines import (
+    mst_collect_at_root,
+    mst_kutten_peleg,
+    mst_no_shortcut,
+)
+from repro.graphs import generators
+from repro.graphs.weights import hub_adversarial_weights, weighted
+
+
+@pytest.fixture(scope="module")
+def grid_instance():
+    return weighted(generators.grid(6, 6), seed=21)
+
+
+@pytest.mark.parametrize(
+    "algorithm", [mst_no_shortcut, mst_kutten_peleg, mst_collect_at_root]
+)
+def test_exact_on_grid(grid_instance, algorithm):
+    result = algorithm(grid_instance, seed=3)
+    edges, weight = kruskal_reference(grid_instance)
+    assert result.weight == weight
+    assert result.edges == edges
+
+
+@pytest.mark.parametrize(
+    "algorithm", [mst_no_shortcut, mst_kutten_peleg, mst_collect_at_root]
+)
+def test_exact_on_delaunay(algorithm):
+    topology = weighted(generators.delaunay(50, seed=4), seed=22)
+    result = algorithm(topology, seed=5)
+    _edges, weight = kruskal_reference(topology)
+    assert result.weight == weight
+
+
+def test_exact_on_adversarial_hub():
+    topology = hub_adversarial_weights(
+        generators.cycle_with_hub(48, 8), 48, seed=1
+    )
+    for algorithm in (mst_no_shortcut, mst_kutten_peleg, mst_collect_at_root):
+        result = algorithm(topology, seed=6)
+        _edges, weight = kruskal_reference(topology)
+        assert result.weight == weight
+
+
+def test_no_shortcut_pays_fragment_diameters():
+    """On the adversarial hub, intra-fragment Borůvka costs grow with
+    the arc length while the collect-at-root baseline stays ~m + D."""
+    small = hub_adversarial_weights(generators.cycle_with_hub(64, 8), 64)
+    large = hub_adversarial_weights(generators.cycle_with_hub(256, 8), 256)
+    rounds_small = mst_no_shortcut(small, seed=7).rounds
+    rounds_large = mst_no_shortcut(large, seed=7).rounds
+    assert rounds_large > 2 * rounds_small
+
+
+def test_collect_at_root_rounds_linear_in_m(grid_instance):
+    result = mst_collect_at_root(grid_instance, seed=8)
+    d = grid_instance.diameter()
+    assert result.rounds <= 4 * (grid_instance.m + grid_instance.n + 4 * d)
+
+
+def test_kutten_peleg_cap_override(grid_instance):
+    result = mst_kutten_peleg(grid_instance, seed=9, cap=4)
+    _edges, weight = kruskal_reference(grid_instance)
+    assert result.weight == weight
+
+
+def test_kutten_peleg_on_path():
+    topology = weighted(generators.path(40), seed=23)
+    result = mst_kutten_peleg(topology, seed=10)
+    assert result.weight == kruskal_reference(topology)[1]
+
+
+def test_no_shortcut_on_star():
+    topology = weighted(generators.star(20), seed=24)
+    result = mst_no_shortcut(topology, seed=11)
+    # The star's MST is all edges.
+    assert result.edges == frozenset(topology.edges)

@@ -1,0 +1,81 @@
+"""Tests for distributed BFS tree construction."""
+
+import pytest
+
+from repro.congest.bfs import build_bfs_tree
+from repro.congest.trace import RoundLedger
+from repro.graphs import generators
+
+
+@pytest.mark.parametrize("root", [0, 7, 35])
+def test_bfs_depths_match_distances(grid6, root):
+    tree, _result = build_bfs_tree(grid6, root)
+    dist = grid6.bfs_distances(root)
+    for v in grid6.nodes:
+        assert tree.depth(v) == dist[v]
+
+
+def test_bfs_tree_edges_are_graph_edges(grid6):
+    tree, _result = build_bfs_tree(grid6, 0)
+    tree.validate_in(grid6)
+
+
+def test_bfs_rounds_linear_in_depth(grid6):
+    tree, result = build_bfs_tree(grid6, 0)
+    assert result.rounds <= 2 * tree.height + 2
+
+
+def test_bfs_no_messages_to_halted(grid6):
+    _tree, result = build_bfs_tree(grid6, 0)
+    assert result.dropped_to_halted == 0
+
+
+def test_bfs_on_path():
+    path = generators.path(10)
+    tree, _ = build_bfs_tree(path, 0)
+    assert tree.height == 9
+    assert tree.parent(9) == 8
+
+
+def test_bfs_on_star():
+    star = generators.star(12)
+    tree, _ = build_bfs_tree(star, 0)
+    assert tree.height == 1
+    assert all(tree.parent(v) == 0 for v in range(1, 12))
+
+
+def test_bfs_parent_is_min_id_in_previous_layer():
+    # Node 3 in a 4-cycle has neighbors 0 and 2 at distance... build a
+    # diamond where the tie matters: 0-1, 0-2, 1-3, 2-3.
+    from repro.congest.topology import Topology
+
+    diamond = Topology(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+    tree, _ = build_bfs_tree(diamond, 0)
+    assert tree.parent(3) == 1  # min-id tie-break
+
+
+def test_bfs_matches_centralized(grid6):
+    from repro.graphs.spanning_trees import SpanningTree
+
+    tree, _ = build_bfs_tree(grid6, 0)
+    central = SpanningTree.bfs(grid6, 0)
+    # Depths agree even if parent choice could differ.
+    for v in grid6.nodes:
+        assert tree.depth(v) == central.depth(v)
+
+
+def test_bfs_ledger_accounting(grid6):
+    ledger = RoundLedger()
+    tree, result = build_bfs_tree(grid6, 0, ledger=ledger)
+    assert ledger.barrier_depth == tree.height
+    assert ledger.simulated_rounds == result.rounds
+    assert ledger.total_rounds > result.rounds  # barrier charged
+
+
+def test_bfs_single_node():
+    from repro.congest.topology import Topology
+
+    one = Topology(1, [])
+    tree, result = build_bfs_tree(one, 0)
+    assert tree.height == 0
+    assert result.rounds == 0

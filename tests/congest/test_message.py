@@ -1,0 +1,68 @@
+"""Tests for the O(log n)-bit bandwidth audit."""
+
+import pytest
+
+from repro.congest.message import (
+    bandwidth_limit,
+    check_message,
+    message_bits,
+)
+from repro.errors import BandwidthExceededError
+
+
+def test_none_and_bool_are_one_bit():
+    assert message_bits(None) == 1
+    assert message_bits(True) == 1
+    assert message_bits(False) == 1
+
+
+def test_integer_bits_grow_with_magnitude():
+    assert message_bits(0) == 2
+    assert message_bits(1) == 2
+    assert message_bits(1023) < message_bits(2**40)
+
+
+def test_string_tags_cost_a_constant():
+    assert message_bits("bfs") == message_bits("a-much-longer-tag-name")
+
+
+def test_tuple_framing():
+    assert message_bits(("t", 1, 2)) > message_bits("t")
+
+
+def test_nested_tuple_rejected():
+    with pytest.raises(BandwidthExceededError):
+        message_bits(("t", (1, 2)))
+
+
+def test_container_payloads_rejected():
+    with pytest.raises(BandwidthExceededError):
+        message_bits([1, 2, 3])
+    with pytest.raises(BandwidthExceededError):
+        message_bits({"a": 1})
+
+
+def test_bandwidth_limit_grows_logarithmically():
+    small = bandwidth_limit(16)
+    large = bandwidth_limit(2**20)
+    assert small < large
+    assert large <= 8 * 21 + 16
+
+
+def test_bandwidth_limit_floor():
+    assert bandwidth_limit(2) >= 32
+
+
+def test_check_message_accepts_small():
+    assert check_message(("id", 42), 64) > 0
+
+
+def test_check_message_rejects_oversized():
+    with pytest.raises(BandwidthExceededError):
+        check_message(("big", 2**200), 64)
+
+
+def test_typical_protocol_messages_fit_default_budget():
+    limit = bandwidth_limit(1024)
+    # tag + weight + two endpoints: the largest message the MST sends.
+    assert check_message(("m", 1023, 2_000_000, 1023), limit) <= limit

@@ -1,0 +1,93 @@
+"""Tests for the NodeHandle API surface."""
+
+import pytest
+
+from repro.congest.algorithm import NodeAlgorithm
+from repro.congest.simulator import Simulator, run_algorithm
+from repro.congest.topology import Topology
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def pair():
+    return Topology(2, [(0, 1)])
+
+
+def test_degree_and_neighbors(pair):
+    class Inspect(NodeAlgorithm):
+        def on_start(self, node):
+            node.state.degree = node.degree
+            node.state.neighbors = node.neighbors
+
+    result = run_algorithm(pair, Inspect())
+    assert result.states[0].degree == 1
+    assert result.states[0].neighbors == (1,)
+
+
+def test_round_property(pair):
+    class Rounds(NodeAlgorithm):
+        def on_start(self, node):
+            node.state.start_round = node.round
+            if node.id == 0:
+                node.send(1, ("x",))
+
+        def on_round(self, node, messages):
+            node.state.seen_round = node.round
+
+    result = run_algorithm(pair, Rounds())
+    assert result.states[0].start_round == 0
+    assert result.states[1].seen_round == 1
+
+
+def test_wake_after_positive_only(pair):
+    class Bad(NodeAlgorithm):
+        def on_start(self, node):
+            node.wake_after(0)
+
+    with pytest.raises(SimulationError):
+        run_algorithm(pair, Bad())
+
+
+def test_wake_after_schedules_relative(pair):
+    class Delayed(NodeAlgorithm):
+        def on_start(self, node):
+            node.state.woke = None
+            if node.id == 0:
+                node.wake_after(7)
+
+        def on_round(self, node, messages):
+            node.state.woke = node.round
+
+    result = run_algorithm(pair, Delayed())
+    assert result.states[0].woke == 7
+
+
+def test_halted_property(pair):
+    class HaltOne(NodeAlgorithm):
+        def on_start(self, node):
+            if node.id == 0:
+                node.halt()
+            node.state.flag = node.halted
+
+    result = run_algorithm(pair, HaltOne())
+    assert result.states[0].flag is True
+    assert result.states[1].flag is False
+
+
+def test_repr_mentions_id(pair):
+    class Stash(NodeAlgorithm):
+        def on_start(self, node):
+            node.state.text = repr(node)
+
+    result = run_algorithm(pair, Stash())
+    assert "id=0" in result.states[0].text
+
+
+def test_state_namespace_isolated(pair):
+    class Grow(NodeAlgorithm):
+        def on_start(self, node):
+            node.state.mine = [node.id]
+
+    result = run_algorithm(pair, Grow())
+    assert result.states[0].mine == [0]
+    assert result.states[1].mine == [1]

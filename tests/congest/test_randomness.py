@@ -1,0 +1,70 @@
+"""Tests for the shared-randomness substrate."""
+
+from repro.congest.bfs import build_bfs_tree
+from repro.congest.randomness import coin, mix, part_coin, share_randomness
+from repro.congest.trace import RoundLedger
+from repro.graphs import generators
+
+
+def test_mix_deterministic():
+    assert mix(1, 2, 3) == mix(1, 2, 3)
+
+
+def test_mix_sensitive_to_order_and_values():
+    assert mix(1, 2) != mix(2, 1)
+    assert mix(1, 2) != mix(1, 3)
+    assert mix(5) != mix(5, 0)
+
+
+def test_coin_uniform_range():
+    values = [coin(9, i) for i in range(2000)]
+    assert all(0 <= v < 1 for v in values)
+    mean = sum(values) / len(values)
+    assert 0.45 < mean < 0.55
+
+
+def test_part_coin_probability():
+    hits = sum(part_coin(123, i, 0, 0.25) for i in range(4000))
+    assert 800 < hits < 1200  # ~1000 expected
+
+
+def test_part_coin_shared_between_calls():
+    assert part_coin(7, 3, 1, 0.5) == part_coin(7, 3, 1, 0.5)
+
+
+def test_share_randomness_delivers_same_seed_everywhere(grid6):
+    tree, _ = build_bfs_tree(grid6, 0)
+    seed, result = share_randomness(grid6, tree, seed=11)
+    assert isinstance(seed, int)
+    for v in grid6.nodes:
+        assert result.states[v].seed == seed
+
+
+def test_share_randomness_rounds_depth_plus_chunks(grid6):
+    tree, _ = build_bfs_tree(grid6, 0)
+    _seed, result = share_randomness(grid6, tree, seed=11)
+    chunks = max(1, grid6.n.bit_length())
+    assert result.rounds <= tree.height + chunks + 2
+
+
+def test_share_randomness_different_seeds_differ(grid6):
+    tree, _ = build_bfs_tree(grid6, 0)
+    s1, _ = share_randomness(grid6, tree, seed=1)
+    s2, _ = share_randomness(grid6, tree, seed=2)
+    assert s1 != s2
+
+
+def test_share_randomness_ledger(grid6):
+    tree, _ = build_bfs_tree(grid6, 0)
+    ledger = RoundLedger(barrier_depth=tree.height)
+    share_randomness(grid6, tree, seed=3, ledger=ledger)
+    assert ledger.total_rounds > 0
+
+
+def test_share_randomness_on_path():
+    path = generators.path(16)
+    from repro.graphs.spanning_trees import SpanningTree
+
+    tree = SpanningTree.bfs(path, 0)
+    seed, result = share_randomness(path, tree, seed=5)
+    assert result.states[15].seed == seed

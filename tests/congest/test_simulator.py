@@ -1,0 +1,230 @@
+"""Tests for the CONGEST round simulator."""
+
+import pytest
+
+from repro.congest.algorithm import NodeAlgorithm
+from repro.congest.simulator import Simulator, run_algorithm
+from repro.congest.topology import Topology
+from repro.errors import (
+    BandwidthExceededError,
+    RoundLimitExceededError,
+    SimulationError,
+)
+
+
+class Silent(NodeAlgorithm):
+    """Does nothing: the simulation must terminate in round 0."""
+
+
+class PingPong(NodeAlgorithm):
+    """Node 0 sends k pings; node 1 echoes each one."""
+
+    def __init__(self, pings: int):
+        super().__init__()
+        self.pings = pings
+
+    def on_start(self, node):
+        node.state.received = 0
+        if node.id == 0:
+            node.state.sent = 1
+            node.send(1, ("ping", 1))
+
+    def on_round(self, node, messages):
+        for _sender, payload in messages:
+            node.state.received += 1
+            if node.id == 1:
+                node.send(0, ("pong", payload[1]))
+            elif node.state.sent < self.pings:
+                node.state.sent += 1
+                node.send(1, ("ping", node.state.sent))
+
+
+class DoubleSend(NodeAlgorithm):
+    def on_start(self, node):
+        if node.id == 0:
+            node.send(1, ("a",))
+            node.send(1, ("b",))
+
+
+class NonNeighborSend(NodeAlgorithm):
+    def on_start(self, node):
+        if node.id == 0:
+            node.send(2, ("x",))
+
+
+class Alarm(NodeAlgorithm):
+    """Node 0 wakes itself far in the future and records the round."""
+
+    def on_start(self, node):
+        node.state.woke = None
+        if node.id == 0:
+            node.wake_at(500)
+
+    def on_round(self, node, messages):
+        node.state.woke = node.round
+
+
+class Chatter(NodeAlgorithm):
+    def on_start(self, node):
+        node.broadcast(("hi",))
+
+    def on_round(self, node, messages):
+        node.broadcast(("hi",))  # never stops
+
+
+class HaltEarly(NodeAlgorithm):
+    def on_start(self, node):
+        if node.id == 0:
+            node.send(1, ("x",))
+        node.halt()
+
+
+@pytest.fixture
+def pair():
+    return Topology(2, [(0, 1)])
+
+
+@pytest.fixture
+def triangle_path():
+    return Topology(3, [(0, 1), (1, 2)])
+
+
+def test_silent_algorithm_terminates_in_round_zero(pair):
+    result = run_algorithm(pair, Silent())
+    assert result.rounds == 0
+    assert result.messages == 0
+
+
+def test_ping_pong_round_and_message_count(pair):
+    result = run_algorithm(pair, PingPong(3))
+    # 3 pings + 3 pongs delivered, one per round: 6 rounds.
+    assert result.messages == 6
+    assert result.rounds == 6
+    assert result.states[0].received == 3
+    assert result.states[1].received == 3
+
+
+def test_double_send_same_edge_rejected(pair):
+    with pytest.raises(SimulationError):
+        run_algorithm(pair, DoubleSend())
+
+
+def test_send_to_non_neighbor_rejected(triangle_path):
+    with pytest.raises(SimulationError):
+        run_algorithm(triangle_path, NonNeighborSend())
+
+
+def test_idle_round_skipping_still_counts_rounds(pair):
+    result = run_algorithm(pair, Alarm())
+    assert result.states[0].woke == 500
+    assert result.rounds == 500
+
+
+def test_round_limit_watchdog(pair):
+    with pytest.raises(RoundLimitExceededError):
+        Simulator(pair, Chatter(), max_rounds=50).run()
+
+
+def test_messages_to_halted_nodes_are_counted(pair):
+    result = run_algorithm(pair, HaltEarly())
+    assert result.dropped_to_halted == 1
+
+
+def test_halted_node_cannot_send(pair):
+    class SendAfterHalt(NodeAlgorithm):
+        def on_start(self, node):
+            node.halt()
+            node.send(1 - node.id, ("x",))
+
+    with pytest.raises(SimulationError):
+        run_algorithm(pair, SendAfterHalt())
+
+
+def test_bandwidth_enforced(pair):
+    class Oversized(NodeAlgorithm):
+        def on_start(self, node):
+            if node.id == 0:
+                node.send(1, ("huge", 2**500))
+
+    with pytest.raises(BandwidthExceededError):
+        run_algorithm(pair, Oversized())
+
+
+def test_bandwidth_check_can_be_disabled(pair):
+    class Oversized(NodeAlgorithm):
+        def on_start(self, node):
+            if node.id == 0:
+                node.send(1, ("huge", 2**500))
+
+    result = Simulator(pair, Oversized(), check_bandwidth=False).run()
+    assert result.messages == 1
+
+
+def test_determinism_same_seed(pair):
+    class RandomSend(NodeAlgorithm):
+        def on_start(self, node):
+            node.state.value = node.random.randrange(1000)
+
+    r1 = Simulator(pair, RandomSend(), seed=5).run()
+    r2 = Simulator(pair, RandomSend(), seed=5).run()
+    r3 = Simulator(pair, RandomSend(), seed=6).run()
+    assert r1.states[0].value == r2.states[0].value
+    assert (r1.states[0].value, r1.states[1].value) != (
+        r3.states[0].value,
+        r3.states[1].value,
+    )
+
+
+def test_messages_sorted_by_sender():
+    star = Topology(4, [(3, 0), (3, 1), (3, 2)])
+
+    class Report(NodeAlgorithm):
+        def on_start(self, node):
+            node.state.order = None
+            if node.id != 3:
+                node.send(3, ("x", node.id))
+
+        def on_round(self, node, messages):
+            node.state.order = [sender for sender, _ in messages]
+
+    result = run_algorithm(star, Report())
+    assert result.states[3].order == [0, 1, 2]
+
+
+def test_inputs_installed_before_start(pair):
+    class UseInput(NodeAlgorithm):
+        def on_start(self, node):
+            node.state.doubled = node.state.given * 2
+
+    algorithm = UseInput({0: {"given": 21}, 1: {"given": 1}})
+    result = run_algorithm(pair, algorithm)
+    assert result.states[0].doubled == 42
+
+
+def test_wake_in_past_rejected(pair):
+    class BadAlarm(NodeAlgorithm):
+        def on_start(self, node):
+            node.wake_at(0)
+
+    with pytest.raises(SimulationError):
+        run_algorithm(pair, BadAlarm())
+
+
+def test_edge_traffic_tracing(pair):
+    result = Simulator(pair, PingPong(2), trace_edges=True).run()
+    assert result.edge_traffic[(0, 1)] == 4
+
+
+def test_broadcast_sends_to_all_neighbors(triangle_path):
+    class Once(NodeAlgorithm):
+        def on_start(self, node):
+            node.state.got = 0
+            if node.id == 1:
+                node.broadcast(("x",))
+
+        def on_round(self, node, messages):
+            node.state.got += len(messages)
+
+    result = run_algorithm(triangle_path, Once())
+    assert result.states[0].got == 1
+    assert result.states[2].got == 1

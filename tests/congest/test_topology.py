@@ -1,0 +1,138 @@
+"""Tests for the Topology representation."""
+
+import pytest
+
+from repro.congest.topology import Topology, canonical_edge
+from repro.errors import TopologyError
+
+
+def test_canonical_edge_orders_endpoints():
+    assert canonical_edge(5, 2) == (2, 5)
+    assert canonical_edge(2, 5) == (2, 5)
+
+
+def test_canonical_edge_rejects_self_loop():
+    with pytest.raises(TopologyError):
+        canonical_edge(3, 3)
+
+
+def test_basic_construction():
+    t = Topology(3, [(0, 1), (1, 2)])
+    assert t.n == 3
+    assert t.m == 2
+    assert t.edges == ((0, 1), (1, 2))
+
+
+def test_duplicate_and_reversed_edges_collapse():
+    t = Topology(3, [(0, 1), (1, 0), (0, 1), (1, 2)])
+    assert t.m == 2
+
+
+def test_out_of_range_edge_rejected():
+    with pytest.raises(TopologyError):
+        Topology(3, [(0, 3)])
+
+
+def test_disconnected_rejected_by_default():
+    with pytest.raises(TopologyError):
+        Topology(4, [(0, 1), (2, 3)])
+
+
+def test_disconnected_allowed_when_requested():
+    t = Topology(4, [(0, 1), (2, 3)], require_connected=False)
+    assert t.m == 2
+
+
+def test_neighbors_sorted():
+    t = Topology(4, [(2, 0), (0, 3), (0, 1)])
+    assert t.neighbors(0) == (1, 2, 3)
+
+
+def test_degree():
+    t = Topology(4, [(0, 1), (0, 2), (0, 3)])
+    assert t.degree(0) == 3
+    assert t.degree(1) == 1
+
+
+def test_has_edge():
+    t = Topology(3, [(0, 1), (1, 2)])
+    assert t.has_edge(1, 0)
+    assert not t.has_edge(0, 2)
+    assert not t.has_edge(1, 1)
+
+
+def test_default_weights_are_one():
+    t = Topology(2, [(0, 1)])
+    assert not t.is_weighted
+    assert t.weight(0, 1) == 1
+
+
+def test_explicit_weights():
+    t = Topology(3, [(0, 1), (1, 2)], weights={(1, 0): 7, (1, 2): 9})
+    assert t.is_weighted
+    assert t.weight(0, 1) == 7
+    assert t.weight(2, 1) == 9
+
+
+def test_weight_for_nonedge_rejected():
+    with pytest.raises(TopologyError):
+        Topology(3, [(0, 1), (1, 2)], weights={(0, 2): 4})
+
+
+def test_weight_lookup_nonedge_raises():
+    t = Topology(3, [(0, 1), (1, 2)])
+    with pytest.raises(TopologyError):
+        t.weight(0, 2)
+
+
+def test_with_weights_copies():
+    t = Topology(2, [(0, 1)])
+    w = t.with_weights({(0, 1): 5})
+    assert w.weight(0, 1) == 5
+    assert t.weight(0, 1) == 1
+
+
+def test_bfs_distances_path():
+    t = Topology(4, [(0, 1), (1, 2), (2, 3)])
+    assert t.bfs_distances(0) == [0, 1, 2, 3]
+    assert t.bfs_distances(2) == [2, 1, 0, 1]
+
+
+def test_eccentricity_and_diameter():
+    t = Topology(5, [(i, i + 1) for i in range(4)])
+    assert t.eccentricity(0) == 4
+    assert t.eccentricity(2) == 2
+    assert t.diameter() == 4
+
+
+def test_diameter_estimate_on_tree_is_exact():
+    # Double sweep is exact on trees.
+    t = Topology(7, [(0, 1), (1, 2), (2, 3), (2, 4), (4, 5), (5, 6)])
+    assert t.diameter(exact=False) == t.diameter(exact=True)
+
+
+def test_networkx_roundtrip():
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_edge("b", "a", weight=3)
+    g.add_edge("b", "c", weight=4)
+    t = Topology.from_networkx(g)
+    assert t.n == 3
+    assert t.weight(0, 1) == 3  # a-b
+    back = t.to_networkx()
+    assert back.number_of_edges() == 2
+    assert back[0][1]["weight"] == 3
+
+
+def test_len_and_iter():
+    t = Topology(3, [(0, 1), (1, 2)])
+    assert len(t) == 3
+    assert list(t) == [0, 1, 2]
+
+
+def test_single_node_topology():
+    t = Topology(1, [])
+    assert t.n == 1
+    assert t.m == 0
+    assert t.diameter() == 0

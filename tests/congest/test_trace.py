@@ -1,0 +1,52 @@
+"""Tests for round-ledger accounting."""
+
+from repro.congest.trace import PhaseRecord, RoundLedger
+
+
+def test_charge_accumulates():
+    ledger = RoundLedger()
+    ledger.charge("a", 10, 5)
+    ledger.charge("b", 20, 7)
+    assert ledger.total_rounds == 30
+    assert ledger.total_messages == 12
+
+
+def test_charge_phase_adds_barrier():
+    ledger = RoundLedger(barrier_depth=4)
+    ledger.charge_phase("a", 10)
+    assert ledger.total_rounds == 10 + 2 * 4 + 1
+    assert ledger.simulated_rounds == 10
+
+
+def test_barrier_depth_zero_costs_one_round():
+    ledger = RoundLedger()
+    ledger.charge_phase("a", 5)
+    assert ledger.total_rounds == 6
+
+
+def test_merge_prefixes_names():
+    inner = RoundLedger()
+    inner.charge("x", 3)
+    outer = RoundLedger()
+    outer.merge(inner, prefix="sub/")
+    assert outer.records[0].name == "sub/x"
+    assert outer.total_rounds == 3
+
+
+def test_summary_contains_totals():
+    ledger = RoundLedger(barrier_depth=2)
+    ledger.charge_phase("phase-one", 7, 13)
+    text = ledger.summary()
+    assert "phase-one" in text
+    assert "TOTAL" in text
+    assert "13" in text
+
+
+def test_phase_record_is_frozen():
+    record = PhaseRecord("a", 1, 2, 3)
+    try:
+        record.rounds = 9
+        raised = False
+    except AttributeError:
+        raised = True
+    assert raised

@@ -1,0 +1,135 @@
+"""Tests for CoreFast (Algorithm 2 / Lemma 5)."""
+
+import pytest
+
+from repro.core import quality
+from repro.core.core_fast import (
+    active_parts,
+    core_fast,
+    core_fast_reference,
+    sampling_parameters,
+)
+from repro.core.existence import best_certified
+from repro.errors import ShortcutError
+
+
+def test_sampling_parameters_probability_range():
+    p, tau = sampling_parameters(1000, 100)
+    assert 0 < p < 1
+    assert tau >= 1
+
+
+def test_sampling_parameters_small_c_degenerates():
+    p, tau = sampling_parameters(64, 1)
+    assert p == 1.0
+    assert tau == 4  # 4 * c * p with p = 1
+
+
+def test_sampling_parameters_rejects_bad_c():
+    with pytest.raises(ShortcutError):
+        sampling_parameters(10, 0)
+
+
+def test_active_parts_probability(grid6_voronoi):
+    from repro.graphs.partitions import singletons
+    from repro.graphs import generators
+
+    big = singletons(generators.grid(20, 20))
+    active = active_parts(big, shared_seed=42, p=0.25)
+    assert 0.15 * big.size < len(active) < 0.35 * big.size
+
+
+def test_active_parts_full_probability(grid6_voronoi):
+    active = active_parts(grid6_voronoi, shared_seed=1, p=1.0)
+    assert len(active) == grid6_voronoi.size
+
+
+def test_matches_reference(grid6, grid6_tree, grid6_voronoi):
+    for shared_seed in (1, 2, 3):
+        outcome = core_fast(
+            grid6, grid6_tree, grid6_voronoi, 3, shared_seed=shared_seed
+        )
+        ref_map, ref_unusable = core_fast_reference(
+            grid6_tree, grid6_voronoi, 3, shared_seed, grid6.n
+        )
+        got = {e: tuple(sorted(p)) for e, p in outcome.shortcut.edge_map.items()}
+        assert got == dict(ref_map)
+        assert outcome.unusable == ref_unusable
+
+
+def test_matches_reference_with_participation(grid6, grid6_tree, grid6_voronoi):
+    keep = {1, 3, 5}
+    outcome = core_fast(
+        grid6, grid6_tree, grid6_voronoi, 3,
+        shared_seed=7, participating=keep,
+    )
+    ref_map, _ = core_fast_reference(
+        grid6_tree, grid6_voronoi, 3, 7, grid6.n, participating=keep
+    )
+    got = {e: tuple(sorted(p)) for e, p in outcome.shortcut.edge_map.items()}
+    assert got == dict(ref_map)
+    for i in range(grid6_voronoi.size):
+        if i not in keep:
+            assert not outcome.shortcut.subgraph(i)
+
+
+def test_congestion_8c_whp(grid6, grid6_tree, grid6_voronoi):
+    point = best_certified(grid6_tree, grid6_voronoi)
+    violations = 0
+    for seed in range(8):
+        outcome = core_fast(
+            grid6, grid6_tree, grid6_voronoi, point.congestion,
+            shared_seed=1000 + seed,
+        )
+        if quality.shortcut_congestion(outcome.shortcut) > 8 * point.congestion:
+            violations += 1
+    assert violations == 0
+
+
+def test_half_good_whp(grid6, grid6_tree, grid6_voronoi):
+    point = best_certified(grid6_tree, grid6_voronoi)
+    failures = 0
+    for seed in range(8):
+        outcome = core_fast(
+            grid6, grid6_tree, grid6_voronoi, point.congestion,
+            shared_seed=2000 + seed,
+        )
+        counts = quality.block_counts(outcome.shortcut)
+        good = sum(1 for count in counts if count <= 3 * point.block)
+        if good < grid6_voronoi.size / 2:
+            failures += 1
+    assert failures == 0
+
+
+def test_round_bound(grid6, grid6_tree, grid6_voronoi):
+    import math
+
+    c = 4
+    _p, tau = sampling_parameters(grid6.n, c)
+    outcome = core_fast(grid6, grid6_tree, grid6_voronoi, c, shared_seed=5)
+    # Phase A: <= D * (tau + 1); Phase B: <= D + measured congestion.
+    measured_c = quality.shortcut_congestion(outcome.shortcut)
+    bound = (grid6_tree.height + 1) * (tau + 1) + grid6_tree.height + measured_c + 2
+    assert outcome.rounds <= bound
+
+
+def test_unusable_edges_unassigned(grid6, grid6_tree):
+    from repro.graphs.partitions import voronoi
+
+    partition = voronoi(grid6, 18, seed=9)
+    outcome = core_fast(grid6, grid6_tree, partition, 1, shared_seed=11)
+    for edge in outcome.unusable:
+        assert edge not in outcome.shortcut.edge_map
+
+
+def test_assignment_contains_own_visibility(grid6, grid6_tree, grid6_voronoi):
+    """Every usable parent edge of a part member must carry that part
+    (the member's id floods at least one hop)."""
+    outcome = core_fast(grid6, grid6_tree, grid6_voronoi, 3, shared_seed=13)
+    for v in grid6.nodes:
+        edge = grid6_tree.parent_edge(v)
+        if edge is None or edge in outcome.unusable:
+            continue
+        part = grid6_voronoi.part_of(v)
+        if part is not None:
+            assert part in outcome.shortcut.edge_map.get(edge, ())

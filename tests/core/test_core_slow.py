@@ -1,0 +1,116 @@
+"""Tests for CoreSlow (Algorithm 1 / Lemma 7)."""
+
+import pytest
+
+from repro.core import quality
+from repro.core.core_slow import core_slow, core_slow_reference
+from repro.core.existence import best_certified
+from repro.errors import ShortcutError
+from repro.graphs import generators, partitions
+from repro.graphs.spanning_trees import SpanningTree
+
+
+def _assert_matches_reference(topology, tree, partition, c, participating=None):
+    outcome = core_slow(topology, tree, partition, c, participating=participating)
+    ref_map, ref_unusable = core_slow_reference(
+        tree, partition, c, participating=participating
+    )
+    got = {e: tuple(sorted(p)) for e, p in outcome.shortcut.edge_map.items()}
+    assert got == dict(ref_map)
+    assert outcome.unusable == ref_unusable
+    return outcome
+
+
+def test_matches_reference_voronoi(grid6, grid6_tree, grid6_voronoi):
+    _assert_matches_reference(grid6, grid6_tree, grid6_voronoi, 3)
+
+
+def test_matches_reference_rows(grid6, grid6_tree, grid6_rows):
+    _assert_matches_reference(grid6, grid6_tree, grid6_rows, 2)
+
+
+def test_matches_reference_with_participation(grid6, grid6_tree, grid6_voronoi):
+    keep = {0, 2, 4}
+    outcome = _assert_matches_reference(
+        grid6, grid6_tree, grid6_voronoi, 3, participating=keep
+    )
+    for i in range(grid6_voronoi.size):
+        if i not in keep:
+            assert not outcome.shortcut.subgraph(i)
+
+
+def test_congestion_at_most_2c(grid6, grid6_tree, grid6_voronoi):
+    for c in (1, 2, 4):
+        outcome = core_slow(grid6, grid6_tree, grid6_voronoi, c)
+        assert quality.shortcut_congestion(outcome.shortcut) <= 2 * c
+
+
+def test_lemma7_half_good(grid6, grid6_tree):
+    """With certified (c, b), at least N/2 parts get block <= 3b."""
+    for partition in (
+        partitions.voronoi(grid6, 6, seed=1),
+        partitions.grid_rows(6, 6),
+        partitions.voronoi(grid6, 12, seed=2),
+    ):
+        point = best_certified(grid6_tree, partition)
+        outcome = core_slow(grid6, grid6_tree, partition, point.congestion)
+        counts = quality.block_counts(outcome.shortcut)
+        good = sum(1 for count in counts if count <= 3 * point.block)
+        assert good >= partition.size / 2
+
+
+def test_round_bound(grid6, grid6_tree, grid6_rows):
+    c = 3
+    outcome = core_slow(grid6, grid6_tree, grid6_rows, c)
+    # Each level streams at most 2c+1 messages: O(D * c).
+    assert outcome.rounds <= (grid6_tree.height + 1) * (2 * c + 2)
+
+
+def test_rejects_c_below_one(grid6, grid6_tree, grid6_voronoi):
+    with pytest.raises(ShortcutError):
+        core_slow(grid6, grid6_tree, grid6_voronoi, 0)
+
+
+def test_huge_c_gives_full_ancestors(grid6, grid6_tree, grid6_voronoi):
+    from repro.core.existence import full_ancestor_shortcut
+
+    outcome = core_slow(grid6, grid6_tree, grid6_voronoi, 50)
+    full = full_ancestor_shortcut(grid6_tree, grid6_voronoi)
+    assert not outcome.unusable
+    for i in range(grid6_voronoi.size):
+        assert outcome.shortcut.subgraph(i) == full.subgraph(i)
+
+
+def test_blocks_always_intersect_parts(grid6, grid6_tree, grid6_voronoi):
+    """CoreSlow's assignments always touch the owning part (the
+    'every component is a block component' structural property)."""
+    outcome = core_slow(grid6, grid6_tree, grid6_voronoi, 2)
+    for i in range(grid6_voronoi.size):
+        # block_components drops non-intersecting components, so the
+        # union of block nodes must cover all assigned edges.
+        blocks = quality.block_components(outcome.shortcut, i)
+        covered = set()
+        for block in blocks:
+            covered |= block.nodes
+        for u, v in outcome.shortcut.subgraph(i):
+            assert u in covered and v in covered
+
+
+def test_unusable_edges_unassigned(grid6, grid6_tree):
+    partition = partitions.voronoi(grid6, 12, seed=5)
+    outcome = core_slow(grid6, grid6_tree, partition, 1)
+    for edge in outcome.unusable:
+        assert edge not in outcome.shortcut.edge_map
+
+
+def test_deterministic_across_seeds(grid6, grid6_tree, grid6_voronoi):
+    a = core_slow(grid6, grid6_tree, grid6_voronoi, 2, seed=1)
+    b = core_slow(grid6, grid6_tree, grid6_voronoi, 2, seed=99)
+    assert a.shortcut.edge_map == b.shortcut.edge_map
+
+
+def test_on_path_topology():
+    path = generators.path(12)
+    tree = SpanningTree.bfs(path, 0)
+    partition = partitions.voronoi(path, 3, seed=1)
+    _assert_matches_reference(path, tree, partition, 2)

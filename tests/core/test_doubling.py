@@ -1,0 +1,81 @@
+"""Tests for the Appendix A doubling mechanism."""
+
+import pytest
+
+from repro.core import quality
+from repro.core.doubling import find_shortcut_doubling
+from repro.errors import ConstructionFailedError
+from repro.graphs import generators, partitions
+from repro.graphs.spanning_trees import SpanningTree
+
+
+def test_succeeds_without_any_knowledge(grid6, grid6_tree, grid6_voronoi):
+    outcome = find_shortcut_doubling(grid6, grid6_tree, grid6_voronoi, seed=1)
+    assert outcome.trials[-1].succeeded
+    counts = quality.block_counts(outcome.result.shortcut)
+    assert all(count <= 3 * outcome.b for count in counts)
+
+
+def test_parameters_double_on_failure(grid6, grid6_tree, grid6_voronoi):
+    outcome = find_shortcut_doubling(grid6, grid6_tree, grid6_voronoi, seed=2)
+    for earlier, later in zip(outcome.trials, outcome.trials[1:]):
+        assert later.c == 2 * earlier.c
+        assert later.b == 2 * earlier.b
+    assert all(not t.succeeded for t in outcome.trials[:-1])
+
+
+def test_custom_start(grid6, grid6_tree, grid6_voronoi):
+    outcome = find_shortcut_doubling(
+        grid6, grid6_tree, grid6_voronoi, c_start=8, b_start=2, seed=3
+    )
+    assert outcome.trials[0].c == 8
+    assert outcome.trials[0].b == 2
+
+
+def test_max_trials_exhaustion(grid6, grid6_tree):
+    # Row parts fail at (c=1, b=1); with a single trial allowed the
+    # search must give up.
+    partition = partitions.grid_rows(6, 6)
+    with pytest.raises(ConstructionFailedError):
+        find_shortcut_doubling(
+            grid6, grid6_tree, partition, max_trials=1, seed=4
+        )
+
+
+def test_works_on_non_genus_graph():
+    topology = generators.erdos_renyi_connected(48, 0.08, seed=5)
+    tree = SpanningTree.bfs(topology, 0)
+    partition = partitions.voronoi(topology, 6, seed=5)
+    outcome = find_shortcut_doubling(topology, tree, partition, seed=5)
+    counts = quality.block_counts(outcome.result.shortcut)
+    assert all(count <= 3 * outcome.b for count in counts)
+
+
+def test_can_beat_theoretical_bound(torus5):
+    """Appendix A: the search may find far better shortcuts than the
+    genus-g worst case promises."""
+    from repro.core.existence import genus_bound
+
+    tree = SpanningTree.bfs(torus5, 0)
+    partition = partitions.voronoi(torus5, 5, seed=7)
+    outcome = find_shortcut_doubling(torus5, tree, partition, seed=7)
+    c_theory, _b_theory = genus_bound(1, tree.height)
+    measured = quality.shortcut_congestion(outcome.result.shortcut)
+    assert measured < c_theory
+
+
+def test_ledger_accumulates_failed_trials(grid6, grid6_tree):
+    partition = partitions.voronoi(grid6, 18, seed=8)
+    outcome = find_shortcut_doubling(grid6, grid6_tree, partition, seed=8)
+    # Rounds include all trials, successful or not.
+    assert outcome.rounds >= outcome.result.ledger.total_rounds - outcome.rounds
+
+
+def test_deterministic_slow_variant(grid6, grid6_tree, grid6_voronoi):
+    a = find_shortcut_doubling(
+        grid6, grid6_tree, grid6_voronoi, use_fast=False, seed=1
+    )
+    b = find_shortcut_doubling(
+        grid6, grid6_tree, grid6_voronoi, use_fast=False, seed=2
+    )
+    assert a.result.shortcut.edge_map == b.result.shortcut.edge_map

@@ -1,0 +1,105 @@
+"""Tests for existential shortcuts and certification."""
+
+import pytest
+
+from repro.core import quality
+from repro.core.existence import (
+    best_certified,
+    certify_frontier,
+    empty_shortcut,
+    full_ancestor_shortcut,
+    genus_bound,
+    greedy_capped_shortcut,
+)
+from repro.errors import ShortcutError
+
+
+def test_full_ancestor_has_block_parameter_one(grid6_tree, grid6_voronoi):
+    s = full_ancestor_shortcut(grid6_tree, grid6_voronoi)
+    assert quality.block_parameter(s) == 1
+
+
+def test_full_ancestor_contains_root_paths(grid6_tree, grid6_voronoi):
+    s = full_ancestor_shortcut(grid6_tree, grid6_voronoi)
+    for i in range(grid6_voronoi.size):
+        for member in grid6_voronoi.members(i):
+            for edge in grid6_tree.path_to_root_edges(member):
+                assert edge in s.subgraph(i)
+
+
+def test_empty_shortcut_block_equals_part_size(grid6_tree, grid6_voronoi):
+    s = empty_shortcut(grid6_tree, grid6_voronoi)
+    counts = quality.block_counts(s)
+    expected = [len(grid6_voronoi.members(i)) for i in range(grid6_voronoi.size)]
+    assert counts == expected
+    assert quality.shortcut_congestion(s) == 0
+
+
+def test_greedy_respects_cap(grid6_tree, grid6_voronoi):
+    for cap in (1, 3, 6):
+        s, _unusable = greedy_capped_shortcut(grid6_tree, grid6_voronoi, cap)
+        assert quality.shortcut_congestion(s) <= cap
+
+
+def test_greedy_with_huge_cap_equals_full_ancestor(grid6_tree, grid6_voronoi):
+    s, unusable = greedy_capped_shortcut(grid6_tree, grid6_voronoi, 100)
+    assert not unusable
+    full = full_ancestor_shortcut(grid6_tree, grid6_voronoi)
+    assert all(
+        s.subgraph(i) == full.subgraph(i) for i in range(grid6_voronoi.size)
+    )
+
+
+def test_greedy_zero_cap_marks_everything(grid6_tree, grid6_voronoi):
+    s, unusable = greedy_capped_shortcut(grid6_tree, grid6_voronoi, 0)
+    assert quality.shortcut_congestion(s) == 0
+    assert unusable  # every edge seeing a part id is unusable
+
+
+def test_greedy_negative_cap_rejected(grid6_tree, grid6_voronoi):
+    with pytest.raises(ShortcutError):
+        greedy_capped_shortcut(grid6_tree, grid6_voronoi, -1)
+
+
+def test_certify_frontier_monotone_blocks(grid6_tree, grid6_voronoi):
+    points = certify_frontier(grid6_tree, grid6_voronoi)
+    assert points, "frontier must be non-empty"
+    # Larger caps can only help: blocks are non-increasing in cap.
+    blocks = [p.block for p in points]
+    assert all(b1 >= b2 for b1, b2 in zip(blocks, blocks[1:]))
+
+
+def test_certified_points_are_real(grid6_tree, grid6_voronoi):
+    # Every frontier point must be achieved by the greedy witness.
+    for point in certify_frontier(grid6_tree, grid6_voronoi):
+        s, _ = greedy_capped_shortcut(grid6_tree, grid6_voronoi, point.cap)
+        assert quality.shortcut_congestion(s) <= point.congestion
+        assert quality.block_parameter(s) <= point.block
+
+
+def test_best_certified_minimises_routing_cost(grid6_tree, grid6_voronoi):
+    best = best_certified(grid6_tree, grid6_voronoi)
+    depth = max(1, grid6_tree.height)
+    for point in certify_frontier(grid6_tree, grid6_voronoi):
+        assert best.routing_cost(depth) <= point.routing_cost(depth)
+
+
+def test_genus_bound_formulas():
+    c, b = genus_bound(0, 10)
+    c1, b1 = genus_bound(1, 10)
+    c3, _ = genus_bound(3, 10)
+    assert c == c1  # planar treated as g=1 factor
+    assert c3 == 3 * c1
+    assert b == b1 >= 1
+
+
+def test_genus_bound_validation():
+    with pytest.raises(ShortcutError):
+        genus_bound(-1, 5)
+    with pytest.raises(ShortcutError):
+        genus_bound(1, -5)
+
+
+def test_genus_bound_small_depth():
+    c, b = genus_bound(1, 0)
+    assert c >= 1 and b >= 1

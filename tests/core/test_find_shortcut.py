@@ -1,0 +1,115 @@
+"""Tests for FindShortcut (Theorem 3)."""
+
+import math
+
+import pytest
+
+from repro.core import quality
+from repro.core.existence import best_certified
+from repro.core.find_shortcut import (
+    default_iteration_limit,
+    find_shortcut,
+)
+from repro.errors import ConstructionFailedError
+from repro.graphs import generators, partitions
+from repro.graphs.spanning_trees import SpanningTree
+
+
+def _run(topology, tree, partition, use_fast=True, seed=1):
+    point = best_certified(tree, partition)
+    result = find_shortcut(
+        topology, tree, partition, point.congestion, point.block,
+        use_fast=use_fast, seed=seed,
+    )
+    return point, result
+
+
+def test_every_part_ends_good(grid6, grid6_tree, grid6_voronoi):
+    point, result = _run(grid6, grid6_tree, grid6_voronoi)
+    counts = quality.block_counts(result.shortcut)
+    assert all(count <= 3 * point.block for count in counts)
+
+
+def test_congestion_bounded_by_iterations(grid6, grid6_tree, grid6_voronoi):
+    point, result = _run(grid6, grid6_tree, grid6_voronoi)
+    measured = quality.shortcut_congestion(result.shortcut)
+    assert measured <= 8 * point.congestion * result.iterations
+
+
+def test_iterations_logarithmic(grid6, grid6_tree, grid6_voronoi):
+    _point, result = _run(grid6, grid6_tree, grid6_voronoi)
+    assert result.iterations <= math.ceil(math.log2(grid6_voronoi.size + 1)) + 3
+
+
+def test_good_history_partitions_parts(grid6, grid6_tree, grid6_voronoi):
+    _point, result = _run(grid6, grid6_tree, grid6_voronoi)
+    seen = set()
+    for good in result.good_history:
+        assert not (good & seen)  # a part is marked good exactly once
+        seen |= good
+    assert seen == set(range(grid6_voronoi.size))
+
+
+def test_slow_variant_deterministic(grid6, grid6_tree, grid6_voronoi):
+    point = best_certified(grid6_tree, grid6_voronoi)
+    a = find_shortcut(
+        grid6, grid6_tree, grid6_voronoi, point.congestion, point.block,
+        use_fast=False, seed=1,
+    )
+    b = find_shortcut(
+        grid6, grid6_tree, grid6_voronoi, point.congestion, point.block,
+        use_fast=False, seed=42,
+    )
+    assert a.shortcut.edge_map == b.shortcut.edge_map
+
+
+def test_fast_variant_reproducible_with_seed(grid6, grid6_tree, grid6_voronoi):
+    point = best_certified(grid6_tree, grid6_voronoi)
+    kwargs = dict(use_fast=True, seed=9, shared_seed=77)
+    a = find_shortcut(
+        grid6, grid6_tree, grid6_voronoi, point.congestion, point.block, **kwargs
+    )
+    b = find_shortcut(
+        grid6, grid6_tree, grid6_voronoi, point.congestion, point.block, **kwargs
+    )
+    assert a.shortcut.edge_map == b.shortcut.edge_map
+    assert a.rounds == b.rounds
+
+
+def test_failure_raises_construction_error(grid6, grid6_tree):
+    # Row parts with c=1, b=1: a cap of 2 shatters the rows into more
+    # than 3 blocks, so parts stay bad and the budget runs out.
+    partition = partitions.grid_rows(6, 6)
+    with pytest.raises(ConstructionFailedError):
+        find_shortcut(
+            grid6, grid6_tree, partition, 1, 1,
+            max_iterations=2, seed=3,
+        )
+
+
+def test_ledger_has_per_phase_records(grid6, grid6_tree, grid6_voronoi):
+    _point, result = _run(grid6, grid6_tree, grid6_voronoi)
+    names = [record.name for record in result.ledger.records]
+    assert any("core" in name for name in names)
+    assert any("partwise" in name for name in names)
+    assert result.rounds == result.ledger.total_rounds
+
+
+def test_default_iteration_limit_grows_with_n():
+    assert default_iteration_limit(2) < default_iteration_limit(4096)
+
+
+def test_works_on_torus(torus5):
+    tree = SpanningTree.bfs(torus5, 0)
+    partition = partitions.voronoi(torus5, 5, seed=2)
+    point, result = _run(torus5, tree, partition)
+    counts = quality.block_counts(result.shortcut)
+    assert all(count <= 3 * point.block for count in counts)
+
+
+def test_works_on_hub_arcs(hub_instance):
+    topology, partition = hub_instance
+    tree = SpanningTree.bfs(topology, 64)
+    point, result = _run(topology, tree, partition)
+    counts = quality.block_counts(result.shortcut)
+    assert all(count <= 3 * point.block for count in counts)

@@ -1,0 +1,136 @@
+"""Tests for Lemma 2 subtree routing."""
+
+import random
+
+import pytest
+
+from repro.core.tree_routing import (
+    broadcast,
+    convergecast,
+    make_task,
+    task_edge_congestion,
+)
+from repro.errors import ShortcutError
+from repro.graphs.spanning_trees import SpanningTree
+
+
+def _root_path_tasks(tree, nodes):
+    tasks = []
+    for tid, v in enumerate(nodes):
+        tasks.append(make_task(tree, tid, {v} | set(tree.ancestors(v))))
+    return tasks
+
+
+def test_make_task_finds_root(grid6_tree):
+    task = make_task(grid6_tree, 0, {35} | set(grid6_tree.ancestors(35)))
+    assert task.root == 0
+    assert task.root_depth == 0
+
+
+def test_make_task_rejects_disconnected(grid6_tree):
+    with pytest.raises(ShortcutError):
+        make_task(grid6_tree, 0, {0, 35})
+
+
+def test_make_task_rejects_empty(grid6_tree):
+    with pytest.raises(ShortcutError):
+        make_task(grid6_tree, 0, set())
+
+
+def test_singleton_task(grid6, grid6_tree):
+    task = make_task(grid6_tree, 5, {17})
+    assert task.root == 17
+    results, run = convergecast(
+        grid6, grid6_tree, [task], {task.key: {17: 99}}, "min"
+    )
+    assert results[task.key] == 99
+    assert run.rounds == 0  # no communication needed
+
+
+def test_convergecast_min_correct(grid6, grid6_tree):
+    tasks = _root_path_tasks(grid6_tree, [35, 30, 11])
+    values = {t.key: {v: v + 100 for v in t.nodes} for t in tasks}
+    results, _run = convergecast(grid6, grid6_tree, tasks, values, "min")
+    for t in tasks:
+        assert results[t.key] == min(t.nodes) + 100
+
+
+def test_convergecast_sum_correct(grid6, grid6_tree):
+    tasks = _root_path_tasks(grid6_tree, [35, 30, 11])
+    values = {t.key: {v: 1 for v in t.nodes} for t in tasks}
+    results, _run = convergecast(grid6, grid6_tree, tasks, values, "sum")
+    for t in tasks:
+        assert results[t.key] == len(t.nodes)
+
+
+def test_convergecast_max_correct(grid6, grid6_tree):
+    tasks = _root_path_tasks(grid6_tree, [35])
+    values = {tasks[0].key: {v: v for v in tasks[0].nodes}}
+    results, _run = convergecast(grid6, grid6_tree, tasks, values, "max")
+    assert results[tasks[0].key] == 35
+
+
+def test_convergecast_relay_only_members(grid6, grid6_tree):
+    # Only the leaf contributes; inner nodes relay None.
+    task = make_task(grid6_tree, 0, {35} | set(grid6_tree.ancestors(35)))
+    results, _run = convergecast(
+        grid6, grid6_tree, [task], {task.key: {35: 7}}, "min"
+    )
+    assert results[task.key] == 7
+
+
+def test_convergecast_all_none(grid6, grid6_tree):
+    task = make_task(grid6_tree, 0, {35} | set(grid6_tree.ancestors(35)))
+    results, _run = convergecast(grid6, grid6_tree, [task], {}, "min")
+    assert results[task.key] is None
+
+
+def test_convergecast_round_bound(grid6, grid6_tree):
+    rng = random.Random(3)
+    tasks = _root_path_tasks(
+        grid6_tree, [rng.randrange(36) for _ in range(40)]
+    )
+    c = task_edge_congestion(grid6_tree, tasks)
+    values = {t.key: {v: v for v in t.nodes} for t in tasks}
+    _results, run = convergecast(grid6, grid6_tree, tasks, values, "min")
+    assert run.rounds <= grid6_tree.height + c + 1
+
+
+def test_broadcast_delivers_everywhere(grid6, grid6_tree):
+    tasks = _root_path_tasks(grid6_tree, [35, 30, 11])
+    payload = {t.key: 500 + t.tid for t in tasks}
+    delivered, _run = broadcast(grid6, grid6_tree, tasks, payload)
+    for t in tasks:
+        assert set(delivered[t.key]) == set(t.nodes)
+        assert all(v == 500 + t.tid for v in delivered[t.key].values())
+
+
+def test_broadcast_round_bound(grid6, grid6_tree):
+    rng = random.Random(9)
+    tasks = _root_path_tasks(
+        grid6_tree, [rng.randrange(36) for _ in range(40)]
+    )
+    c = task_edge_congestion(grid6_tree, tasks)
+    payload = {t.key: t.tid for t in tasks}
+    _delivered, run = broadcast(grid6, grid6_tree, tasks, payload)
+    assert run.rounds <= grid6_tree.height + c + 1
+
+
+def test_task_edge_congestion_counts(grid6_tree):
+    tasks = _root_path_tasks(grid6_tree, [35, 35, 35])
+    # Three identical root paths: every path edge carries 3 tasks.
+    assert task_edge_congestion(grid6_tree, tasks) == 3
+
+
+def test_priority_is_by_root_depth_then_id(grid6_tree):
+    deep = make_task(grid6_tree, 0, {35, grid6_tree.parent(35)})
+    shallow = make_task(grid6_tree, 1, {0} | set(grid6_tree.children(0)))
+    assert shallow.priority < deep.priority
+
+
+def test_combine_rejects_unknown_op(grid6, grid6_tree):
+    task = make_task(grid6_tree, 0, {35} | set(grid6_tree.ancestors(35)))
+    with pytest.raises(ShortcutError):
+        convergecast(
+            grid6, grid6_tree, [task], {task.key: {35: 1, 0: 2}}, "xor"
+        )

@@ -1,0 +1,70 @@
+"""Tests for the Verification subroutine (Lemmas 3 and 6)."""
+
+from repro.congest.trace import RoundLedger
+from repro.core import quality
+from repro.core.core_slow import core_slow
+from repro.core.existence import best_certified, empty_shortcut
+from repro.core.verification import verification
+
+
+def test_finds_exactly_the_good_parts(grid6, grid6_tree, grid6_voronoi):
+    point = best_certified(grid6_tree, grid6_voronoi)
+    outcome = core_slow(grid6, grid6_tree, grid6_voronoi, point.congestion)
+    truth = quality.block_counts(outcome.shortcut)
+    for b_limit in (1, 2, 3):
+        verdict = verification(grid6, outcome.shortcut, b_limit, seed=1)
+        expected = frozenset(
+            i for i, count in enumerate(truth) if count <= b_limit
+        )
+        assert verdict.good_parts == expected
+
+
+def test_counts_reported(grid6, grid6_tree, grid6_voronoi):
+    point = best_certified(grid6_tree, grid6_voronoi)
+    outcome = core_slow(grid6, grid6_tree, grid6_voronoi, point.congestion)
+    truth = quality.block_counts(outcome.shortcut)
+    b_max = max(truth)
+    verdict = verification(grid6, outcome.shortcut, b_max, seed=2)
+    for i, count in enumerate(truth):
+        assert verdict.counts[i] == count
+
+
+def test_consider_filter(grid6, grid6_tree, grid6_voronoi):
+    point = best_certified(grid6_tree, grid6_voronoi)
+    outcome = core_slow(grid6, grid6_tree, grid6_voronoi, point.congestion)
+    truth = quality.block_counts(outcome.shortcut)
+    b_max = max(truth)
+    verdict = verification(
+        grid6, outcome.shortcut, b_max, consider={0, 1}, seed=3
+    )
+    assert verdict.good_parts <= {0, 1}
+
+
+def test_empty_shortcut_counts_part_sizes(grid6, grid6_tree, grid6_voronoi):
+    shortcut = empty_shortcut(grid6_tree, grid6_voronoi)
+    sizes = [len(grid6_voronoi.members(i)) for i in range(grid6_voronoi.size)]
+    b_limit = max(sizes)
+    verdict = verification(grid6, shortcut, b_limit, seed=4)
+    assert verdict.good_parts == frozenset(range(grid6_voronoi.size))
+    for i, size in enumerate(sizes):
+        assert verdict.counts[i] == size
+
+
+def test_round_cost_scales_with_limit(grid6, grid6_tree, grid6_voronoi):
+    point = best_certified(grid6_tree, grid6_voronoi)
+    outcome = core_slow(grid6, grid6_tree, grid6_voronoi, point.congestion)
+    costs = []
+    for b_limit in (1, 4):
+        ledger = RoundLedger()
+        verification(grid6, outcome.shortcut, b_limit, seed=5, ledger=ledger)
+        costs.append(ledger.total_rounds)
+    assert costs[0] < costs[1]  # more supersteps for larger limits
+
+
+def test_singleton_parts(grid6, grid6_tree):
+    from repro.graphs.partitions import singletons
+
+    partition = singletons(grid6)
+    shortcut = empty_shortcut(grid6_tree, partition)
+    verdict = verification(grid6, shortcut, 1, seed=6)
+    assert verdict.good_parts == frozenset(range(36))

@@ -1,0 +1,173 @@
+"""Tests for workload graph generators."""
+
+import networkx as nx
+import pytest
+
+from repro.congest.topology import Topology
+from repro.errors import TopologyError
+from repro.graphs import generators
+
+
+def test_path_structure():
+    t = generators.path(5)
+    assert (t.n, t.m) == (5, 4)
+    assert t.diameter() == 4
+
+
+def test_cycle_structure():
+    t = generators.cycle(8)
+    assert (t.n, t.m) == (8, 8)
+    assert t.diameter() == 4
+    assert all(t.degree(v) == 2 for v in t.nodes)
+
+
+def test_cycle_too_small():
+    with pytest.raises(TopologyError):
+        generators.cycle(2)
+
+
+def test_star_structure():
+    t = generators.star(7)
+    assert t.degree(0) == 6
+    assert t.diameter() == 2
+
+
+def test_complete_structure():
+    t = generators.complete(6)
+    assert t.m == 15
+    assert t.diameter() == 1
+
+
+def test_binary_tree():
+    t = generators.binary_tree(3)
+    assert t.n == 15
+    assert t.m == 14
+
+
+def test_grid_structure():
+    t = generators.grid(4, 5)
+    assert t.n == 20
+    assert t.m == 4 * 4 + 3 * 5
+    assert t.diameter() == 3 + 4
+
+
+def test_triangulated_grid_is_planar():
+    t = generators.triangulated_grid(4, 4)
+    planar, _embedding = nx.check_planarity(t.to_networkx())
+    assert planar
+
+
+def test_grid_is_planar():
+    planar, _ = nx.check_planarity(generators.grid(5, 5).to_networkx())
+    assert planar
+
+
+def test_cycle_with_hub_planar_and_small_diameter():
+    t = generators.cycle_with_hub(64, 8)
+    planar, _ = nx.check_planarity(t.to_networkx())
+    assert planar
+    assert t.diameter() <= 8 + 4
+
+
+def test_cycle_with_hub_bad_spokes():
+    with pytest.raises(TopologyError):
+        generators.cycle_with_hub(10, 0)
+
+
+def test_delaunay_planar_connected():
+    t = generators.delaunay(80, seed=1)
+    assert t.n == 80
+    planar, _ = nx.check_planarity(t.to_networkx())
+    assert planar
+
+
+def test_torus_regular_degree_four():
+    t = generators.torus(5, 6)
+    assert all(t.degree(v) == 4 for v in t.nodes)
+
+
+def test_torus_not_planar():
+    planar, _ = nx.check_planarity(generators.torus(5, 5).to_networkx())
+    assert not planar
+
+
+def test_torus_too_small():
+    with pytest.raises(TopologyError):
+        generators.torus(2, 5)
+
+
+def test_genus_chain_zero_is_grid():
+    t = generators.genus_chain(0, 4, 4)
+    assert t.n == 16
+    planar, _ = nx.check_planarity(t.to_networkx())
+    assert planar
+
+
+def test_genus_chain_node_count_and_connectivity():
+    t = generators.genus_chain(3, 4, 4)
+    assert t.n == 3 * 16
+    assert nx.is_connected(t.to_networkx())
+
+
+def test_genus_chain_has_bridges():
+    t = generators.genus_chain(2, 3, 3)
+    bridges = list(nx.bridges(t.to_networkx()))
+    assert len(bridges) == 1  # one bridge per junction
+
+
+def test_k_tree_clique_count():
+    t = generators.k_tree(30, 2, seed=1)
+    assert t.n == 30
+    # A k-tree on n nodes has k*n - k*(k+1)/2 edges.
+    assert t.m == 2 * 30 - 3
+
+
+def test_k_tree_too_small():
+    with pytest.raises(TopologyError):
+        generators.k_tree(2, 3)
+
+
+def test_series_parallel_connected():
+    t = generators.series_parallel(40, seed=5)
+    assert nx.is_connected(t.to_networkx())
+
+
+def test_erdos_renyi_connected_always():
+    for seed in range(5):
+        t = generators.erdos_renyi_connected(40, 0.02, seed=seed)
+        assert nx.is_connected(t.to_networkx())
+
+
+def test_random_regular_degree():
+    t = generators.random_regular(20, 4, seed=3)
+    assert all(t.degree(v) == 4 for v in t.nodes)
+
+
+def test_grid_node_indexing():
+    assert generators.grid_node(2, 3, 5) == 13
+
+
+def test_clique_caterpillar_structure():
+    t = generators.clique_caterpillar(12, 3)
+    assert t.n == 12
+    # Windows of 4 consecutive nodes form cliques.
+    assert t.has_edge(0, 3)
+    assert not t.has_edge(0, 4)
+    import networkx as nx
+
+    assert nx.is_connected(t.to_networkx())
+
+
+def test_clique_caterpillar_width_one_is_path():
+    t = generators.clique_caterpillar(8, 1)
+    assert t.m == 7
+    assert t.diameter() == 7
+
+
+def test_clique_caterpillar_validation():
+    import pytest as _pytest
+
+    with _pytest.raises(TopologyError):
+        generators.clique_caterpillar(3, 0)
+    with _pytest.raises(TopologyError):
+        generators.clique_caterpillar(3, 3)

@@ -1,0 +1,63 @@
+"""Tests for the lower-bound witness family."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.errors import TopologyError
+from repro.graphs.hard_instances import peleg_rubinovich, square_instance
+
+
+def test_structure_counts():
+    inst = peleg_rubinovich(4, 7)
+    assert inst.n_paths == 4
+    assert inst.path_length == 7
+    assert len(inst.paths) == 4
+    assert all(len(p) == 8 for p in inst.paths)
+
+
+def test_connected():
+    inst = peleg_rubinovich(5, 5)
+    assert nx.is_connected(inst.topology.to_networkx())
+
+
+def test_paths_are_paths():
+    inst = peleg_rubinovich(3, 6)
+    for path in inst.paths:
+        for a, b in zip(path, path[1:]):
+            assert inst.topology.has_edge(a, b)
+
+
+def test_small_diameter():
+    inst = square_instance(8)
+    # Diameter is O(log l) via the tree, far below the path length.
+    assert inst.topology.diameter() <= 2 * math.ceil(math.log2(9)) + 4
+
+
+def test_columns_attach_to_all_paths():
+    inst = peleg_rubinovich(3, 4)
+    # Each column node connects to a single tree leaf; that leaf must
+    # touch every path at the same column index.
+    for j in range(5):
+        leaf_neighbors = set()
+        first_col_node = inst.paths[0][j]
+        for w in inst.topology.neighbors(first_col_node):
+            if w in inst.tree_nodes:
+                leaf_neighbors.add(w)
+        assert leaf_neighbors, "column not spoked to the tree"
+        leaf = leaf_neighbors.pop()
+        for i in range(3):
+            assert inst.topology.has_edge(leaf, inst.paths[i][j])
+
+
+def test_square_instance_size():
+    inst = square_instance(6)
+    assert inst.topology.n >= 6 * 7
+
+
+def test_invalid_parameters():
+    with pytest.raises(TopologyError):
+        peleg_rubinovich(0, 5)
+    with pytest.raises(TopologyError):
+        peleg_rubinovich(5, 0)

@@ -1,0 +1,136 @@
+"""Tests for the partition type and generators."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.graphs import generators
+from repro.graphs.partitions import (
+    Partition,
+    cycle_arcs,
+    grid_bands,
+    grid_columns,
+    grid_rows,
+    random_arcs,
+    singletons,
+    voronoi,
+    whole,
+)
+
+
+def test_partition_basic():
+    p = Partition(5, [[0, 1], [2, 3]])
+    assert p.size == 2
+    assert p.part_of(0) == 0
+    assert p.part_of(4) is None
+    assert p.covered == 4
+
+
+def test_partition_rejects_overlap():
+    with pytest.raises(TopologyError):
+        Partition(4, [[0, 1], [1, 2]])
+
+
+def test_partition_rejects_empty_part():
+    with pytest.raises(TopologyError):
+        Partition(4, [[0], []])
+
+
+def test_partition_rejects_bad_node():
+    with pytest.raises(TopologyError):
+        Partition(3, [[0, 7]])
+
+
+def test_from_labels_roundtrip():
+    p = Partition.from_labels([2, 2, None, 5, 5, 5])
+    assert p.size == 2
+    assert p.members(0) == frozenset({0, 1})
+    assert p.members(1) == frozenset({3, 4, 5})
+    assert p.part_of(2) is None
+
+
+def test_validate_connected_accepts_connected(grid6):
+    voronoi(grid6, 5, seed=1).validate_connected(grid6)
+
+
+def test_validate_connected_rejects_disconnected(grid6):
+    p = Partition(36, [[0, 35]])  # two opposite corners
+    with pytest.raises(TopologyError):
+        p.validate_connected(grid6)
+
+
+def test_part_diameters(grid6):
+    p = grid_rows(6, 6)
+    assert p.part_diameters(grid6) == [5] * 6
+
+
+def test_singletons(grid6):
+    p = singletons(grid6)
+    assert p.size == 36
+    assert all(len(p.members(i)) == 1 for i in range(36))
+
+
+def test_whole(grid6):
+    p = whole(grid6)
+    assert p.size == 1
+    assert p.covered == 36
+
+
+def test_grid_rows_and_columns_cover(grid6):
+    rows = grid_rows(6, 6)
+    cols = grid_columns(6, 6)
+    assert rows.covered == cols.covered == 36
+    rows.validate_connected(grid6)
+    cols.validate_connected(grid6)
+
+
+def test_grid_bands_height():
+    p = grid_bands(6, 6, 2)
+    assert p.size == 3
+    assert all(len(p.members(i)) == 12 for i in range(3))
+
+
+def test_grid_bands_uneven():
+    p = grid_bands(7, 4, 3)
+    assert p.size == 3
+    assert len(p.members(2)) == 4  # last band one row
+
+
+def test_cycle_arcs_structure():
+    p = cycle_arcs(64, 8, extra_nodes=1)
+    assert p.size == 8
+    assert p.covered == 64
+    assert p.part_of(64) is None  # hub uncovered
+
+
+def test_cycle_arcs_contiguous():
+    p = cycle_arcs(10, 3)
+    for i in range(p.size):
+        members = sorted(p.members(i))
+        assert members == list(range(members[0], members[-1] + 1))
+
+
+def test_voronoi_covers_everything(grid6):
+    p = voronoi(grid6, 7, seed=2)
+    assert p.covered == 36
+    p.validate_connected(grid6)
+
+
+def test_voronoi_part_count(grid6):
+    assert voronoi(grid6, 7, seed=2).size == 7
+
+
+def test_voronoi_bad_count(grid6):
+    with pytest.raises(TopologyError):
+        voronoi(grid6, 0)
+    with pytest.raises(TopologyError):
+        voronoi(grid6, 37)
+
+
+def test_random_arcs_partial_coverage(grid6):
+    p = random_arcs(grid6, 5, seed=3)
+    assert 0 < p.covered < 36
+    p.validate_connected(grid6)
+
+
+def test_repr(grid6):
+    assert "N=6" in repr(grid_rows(6, 6))

@@ -1,0 +1,116 @@
+"""Tests for rooted spanning trees."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.graphs import generators
+from repro.graphs.spanning_trees import SpanningTree
+
+
+@pytest.fixture
+def small_tree():
+    #      0
+    #     / \
+    #    1   2
+    #   / \   \
+    #  3   4   5
+    return SpanningTree(0, [-1, 0, 0, 1, 1, 2])
+
+
+def test_basic_structure(small_tree):
+    assert small_tree.root == 0
+    assert small_tree.height == 2
+    assert small_tree.parent(3) == 1
+    assert small_tree.parent(0) is None
+    assert small_tree.children(1) == (3, 4)
+    assert small_tree.depth(5) == 2
+
+
+def test_edges_canonical(small_tree):
+    assert (0, 1) in small_tree.edges
+    assert (1, 3) in small_tree.edges
+    assert len(small_tree.edges) == 5
+
+
+def test_parent_edge(small_tree):
+    assert small_tree.parent_edge(4) == (1, 4)
+    assert small_tree.parent_edge(0) is None
+
+
+def test_is_tree_edge(small_tree):
+    assert small_tree.is_tree_edge(3, 1)
+    assert not small_tree.is_tree_edge(3, 4)
+
+
+def test_ancestors(small_tree):
+    assert list(small_tree.ancestors(3)) == [1, 0]
+    assert list(small_tree.ancestors(3, include_self=True)) == [3, 1, 0]
+    assert list(small_tree.ancestors(0)) == []
+
+
+def test_path_to_root_edges(small_tree):
+    assert list(small_tree.path_to_root_edges(4)) == [(1, 4), (0, 1)]
+
+
+def test_order_bottom_up(small_tree):
+    order = small_tree.order_bottom_up()
+    position = {v: i for i, v in enumerate(order)}
+    for v in range(1, 6):
+        assert position[v] < position[small_tree.parent(v)]
+
+
+def test_subtree_sizes(small_tree):
+    sizes = small_tree.subtree_sizes()
+    assert sizes[0] == 6
+    assert sizes[1] == 3
+    assert sizes[5] == 1
+
+
+def test_lower_endpoint(small_tree):
+    assert small_tree.lower_endpoint((0, 1)) == 1
+    assert small_tree.lower_endpoint((1, 4)) == 4
+    with pytest.raises(TopologyError):
+        small_tree.lower_endpoint((3, 4))
+
+
+def test_rejects_cycle():
+    with pytest.raises(TopologyError):
+        SpanningTree(0, [-1, 2, 1])  # 1 and 2 point at each other
+
+
+def test_rejects_double_root():
+    with pytest.raises(TopologyError):
+        SpanningTree(0, [-1, -1, 0])
+
+
+def test_rejects_root_with_parent():
+    with pytest.raises(TopologyError):
+        SpanningTree(0, [1, -1, 1])  # node 0 claims parent but is root
+
+
+def test_none_parent_accepted_for_root():
+    tree = SpanningTree(1, [1, None, 1])
+    assert tree.root == 1
+    assert tree.parent(1) is None
+
+
+def test_bfs_optimal_depth(grid6):
+    tree = SpanningTree.bfs(grid6, 0)
+    assert tree.height == grid6.eccentricity(0)
+    tree.validate_in(grid6)
+
+
+def test_validate_in_rejects_foreign_edges(grid6):
+    # A "tree" using a non-grid edge (0, 35).
+    parent = [(-1 if v == 0 else 0) for v in range(36)]
+    tree = SpanningTree(0, parent)
+    with pytest.raises(TopologyError):
+        tree.validate_in(grid6)
+
+
+def test_bfs_on_disconnected_raises():
+    from repro.congest.topology import Topology
+
+    t = Topology(4, [(0, 1), (2, 3)], require_connected=False)
+    with pytest.raises(TopologyError):
+        SpanningTree.bfs(t, 0)

@@ -1,0 +1,62 @@
+"""Tests for weight assignments."""
+
+from repro.graphs import generators
+from repro.graphs.weights import (
+    hub_adversarial_weights,
+    perturbed_weights,
+    unique_random_weights,
+    weighted,
+)
+
+
+def test_unique_random_weights_are_a_bijection(grid6):
+    weights = unique_random_weights(grid6, seed=1)
+    assert sorted(weights.values()) == list(range(1, grid6.m + 1))
+    assert set(weights) == set(grid6.edges)
+
+
+def test_unique_random_weights_seeded(grid6):
+    assert unique_random_weights(grid6, 1) == unique_random_weights(grid6, 1)
+    assert unique_random_weights(grid6, 1) != unique_random_weights(grid6, 2)
+
+
+def test_weighted_attaches(grid6):
+    t = weighted(grid6, seed=4)
+    assert t.is_weighted
+    assert t.n == grid6.n
+
+
+def test_perturbed_preserves_order(grid6):
+    base = {edge: (1 if edge[0] == 0 else 5) for edge in grid6.edges}
+    out = perturbed_weights(grid6, base)
+    light = [out[e] for e in grid6.edges if e[0] == 0]
+    heavy = [out[e] for e in grid6.edges if e[0] != 0]
+    assert max(light) < min(heavy)
+
+
+def test_perturbed_all_unique(grid6):
+    base = {edge: 7 for edge in grid6.edges}
+    out = perturbed_weights(grid6, base)
+    assert len(set(out.values())) == grid6.m
+
+
+def test_hub_adversarial_cycle_lighter_than_spokes():
+    t = generators.cycle_with_hub(32, 4)
+    w = hub_adversarial_weights(t, 32, seed=2)
+    cycle_max = max(
+        w.weight(u, v) for u, v in w.edges if u < 32 and v < 32
+    )
+    spoke_min = min(
+        w.weight(u, v) for u, v in w.edges if u >= 32 or v >= 32
+    )
+    assert cycle_max < spoke_min
+
+
+def test_hub_adversarial_mst_is_mostly_cycle():
+    from repro.apps.mst import kruskal_reference
+
+    t = generators.cycle_with_hub(32, 4)
+    w = hub_adversarial_weights(t, 32, seed=2)
+    edges, _weight = kruskal_reference(w)
+    spoke_edges = [e for e in edges if e[0] >= 32 or e[1] >= 32]
+    assert len(spoke_edges) == 1  # hub hangs off one spoke only

@@ -1,0 +1,70 @@
+"""End-to-end pipelines exercising the full public API."""
+
+import networkx as nx
+
+from repro.apps import (
+    approximate_min_cut,
+    connected_components,
+    kruskal_reference,
+    minimum_spanning_tree,
+    mst_kutten_peleg,
+)
+from repro.congest import RoundLedger, Topology, build_bfs_tree
+from repro.core import (
+    PartwiseEngine,
+    find_shortcut_doubling,
+    measure,
+)
+from repro.graphs import generators, voronoi
+from repro.graphs.weights import weighted
+
+
+def test_quickstart_pipeline():
+    """The README quickstart, as a test."""
+    topology = generators.grid(8, 8)
+    partition = voronoi(topology, 8, seed=1)
+    ledger = RoundLedger()
+    tree, _ = build_bfs_tree(topology, root=0, ledger=ledger)
+    outcome = find_shortcut_doubling(topology, tree, partition, seed=2, ledger=ledger)
+    report = measure(outcome.result.shortcut, topology)
+    assert report.block_parameter <= 3 * outcome.b
+    engine = PartwiseEngine(topology, outcome.result.shortcut, seed=3, ledger=ledger)
+    leaders, _ = engine.elect_leaders(3 * outcome.b)
+    assert len(leaders) == partition.size
+    assert ledger.total_rounds > 0
+
+
+def test_mst_pipeline_on_three_topologies():
+    for base, kwargs in [
+        (generators.grid(5, 5), dict(mode="genus", genus=0)),
+        (generators.torus(5, 5), dict(mode="genus", genus=1)),
+        (generators.k_tree(20, 2, seed=1), dict(mode="doubling")),
+    ]:
+        topology = weighted(base, seed=5)
+        result = minimum_spanning_tree(topology, seed=6, **kwargs)
+        assert result.weight == kruskal_reference(topology)[1]
+
+
+def test_shortcut_and_baseline_agree_everywhere():
+    topology = weighted(generators.delaunay(36, seed=7), seed=7)
+    a = minimum_spanning_tree(topology, mode="doubling", seed=8)
+    b = mst_kutten_peleg(topology, seed=8)
+    assert a.edges == b.edges
+
+
+def test_connectivity_and_mincut_pipeline():
+    topology = generators.torus(5, 5)
+    cut = approximate_min_cut(topology, seed=9)
+    exact = nx.stoer_wagner(topology.to_networkx(), weight=None)[0]
+    assert exact <= cut.value <= 3 * exact
+    # Remove the found cut: the graph must split into >= 2 components.
+    alive = [e for e in topology.edges if e not in cut.cut_edges]
+    labelling = connected_components(topology, alive, seed=10)
+    assert labelling.components >= 2
+
+
+def test_round_ledger_is_additive_across_pipeline():
+    topology = weighted(generators.grid(4, 4), seed=11)
+    result = minimum_spanning_tree(topology, mode="doubling", seed=12)
+    total = sum(r.rounds + r.barrier_rounds for r in result.ledger.records)
+    assert total == result.rounds

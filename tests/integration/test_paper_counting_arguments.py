@@ -1,0 +1,74 @@
+"""Direct checks of the paper's internal counting arguments.
+
+The proofs of Lemmas 5 and 7 rest on two countable facts:
+
+* the number of unusable edges satisfies ``|U| <= N * b / c`` (each
+  part is blamed at most ``b`` times, and each unusable edge needs at
+  least ``c`` blames);
+* consequently at most ``|U| * c / (2b) <= N / 2`` parts are *bad*
+  (a bad part must miss at least ``2b`` edges).
+
+These are sharper, measurable statements than the headline guarantees,
+and they must hold on every instance where the certified (c, b)
+promise is genuine.
+"""
+
+import pytest
+
+from repro.core import quality
+from repro.core.core_slow import core_slow
+from repro.core.existence import best_certified, greedy_capped_shortcut
+from repro.graphs import generators, partitions
+from repro.graphs.spanning_trees import SpanningTree
+
+INSTANCES = [
+    ("grid-rows", lambda: generators.grid(8, 8), lambda t: partitions.grid_rows(8, 8)),
+    ("grid-voronoi", lambda: generators.grid(8, 8), lambda t: partitions.voronoi(t, 10, seed=2)),
+    ("torus", lambda: generators.torus(6, 6), lambda t: partitions.voronoi(t, 8, seed=3)),
+    ("hub", lambda: generators.cycle_with_hub(96, 8), lambda t: partitions.cycle_arcs(96, 8, extra_nodes=1)),
+]
+
+
+@pytest.mark.parametrize("name,make,parts", INSTANCES, ids=[i[0] for i in INSTANCES])
+def test_unusable_edge_bound(name, make, parts):
+    """Lemma 7's |U| <= N b / c, with (c, b) certified on the instance."""
+    topology = make()
+    partition = parts(topology)
+    tree = SpanningTree.bfs(topology, 0)
+    point = best_certified(tree, partition)
+    outcome = core_slow(topology, tree, partition, point.congestion)
+    bound = partition.size * point.block / point.congestion
+    assert len(outcome.unusable) <= bound + 1e-9
+
+
+@pytest.mark.parametrize("name,make,parts", INSTANCES, ids=[i[0] for i in INSTANCES])
+def test_bad_part_bound(name, make, parts):
+    """At most |U| c / (2b) parts can be bad — hence at least N/2 good."""
+    topology = make()
+    partition = parts(topology)
+    tree = SpanningTree.bfs(topology, 0)
+    point = best_certified(tree, partition)
+    outcome = core_slow(topology, tree, partition, point.congestion)
+    counts = quality.block_counts(outcome.shortcut)
+    bad = sum(1 for count in counts if count > 3 * point.block)
+    bad_bound = len(outcome.unusable) * point.congestion / (2 * point.block)
+    assert bad <= bad_bound + 1e-9
+    assert bad <= partition.size / 2
+
+
+def test_missed_edges_create_at_most_one_block_each():
+    """The proof identifies each extra block with a unique missed edge:
+    blocks(computed) <= blocks(canonical) + missed edges."""
+    topology = generators.grid(8, 8)
+    partition = partitions.voronoi(topology, 10, seed=5)
+    tree = SpanningTree.bfs(topology, 0)
+    point = best_certified(tree, partition)
+    canonical, _ = greedy_capped_shortcut(tree, partition, point.cap)
+    outcome = core_slow(topology, tree, partition, point.congestion)
+    canonical_counts = quality.block_counts(canonical)
+    computed_counts = quality.block_counts(outcome.shortcut)
+    for i in range(partition.size):
+        missed = len(
+            [e for e in canonical.subgraph(i) if e in outcome.unusable]
+        )
+        assert computed_counts[i] <= canonical_counts[i] + missed

@@ -1,0 +1,96 @@
+"""Integration tests: every theorem's bound, end to end.
+
+These tie the whole stack together: existence certification feeds the
+distributed construction, the construction feeds the routing engine,
+and every quantitative guarantee from the paper is asserted on the
+result.
+"""
+
+import math
+
+import pytest
+
+from repro.congest.trace import RoundLedger
+from repro.core import quality
+from repro.core.existence import best_certified, genus_bound
+from repro.core.find_shortcut import find_shortcut
+from repro.core.partwise import PartwiseEngine
+from repro.graphs import generators, partitions
+from repro.graphs.spanning_trees import SpanningTree
+
+
+CASES = [
+    ("grid", lambda: generators.grid(8, 8), 8),
+    ("torus", lambda: generators.torus(6, 6), 6),
+    ("delaunay", lambda: generators.delaunay(60, seed=1), 8),
+    ("hub", lambda: generators.cycle_with_hub(96, 8), 6),
+]
+
+
+@pytest.mark.parametrize("name,make,n_parts", CASES, ids=[c[0] for c in CASES])
+def test_theorem3_quality_guarantees(name, make, n_parts):
+    topology = make()
+    tree = SpanningTree.bfs(topology, 0)
+    partition = partitions.voronoi(topology, n_parts, seed=2)
+    point = best_certified(tree, partition)
+    result = find_shortcut(
+        topology, tree, partition, point.congestion, point.block, seed=4
+    )
+    report = quality.measure(result.shortcut, topology, with_dilation=True)
+    # Theorem 3: block <= 3b, congestion O(c log N).
+    assert report.block_parameter <= 3 * point.block
+    assert report.shortcut_congestion <= 8 * point.congestion * result.iterations
+    assert result.iterations <= math.ceil(math.log2(partition.size + 1)) + 3
+    # Lemma 1 on top.
+    assert report.dilation <= quality.lemma1_bound(
+        report.block_parameter, tree.height
+    )
+
+
+@pytest.mark.parametrize("genus", [0, 1, 2])
+def test_corollary1_genus_pipeline(genus):
+    topology = generators.genus_chain(genus, 4, 4)
+    tree = SpanningTree.bfs(topology, 0)
+    partition = partitions.voronoi(topology, max(2, topology.n // 8), seed=3)
+    c, b = genus_bound(genus, tree.height)
+    result = find_shortcut(topology, tree, partition, c, b, seed=5)
+    report = quality.measure(result.shortcut, topology, with_dilation=False)
+    assert report.block_parameter <= 3 * b
+
+
+def test_theorem2_routing_on_constructed_shortcut():
+    topology = generators.grid(8, 8)
+    tree = SpanningTree.bfs(topology, 0)
+    partition = partitions.voronoi(topology, 8, seed=6)
+    point = best_certified(tree, partition)
+    result = find_shortcut(
+        topology, tree, partition, point.congestion, point.block, seed=7
+    )
+    report = quality.measure(result.shortcut, topology, with_dilation=False)
+    ledger = RoundLedger()
+    engine = PartwiseEngine(topology, result.shortcut, seed=8, ledger=ledger)
+    b = max(1, report.block_parameter)
+    c = max(1, report.shortcut_congestion)
+    leaders, _knowledge = engine.elect_leaders(b)
+    for i in range(partition.size):
+        assert leaders[i] == min(partition.members(i))
+    # Theorem 2: O(b (D + c)) with the superstep constant ~4.
+    assert ledger.total_rounds <= 4 * (b + 1) * (tree.height + c + 2)
+
+
+def test_rounds_scale_with_depth_not_part_diameter():
+    """The headline promise: rounds track D, not part diameters."""
+    ledgers = {}
+    for n_cycle in (64, 256):
+        topology = generators.cycle_with_hub(n_cycle, 8)
+        partition = partitions.cycle_arcs(n_cycle, 8, extra_nodes=1)
+        tree = SpanningTree.bfs(topology, n_cycle)
+        point = best_certified(tree, partition)
+        ledger = RoundLedger(barrier_depth=tree.height)
+        find_shortcut(
+            topology, tree, partition, point.congestion, point.block,
+            seed=9, ledger=ledger,
+        )
+        ledgers[n_cycle] = ledger.total_rounds
+    # Quadrupling n (and part diameters) must not quadruple rounds.
+    assert ledgers[256] < 3 * ledgers[64]

@@ -1,0 +1,70 @@
+"""Property-based tests for the core constructions (Lemmas 5, 7; Thm 3)."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core import quality
+from repro.core.core_fast import core_fast, core_fast_reference
+from repro.core.core_slow import core_slow, core_slow_reference
+from repro.core.existence import best_certified
+from repro.graphs import generators, partitions
+from repro.graphs.spanning_trees import SpanningTree
+
+settings.register_profile(
+    "repro-construction",
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro-construction")
+
+
+@st.composite
+def instances(draw):
+    side = draw(st.integers(3, 6))
+    topology = generators.grid(side, side)
+    tree = SpanningTree.bfs(topology, 0)
+    n_parts = draw(st.integers(1, topology.n // 2))
+    partition = partitions.voronoi(
+        topology, n_parts, seed=draw(st.integers(0, 500))
+    )
+    return topology, tree, partition
+
+
+@given(instances(), st.integers(1, 8))
+def test_core_slow_distributed_equals_reference(instance, c):
+    topology, tree, partition = instance
+    outcome = core_slow(topology, tree, partition, c)
+    ref_map, ref_unusable = core_slow_reference(tree, partition, c)
+    got = {e: tuple(sorted(p)) for e, p in outcome.shortcut.edge_map.items()}
+    assert got == dict(ref_map)
+    assert outcome.unusable == ref_unusable
+
+
+@given(instances(), st.integers(1, 8), st.integers(0, 100))
+def test_core_fast_distributed_equals_reference(instance, c, shared_seed):
+    topology, tree, partition = instance
+    outcome = core_fast(topology, tree, partition, c, shared_seed=shared_seed)
+    ref_map, ref_unusable = core_fast_reference(
+        tree, partition, c, shared_seed, topology.n
+    )
+    got = {e: tuple(sorted(p)) for e, p in outcome.shortcut.edge_map.items()}
+    assert got == dict(ref_map)
+    assert outcome.unusable == ref_unusable
+
+
+@given(instances(), st.integers(1, 8))
+def test_core_slow_congestion_invariant(instance, c):
+    topology, tree, partition = instance
+    outcome = core_slow(topology, tree, partition, c)
+    assert quality.shortcut_congestion(outcome.shortcut) <= 2 * c
+
+
+@given(instances())
+def test_core_slow_half_good_with_certified_parameters(instance):
+    topology, tree, partition = instance
+    point = best_certified(tree, partition)
+    outcome = core_slow(topology, tree, partition, point.congestion)
+    counts = quality.block_counts(outcome.shortcut)
+    good = sum(1 for count in counts if count <= 3 * point.block)
+    assert good >= partition.size / 2

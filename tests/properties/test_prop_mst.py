@@ -1,0 +1,47 @@
+"""Property-based end-to-end MST tests."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.apps.mst import kruskal_reference, minimum_spanning_tree
+from repro.apps.mst_baselines import mst_kutten_peleg, mst_no_shortcut
+from repro.graphs import generators
+from repro.graphs.weights import weighted
+
+settings.register_profile(
+    "repro-mst",
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro-mst")
+
+
+@st.composite
+def weighted_graphs(draw):
+    kind = draw(st.sampled_from(["grid", "er", "delaunay"]))
+    seed = draw(st.integers(0, 200))
+    if kind == "grid":
+        topology = generators.grid(draw(st.integers(3, 5)), draw(st.integers(3, 5)))
+    elif kind == "er":
+        topology = generators.erdos_renyi_connected(
+            draw(st.integers(8, 25)), 0.2, seed=seed
+        )
+    else:
+        topology = generators.delaunay(draw(st.integers(10, 25)), seed=seed)
+    return weighted(topology, seed=seed)
+
+
+@given(weighted_graphs(), st.integers(0, 50))
+def test_shortcut_mst_is_exact(topology, seed):
+    result = minimum_spanning_tree(topology, mode="doubling", seed=seed)
+    edges, weight = kruskal_reference(topology)
+    assert result.weight == weight
+    assert result.edges == edges
+
+
+@given(weighted_graphs(), st.integers(0, 50))
+def test_baselines_are_exact(topology, seed):
+    _edges, weight = kruskal_reference(topology)
+    assert mst_no_shortcut(topology, seed=seed).weight == weight
+    assert mst_kutten_peleg(topology, seed=seed).weight == weight

@@ -1,0 +1,86 @@
+"""Property-based tests for the partwise engine (Theorem 2 / Lemma 3).
+
+The engine's distributed outputs are compared against centralized
+oracles on randomly generated shortcuts — including degenerate ones
+(empty subgraphs, partial coverage) that unit tests don't reach.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core import quality
+from repro.core.existence import greedy_capped_shortcut
+from repro.core.partwise import PartwiseEngine
+from repro.graphs import generators, partitions
+from repro.graphs.spanning_trees import SpanningTree
+
+settings.register_profile(
+    "repro-partwise",
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro-partwise")
+
+
+@st.composite
+def engine_instances(draw):
+    side = draw(st.integers(3, 6))
+    topology = generators.grid(side, side)
+    tree = SpanningTree.bfs(topology, draw(st.integers(0, topology.n - 1)))
+    n_parts = draw(st.integers(1, max(1, topology.n // 4)))
+    partition = partitions.voronoi(
+        topology, n_parts, seed=draw(st.integers(0, 300))
+    )
+    cap = draw(st.integers(0, 10))
+    shortcut, _ = greedy_capped_shortcut(tree, partition, cap)
+    return topology, partition, shortcut
+
+
+@given(engine_instances())
+def test_leader_election_matches_oracle(instance):
+    topology, partition, shortcut = instance
+    engine = PartwiseEngine(topology, shortcut, seed=1)
+    bound = max(1, quality.block_parameter(shortcut))
+    leaders, knowledge = engine.elect_leaders(bound)
+    for i in range(partition.size):
+        assert leaders[i] == min(partition.members(i))
+        for v in partition.members(i):
+            assert knowledge[v] == leaders[i]
+
+
+@given(engine_instances())
+def test_count_blocks_matches_oracle(instance):
+    topology, partition, shortcut = instance
+    engine = PartwiseEngine(topology, shortcut, seed=2)
+    truth = quality.block_counts(shortcut)
+    bound = max(1, max(truth))
+    counts, _verdict = engine.count_blocks(bound)
+    for i in range(partition.size):
+        assert counts[i] == truth[i]
+
+
+@given(engine_instances(), st.integers(1, 4))
+def test_count_blocks_limit_semantics(instance, b_limit):
+    topology, partition, shortcut = instance
+    engine = PartwiseEngine(topology, shortcut, seed=3)
+    truth = quality.block_counts(shortcut)
+    counts, _verdict = engine.count_blocks(b_limit)
+    for i in range(partition.size):
+        if truth[i] <= b_limit:
+            assert counts[i] == truth[i]
+        else:
+            assert counts[i] is None
+
+
+@given(engine_instances())
+def test_minimum_per_part_matches_oracle(instance):
+    topology, partition, shortcut = instance
+    engine = PartwiseEngine(topology, shortcut, seed=4)
+    bound = max(1, quality.block_parameter(shortcut))
+    values = {v: (v * 17) % 101 for v in engine.block_of}
+    out = engine.minimum_per_part(values, bound)
+    for i in range(partition.size):
+        expected = min((v * 17) % 101 for v in partition.members(i))
+        for v in partition.members(i):
+            assert out[v] == expected

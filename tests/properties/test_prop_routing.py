@@ -1,0 +1,78 @@
+"""Property-based tests for Lemma 2 routing and the simulator."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.tree_routing import (
+    broadcast,
+    convergecast,
+    make_task,
+    task_edge_congestion,
+)
+from repro.graphs import generators
+from repro.graphs.spanning_trees import SpanningTree
+
+settings.register_profile(
+    "repro-routing",
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro-routing")
+
+
+@st.composite
+def routing_instances(draw):
+    side = draw(st.integers(3, 6))
+    topology = generators.grid(side, side)
+    tree = SpanningTree.bfs(topology, draw(st.integers(0, topology.n - 1)))
+    n_tasks = draw(st.integers(1, 20))
+    leaves = draw(
+        st.lists(
+            st.integers(0, topology.n - 1), min_size=n_tasks, max_size=n_tasks
+        )
+    )
+    tasks = [
+        make_task(tree, tid, {v} | set(tree.ancestors(v)))
+        for tid, v in enumerate(leaves)
+    ]
+    return topology, tree, tasks
+
+
+@given(routing_instances())
+def test_convergecast_min_matches_oracle(instance):
+    topology, tree, tasks = instance
+    values = {t.key: {v: v * 3 + 1 for v in t.nodes} for t in tasks}
+    results, _run = convergecast(topology, tree, tasks, values, "min")
+    for t in tasks:
+        assert results[t.key] == min(v * 3 + 1 for v in t.nodes)
+
+
+@given(routing_instances())
+def test_convergecast_sum_matches_oracle(instance):
+    topology, tree, tasks = instance
+    values = {t.key: {v: 1 for v in t.nodes} for t in tasks}
+    results, _run = convergecast(topology, tree, tasks, values, "sum")
+    for t in tasks:
+        assert results[t.key] == len(t.nodes)
+
+
+@given(routing_instances())
+def test_lemma2_round_bound(instance):
+    topology, tree, tasks = instance
+    c = task_edge_congestion(tree, tasks)
+    values = {t.key: {v: v for v in t.nodes} for t in tasks}
+    _results, run = convergecast(topology, tree, tasks, values, "min")
+    assert run.rounds <= tree.height + c + 1
+
+
+@given(routing_instances())
+def test_broadcast_reaches_all_members(instance):
+    topology, tree, tasks = instance
+    payload = {t.key: 7_000 + t.tid for t in tasks}
+    delivered, run = broadcast(topology, tree, tasks, payload)
+    c = task_edge_congestion(tree, tasks)
+    assert run.rounds <= tree.height + c + 1
+    for t in tasks:
+        assert set(delivered[t.key]) == set(t.nodes)
+        assert set(delivered[t.key].values()) == {7_000 + t.tid}

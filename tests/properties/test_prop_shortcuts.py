@@ -1,0 +1,113 @@
+"""Property-based tests (hypothesis) for shortcut invariants.
+
+Random small instances: grid/ER topologies, Voronoi partitions, and
+randomly capped greedy shortcuts.  The invariants checked here are the
+structural heart of the paper; hypothesis explores the corners unit
+tests miss.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core import quality
+from repro.core.existence import (
+    full_ancestor_shortcut,
+    greedy_capped_shortcut,
+)
+from repro.graphs import generators, partitions
+from repro.graphs.spanning_trees import SpanningTree
+
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@st.composite
+def instances(draw):
+    kind = draw(st.sampled_from(["grid", "er", "torus"]))
+    seed = draw(st.integers(0, 1000))
+    if kind == "grid":
+        side = draw(st.integers(3, 7))
+        topology = generators.grid(side, side)
+    elif kind == "torus":
+        side = draw(st.integers(3, 5))
+        topology = generators.torus(side, side)
+    else:
+        n = draw(st.integers(8, 40))
+        topology = generators.erdos_renyi_connected(n, 0.15, seed=seed)
+    n_parts = draw(st.integers(1, max(1, topology.n // 3)))
+    partition = partitions.voronoi(topology, n_parts, seed=seed)
+    tree = SpanningTree.bfs(topology, draw(st.integers(0, topology.n - 1)))
+    return topology, tree, partition
+
+
+@given(instances())
+def test_full_ancestor_always_one_block(instance):
+    _topology, tree, partition = instance
+    shortcut = full_ancestor_shortcut(tree, partition)
+    assert quality.block_parameter(shortcut) == 1
+
+
+@given(instances(), st.integers(0, 12))
+def test_greedy_congestion_never_exceeds_cap(instance, cap):
+    _topology, tree, partition = instance
+    shortcut, _unusable = greedy_capped_shortcut(tree, partition, cap)
+    assert quality.shortcut_congestion(shortcut) <= cap
+
+
+@given(instances(), st.integers(0, 12))
+def test_greedy_unusable_edges_unassigned(instance, cap):
+    _topology, tree, partition = instance
+    shortcut, unusable = greedy_capped_shortcut(tree, partition, cap)
+    for edge in unusable:
+        assert edge not in shortcut.edge_map
+
+
+@given(instances(), st.integers(1, 12))
+def test_lemma1_dilation_bound_universal(instance, cap):
+    topology, tree, partition = instance
+    shortcut, _ = greedy_capped_shortcut(tree, partition, cap)
+    report = quality.measure(shortcut, topology, with_dilation=True)
+    assert report.dilation <= report.lemma1_dilation_bound
+
+
+@given(instances(), st.integers(0, 12))
+def test_blocks_partition_the_part(instance, cap):
+    """Every part member appears in exactly one block component."""
+    _topology, tree, partition = instance
+    shortcut, _ = greedy_capped_shortcut(tree, partition, cap)
+    for i in range(partition.size):
+        blocks = quality.block_components(shortcut, i)
+        members = partition.members(i)
+        seen = set()
+        for block in blocks:
+            inner = block.nodes & members
+            assert not (inner & seen)
+            seen |= inner
+        assert seen == members
+
+
+@given(instances(), st.integers(0, 12))
+def test_definition1_congestion_at_most_one_above_shortcut(instance, cap):
+    topology, tree, partition = instance
+    shortcut, _ = greedy_capped_shortcut(tree, partition, cap)
+    assert (
+        quality.shortcut_congestion(shortcut)
+        <= quality.congestion(shortcut, topology)
+        <= quality.shortcut_congestion(shortcut) + 1
+    )
+
+
+@given(instances())
+def test_certified_points_are_achievable(instance):
+    from repro.core.existence import certify_frontier
+
+    _topology, tree, partition = instance
+    for point in certify_frontier(tree, partition, caps=[1, 4]):
+        shortcut, _ = greedy_capped_shortcut(tree, partition, point.cap)
+        assert quality.shortcut_congestion(shortcut) <= point.congestion
+        assert quality.block_parameter(shortcut) <= point.block

@@ -1,0 +1,93 @@
+"""Property-based tests for simulator invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.congest.algorithm import NodeAlgorithm
+from repro.congest.simulator import Simulator
+from repro.graphs import generators
+
+settings.register_profile(
+    "repro-sim",
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro-sim")
+
+
+class GossipOnce(NodeAlgorithm):
+    """Every node broadcasts its id once; receivers count arrivals."""
+
+    def on_start(self, node):
+        node.state.got = []
+        node.broadcast(("g", node.id))
+
+    def on_round(self, node, messages):
+        for sender, payload in messages:
+            node.state.got.append((sender, payload[1]))
+
+
+class TokenWalk(NodeAlgorithm):
+    """A token performs a deterministic pseudo-random walk for k steps."""
+
+    def __init__(self, steps: int):
+        super().__init__()
+        self.steps = steps
+
+    def on_start(self, node):
+        node.state.visits = 0
+        if node.id == 0 and self.steps > 0:
+            self._forward(node, self.steps)
+
+    def on_round(self, node, messages):
+        for _sender, payload in messages:
+            node.state.visits += 1
+            remaining = payload[1]
+            if remaining > 0:
+                self._forward(node, remaining)
+
+    def _forward(self, node, remaining):
+        target = node.neighbors[node.random.randrange(node.degree)]
+        node.send(target, ("t", remaining - 1))
+
+
+@st.composite
+def topologies(draw):
+    kind = draw(st.sampled_from(["grid", "cycle", "er"]))
+    if kind == "grid":
+        return generators.grid(draw(st.integers(2, 6)), draw(st.integers(2, 6)))
+    if kind == "cycle":
+        return generators.cycle(draw(st.integers(3, 30)))
+    return generators.erdos_renyi_connected(
+        draw(st.integers(4, 30)), 0.2, seed=draw(st.integers(0, 100))
+    )
+
+
+@given(topologies())
+def test_gossip_message_conservation(topology):
+    """Messages delivered == messages sent == sum of degrees."""
+    result = Simulator(topology, GossipOnce()).run()
+    assert result.messages == 2 * topology.m
+    for v in topology.nodes:
+        senders = sorted(s for s, _ in result.states[v].got)
+        assert senders == list(topology.neighbors(v))
+        for sender, value in result.states[v].got:
+            assert sender == value
+
+
+@given(topologies())
+def test_gossip_takes_one_round(topology):
+    result = Simulator(topology, GossipOnce()).run()
+    assert result.rounds == 1
+
+
+@given(topologies(), st.integers(0, 30), st.integers(0, 5))
+def test_token_walk_deterministic_per_seed(topology, steps, seed):
+    a = Simulator(topology, TokenWalk(steps), seed=seed).run()
+    b = Simulator(topology, TokenWalk(steps), seed=seed).run()
+    assert a.rounds == b.rounds == steps
+    visits_a = [a.states[v].visits for v in topology.nodes]
+    visits_b = [b.states[v].visits for v in topology.nodes]
+    assert visits_a == visits_b
+    assert sum(visits_a) == steps  # the token is never lost or duplicated
