@@ -1,0 +1,85 @@
+"""E14 — simulator engine throughput: batched vs reference.
+
+As a pytest benchmark this wraps :func:`repro.analysis.experiments.run_e14`
+like every other ``bench_eXX`` module.  Run directly as a script it
+also writes the machine-readable baseline::
+
+    python benchmarks/bench_e14_engine.py --scale small \
+        --out BENCH_simulator.json
+
+so the perf trajectory (rounds/sec and wall time per graph family, per
+engine) is tracked from the first engine PR onward.  The JSON schema
+is documented in ``benchmarks/conftest.py``.
+"""
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+try:
+    from repro.analysis.experiments import run_e14
+except ImportError:  # direct script run without the package installed
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.analysis.experiments import run_e14
+
+# The headline acceptance bar: the batched engine must beat the
+# reference engine by at least this factor on the largest family.
+MIN_LARGEST_SCALE_SPEEDUP = 3.0
+
+
+def test_e14_engine_throughput(benchmark, scale):
+    # Deferred so the script path below works without pytest installed.
+    from conftest import run_experiment
+
+    result = run_experiment(benchmark, run_e14, scale)
+    assert result.data["largest_scale_speedup"] >= MIN_LARGEST_SCALE_SPEEDUP
+    # run_e14 itself raises if any engine disagreed on rounds/messages;
+    # the sparse families hover at ~1.4-2x, so only require no slowdown
+    # beyond noise there.
+    assert all(speedup > 0.8 for speedup in result.data["speedups"])
+
+
+def write_baseline(scale: str, out_path: Path) -> dict:
+    """Run E14 and write the ``BENCH_simulator.json`` baseline file."""
+    result = run_e14(scale)
+    payload = dict(result.data)
+    payload["python"] = platform.python_version()
+    payload["machine"] = platform.machine()
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small", choices=["small", "paper"])
+    parser.add_argument(
+        "--out", default="BENCH_simulator.json", type=Path,
+        help="where to write the baseline JSON",
+    )
+    parser.add_argument(
+        "--min-speedup", default=MIN_LARGEST_SCALE_SPEEDUP, type=float,
+        help="fail (exit 1) if the largest-scale speedup is below this; "
+        "pass 0 for record-only mode (e.g. on noisy shared CI runners)",
+    )
+    args = parser.parse_args(argv)
+    payload = write_baseline(args.scale, args.out)
+    for family in payload["families"]:
+        print(
+            f"{family['family']:<24} rounds={family['rounds']:<6} "
+            f"messages={family['messages']:<8} speedup={family['speedup']:.2f}x"
+        )
+    print(f"largest-scale speedup: {payload['largest_scale_speedup']:.2f}x")
+    print(f"wrote {args.out}")
+    if payload["largest_scale_speedup"] < args.min_speedup:
+        print(
+            f"FAIL: largest-scale speedup below {args.min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

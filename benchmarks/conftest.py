@@ -7,6 +7,36 @@ regenerated paper-style table, and asserts the claim it reproduces.
 
 Scale with ``REPRO_SCALE=paper pytest benchmarks/ --benchmark-only``
 for the larger instances recorded in EXPERIMENTS.md.
+
+BENCH_simulator.json schema
+---------------------------
+
+``python benchmarks/bench_e14_engine.py --out BENCH_simulator.json``
+writes the simulator-engine throughput baseline (schema id
+``repro.bench_simulator.v1``), a JSON object with:
+
+* ``schema`` — the literal string ``"repro.bench_simulator.v1"``.
+* ``scale`` — ``"small"`` or ``"paper"`` (the E14 instance sizes).
+* ``engines`` — sorted list of engine names measured.
+* ``python`` / ``machine`` — interpreter version and architecture the
+  numbers were taken on.
+* ``families`` — list ordered by message volume (last = largest
+  scale); each entry has:
+
+  - ``family`` — instance label, e.g. ``"flood/grid"``;
+  - ``n`` / ``m`` — nodes and edges of the topology;
+  - ``workload`` — the node-program name from
+    :mod:`repro.congest.workloads`;
+  - ``rounds`` / ``messages`` — simulated totals (identical across
+    engines by construction; E14 raises on divergence);
+  - ``engines`` — mapping engine name -> ``{"wall_s",
+    "rounds_per_s", "messages_per_s"}`` (best-of-N wall seconds and
+    derived throughputs);
+  - ``speedup`` — reference wall time / batched wall time.
+
+* ``speedups`` — the per-family speedup column, same order.
+* ``largest_scale_speedup`` — ``speedups[-1]``; the tracked headline
+  number (CI asserts it stays >= 3).
 """
 
 import os

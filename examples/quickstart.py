@@ -10,9 +10,16 @@ Walks the full public API surface in one script:
 5. elect a leader for every part in parallel (Theorem 2).
 
 Run:  python examples/quickstart.py
+
+Engine selection: every simulation below runs on the default
+``"batched"`` engine.  To pin the bit-for-bit identical (but slower)
+executable specification instead, pass ``engine="reference"`` to any
+wrapper that runs a simulation (``build_bfs_tree``, ``core_slow``,
+``minimum_spanning_tree``, ``Simulator``, …) or scope a whole block
+with ``with repro.congest.using_engine("reference"): ...``.
 """
 
-from repro.congest import RoundLedger, Topology, build_bfs_tree
+from repro.congest import RoundLedger, Topology, build_bfs_tree, get_default_engine
 from repro.core import PartwiseEngine, best_certified, find_shortcut, measure
 from repro.graphs import generators, voronoi
 
@@ -22,6 +29,7 @@ def main() -> None:
     partition = voronoi(topology, 12, seed=1)
     print(f"network: {topology}, diameter {topology.diameter()}")
     print(f"partition: {partition}")
+    print(f"simulator engine: {get_default_engine()}")
 
     # Distributed BFS tree; the ledger accumulates the round costs of
     # everything that follows.

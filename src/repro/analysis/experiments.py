@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import math
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -28,9 +29,16 @@ from repro.apps.mst_baselines import (
     mst_kutten_peleg,
     mst_no_shortcut,
 )
+from repro.congest.engine import ENGINES, engine_parameter
 from repro.congest.randomness import mix
+from repro.congest.simulator import Simulator
 from repro.congest.topology import Topology
 from repro.congest.trace import RoundLedger
+from repro.congest.workloads import (
+    AlarmStormAlgorithm,
+    FloodAlgorithm,
+    NeighborScanAlgorithm,
+)
 from repro.core import quality
 from repro.core.core_fast import core_fast, sampling_parameters
 from repro.core.core_slow import core_slow
@@ -96,6 +104,7 @@ def standard_instances(scale: str) -> List[Tuple[str, Topology, "partitions.Part
 # ----------------------------------------------------------------------
 
 
+@engine_parameter
 def run_e01(scale: str = "small") -> ExperimentResult:
     table = Table(
         "E1 (Lemma 1): dilation of constructed shortcuts vs b(2D+1)",
@@ -130,6 +139,7 @@ def run_e01(scale: str = "small") -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 
+@engine_parameter
 def run_e02(scale: str = "small") -> ExperimentResult:
     table = Table(
         "E2 (Lemma 2): pipelined convergecast rounds vs D + c",
@@ -172,6 +182,7 @@ def run_e02(scale: str = "small") -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 
+@engine_parameter
 def run_e03(scale: str = "small") -> ExperimentResult:
     table = Table(
         "E3 (Theorem 2): leader election rounds vs b(D + c)",
@@ -216,6 +227,7 @@ def run_e03(scale: str = "small") -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 
+@engine_parameter
 def run_e04(scale: str = "small") -> ExperimentResult:
     table = Table(
         "E4 (Lemma 3/6): Verification rounds and exactness",
@@ -261,6 +273,7 @@ def run_e04(scale: str = "small") -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 
+@engine_parameter
 def run_e05(scale: str = "small") -> ExperimentResult:
     table = Table(
         "E5 (Lemma 7): CoreSlow congestion <= 2c, >= N/2 good parts, O(Dc) rounds",
@@ -299,6 +312,7 @@ def run_e05(scale: str = "small") -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 
+@engine_parameter
 def run_e06(scale: str = "small", seeds: Optional[Sequence[int]] = None) -> ExperimentResult:
     if seeds is None:
         seeds = range(10 if scale == "small" else 25)
@@ -343,6 +357,7 @@ def run_e06(scale: str = "small", seeds: Optional[Sequence[int]] = None) -> Expe
 # ----------------------------------------------------------------------
 
 
+@engine_parameter
 def run_e07(scale: str = "small") -> ExperimentResult:
     table = Table(
         "E7 (Theorem 3): FindShortcut on grids of growing size",
@@ -390,6 +405,7 @@ def run_e07(scale: str = "small") -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 
+@engine_parameter
 def run_e08(scale: str = "small") -> ExperimentResult:
     table = Table(
         "E8 (Cor. 1): construction on genus-g chains with Theorem 1 parameters",
@@ -430,6 +446,7 @@ def run_e08(scale: str = "small") -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 
+@engine_parameter
 def run_e09(scale: str = "small") -> ExperimentResult:
     table = Table(
         "E9 (Lemma 4): shortcut Boruvka MST (mode=genus)",
@@ -464,6 +481,7 @@ def run_e09(scale: str = "small") -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 
+@engine_parameter
 def run_e10(scale: str = "small") -> ExperimentResult:
     """Round growth of shortcut MST vs baselines as n grows at fixed D.
 
@@ -544,6 +562,7 @@ def run_e10(scale: str = "small") -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 
+@engine_parameter
 def run_e11(scale: str = "small") -> ExperimentResult:
     table = Table(
         "E11 (Appendix A): doubling search vs known parameters",
@@ -580,6 +599,7 @@ def run_e11(scale: str = "small") -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 
+@engine_parameter
 def run_e12(scale: str = "small") -> ExperimentResult:
     table = Table(
         "E12 (Sec. 5.3 vs 5.4): rounds of CoreSlow (O(Dc)) vs CoreFast (O(Dlogn + c))",
@@ -612,6 +632,7 @@ def run_e12(scale: str = "small") -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 
+@engine_parameter
 def run_e13(scale: str = "small") -> ExperimentResult:
     table = Table(
         "E13 (Sec. 1.2): aggregation rounds, intra-part vs shortcut",
@@ -663,6 +684,121 @@ def run_e13(scale: str = "small") -> ExperimentResult:
     )
 
 
+# ----------------------------------------------------------------------
+# E14 — engine throughput: rounds/sec per graph family, per engine
+# ----------------------------------------------------------------------
+
+
+def engine_families(scale: str) -> List[Tuple[str, Topology, "NodeAlgorithm", int]]:
+    """Benchmark families: (name, topology, workload, seed), small→large.
+
+    Each workload is engine-bound (trivial per-node compute, heavy
+    traffic) so the measured wall time is the simulator's own overhead,
+    not the algorithm's.  The list is ordered by message volume; the
+    last entry is the "largest scale" quoted in BENCH_simulator.json.
+    """
+    big = scale == "paper"
+    side = 40 if big else 24
+    rounds = 60 if big else 30
+    grid = generators.grid(side, side)
+    torus = generators.torus(side // 2, side // 2)
+    hub = generators.cycle_with_hub(16 * side, 8)
+    return [
+        ("alarm-storm/grid", grid, AlarmStormAlgorithm(50, 6), 3),
+        ("token+scan/hub", hub, NeighborScanAlgorithm(rounds), 5),
+        ("scan/torus", torus, NeighborScanAlgorithm(2 * rounds), 7),
+        ("flood/grid", grid, FloodAlgorithm(2 * rounds), 11),
+    ]
+
+
+def run_e14(scale: str = "small", repeats: int = 3) -> ExperimentResult:
+    """Throughput of every registered engine on the workload families.
+
+    Also cross-checks conformance on the fly: every engine must report
+    identical ``rounds`` and ``messages`` on every family (the full
+    differential suite lives in ``tests/congest/test_engine_equivalence.py``).
+    The ``data`` dict carries the ``BENCH_simulator.json`` payload; see
+    ``benchmarks/conftest.py`` for the schema.
+    """
+    engine_names = sorted(ENGINES)
+    table = Table(
+        "E14: simulator engine throughput (best-of-%d wall time)" % repeats,
+        ["family", "n", "m", "rounds", "messages"]
+        + [f"{name} s" for name in engine_names]
+        + [f"{name} r/s" for name in engine_names]
+        + ["speedup"],
+    )
+    families = []
+    speedups = []
+    for name, topology, workload, seed in engine_families(scale):
+        per_engine: Dict[str, Dict[str, float]] = {}
+        baseline_result = None
+        baseline_engine = None
+        for engine_name in engine_names:
+            best = math.inf
+            result = None
+            for _ in range(repeats):
+                simulator = Simulator(
+                    topology, workload, seed=seed, engine=engine_name
+                )
+                start = time.perf_counter()
+                result = simulator.run()
+                best = min(best, time.perf_counter() - start)
+            if baseline_result is None:
+                baseline_result = result
+                baseline_engine = engine_name
+            elif (result.rounds, result.messages) != (
+                baseline_result.rounds,
+                baseline_result.messages,
+            ):
+                raise AssertionError(
+                    f"engines disagree on {name}: {engine_name} got "
+                    f"{result!r} but {baseline_engine} got {baseline_result!r}"
+                )
+            per_engine[engine_name] = {
+                "wall_s": best,
+                "rounds_per_s": result.rounds / best if best > 0 else math.inf,
+                "messages_per_s": result.messages / best if best > 0 else math.inf,
+            }
+        speedup = per_engine["reference"]["wall_s"] / per_engine["batched"]["wall_s"]
+        speedups.append(speedup)
+        families.append(
+            {
+                "family": name,
+                "n": topology.n,
+                "m": topology.m,
+                "workload": workload.name,
+                "rounds": baseline_result.rounds,
+                "messages": baseline_result.messages,
+                "engines": per_engine,
+                "speedup": speedup,
+            }
+        )
+        table.add_row(
+            name, topology.n, topology.m,
+            baseline_result.rounds, baseline_result.messages,
+            *[round(per_engine[e]["wall_s"], 4) for e in engine_names],
+            *[int(per_engine[e]["rounds_per_s"]) for e in engine_names],
+            round(speedup, 2),
+        )
+    return ExperimentResult(
+        "E14",
+        "the batched engine outpaces the reference engine at identical semantics",
+        table,
+        data={
+            "schema": "repro.bench_simulator.v1",
+            "scale": scale,
+            "engines": engine_names,
+            "families": families,
+            "speedups": speedups,
+            "largest_scale_speedup": speedups[-1],
+        },
+        notes="Workloads are engine-bound (trivial node compute); the "
+        "last family is the largest message volume and anchors the "
+        "tracked speedup.",
+    )
+
+
 ALL_EXPERIMENTS: Dict[str, Callable[[str], ExperimentResult]] = {
     "E1": run_e01,
     "E2": run_e02,
@@ -677,9 +813,11 @@ ALL_EXPERIMENTS: Dict[str, Callable[[str], ExperimentResult]] = {
     "E11": run_e11,
     "E12": run_e12,
     "E13": run_e13,
+    "E14": run_e14,
 }
 
 
+@engine_parameter
 def run_all(scale: str = "small") -> List[ExperimentResult]:
     """Run every experiment; used to regenerate EXPERIMENTS.md."""
     return [runner(scale) for runner in ALL_EXPERIMENTS.values()]

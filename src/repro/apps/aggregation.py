@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.apps.encoding import decode_edge_candidate, encode_edge_candidate
 from repro.congest.algorithm import NodeAlgorithm
+from repro.congest.engine import EngineLike
 from repro.congest.simulator import Simulator
 from repro.congest.topology import Topology
 from repro.congest.trace import RoundLedger
@@ -49,11 +50,13 @@ def exchange_labels(
     *,
     seed: int = 0,
     ledger: Optional[RoundLedger] = None,
+    engine: EngineLike = None,
 ) -> Dict[int, Dict[int, Optional[int]]]:
     """Run one neighbor-label exchange round over all edges."""
     inputs = {v: {"label": labels.get(v)} for v in topology.nodes}
     result = Simulator(
-        topology, NeighborLabelExchangeAlgorithm(inputs), seed=seed
+        topology, NeighborLabelExchangeAlgorithm(inputs), seed=seed,
+        engine=engine,
     ).run()
     if ledger is not None:
         ledger.charge("label-exchange", result.rounds, result.messages)

@@ -21,6 +21,7 @@ from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
 from repro.apps.aggregation import exchange_labels, min_outgoing_edges
 from repro.apps.encoding import decode_edge_candidate, encode_edge_candidate
 from repro.apps.fragment_comm import fragment_aggregate
+from repro.congest.engine import engine_parameter
 from repro.congest.bfs import build_bfs_tree
 from repro.congest.randomness import coin, mix, share_randomness
 from repro.congest.topology import Edge, Topology, canonical_edge
@@ -72,6 +73,7 @@ def _min_alive_candidates(
     return candidates
 
 
+@engine_parameter
 def connected_components(
     topology: Topology,
     alive_edges: Iterable[Tuple[int, int]],

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from repro.congest.algorithm import NodeAlgorithm
+from repro.congest.engine import EngineLike
 from repro.congest.simulator import Simulator
 from repro.congest.topology import Topology
 from repro.congest.trace import RoundLedger
@@ -155,6 +156,7 @@ def fragment_flood_min(
     seed: int = 0,
     ledger: Optional[RoundLedger] = None,
     phase_name: str = "fragment-flood",
+    engine: EngineLike = None,
 ) -> Tuple[Dict[int, Optional[int]], Dict[int, Optional[int]]]:
     """Flood each fragment's minimum value; return (minima, parents)."""
     neighbors = _fragment_neighbors(topology, labels)
@@ -162,7 +164,7 @@ def fragment_flood_min(
         v: {"fragment_neighbors": neighbors[v], "value": values.get(v)}
         for v in topology.nodes
     }
-    result = Simulator(topology, FragmentFloodAlgorithm(inputs), seed=seed).run()
+    result = Simulator(topology, FragmentFloodAlgorithm(inputs), seed=seed, engine=engine).run()
     if ledger is not None:
         ledger.charge_phase(phase_name, result.rounds, result.messages)
     best = {v: result.states[v].best for v in topology.nodes}
@@ -179,6 +181,7 @@ def fragment_aggregate(
     seed: int = 0,
     ledger: Optional[RoundLedger] = None,
     phase_name: str = "fragment-aggregate",
+    engine: EngineLike = None,
 ) -> Dict[int, Optional[int]]:
     """Aggregate ``values`` within each fragment (no shortcuts).
 
@@ -190,7 +193,7 @@ def fragment_aggregate(
     ids = {v: v if labels.get(v) is not None else None for v in topology.nodes}
     _best, parents = fragment_flood_min(
         topology, labels, ids, seed=seed, ledger=ledger,
-        phase_name=phase_name + "/flood",
+        phase_name=phase_name + "/flood", engine=engine,
     )
     inputs = {
         v: {
@@ -200,7 +203,8 @@ def fragment_aggregate(
         for v in topology.nodes
     }
     result = Simulator(
-        topology, FragmentTreeAggregateAlgorithm(inputs, combine), seed=seed + 1
+        topology, FragmentTreeAggregateAlgorithm(inputs, combine), seed=seed + 1,
+        engine=engine,
     ).run()
     if ledger is not None:
         ledger.charge_phase(

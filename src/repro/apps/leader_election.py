@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.congest.engine import engine_parameter
 from repro.congest.topology import Topology
 from repro.congest.trace import RoundLedger
 from repro.core.partwise import PartwiseEngine
@@ -25,6 +26,7 @@ class LeaderElectionResult:
     rounds: int
 
 
+@engine_parameter
 def elect_leaders(
     topology: Topology,
     shortcut: TreeRestrictedShortcut,

@@ -31,6 +31,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+from repro.congest.engine import engine_parameter
 from repro.congest.topology import Edge, Topology, canonical_edge
 from repro.congest.trace import RoundLedger
 from repro.graphs.spanning_trees import SpanningTree
@@ -148,6 +149,7 @@ def _one_respecting_cuts(
     return best_value, best_edge, frozenset(side)
 
 
+@engine_parameter
 def approximate_min_cut(
     topology: Topology,
     *,

@@ -31,6 +31,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.apps.aggregation import min_outgoing_edges
 from repro.congest.bfs import build_bfs_tree
+from repro.congest.engine import engine_parameter
 from repro.congest.randomness import coin, mix, share_randomness
 from repro.congest.topology import Edge, Topology, canonical_edge
 from repro.congest.trace import RoundLedger
@@ -119,6 +120,7 @@ def _build_shortcut(
     raise ReproError(f"unknown shortcut mode {mode!r}")
 
 
+@engine_parameter
 def minimum_spanning_tree(
     topology: Topology,
     *,

@@ -33,6 +33,7 @@ from repro.apps.mst import MSTResult, PhaseRecord
 from repro.congest.algorithm import NodeAlgorithm
 from repro.congest.bfs import build_bfs_tree
 from repro.congest.randomness import coin, mix, share_randomness
+from repro.congest.engine import engine_parameter
 from repro.congest.simulator import Simulator
 from repro.congest.topology import Topology, canonical_edge
 from repro.congest.trace import RoundLedger
@@ -263,6 +264,7 @@ def _fragment_phase(
     return merges, mst_edges, any_outgoing
 
 
+@engine_parameter
 def mst_no_shortcut(
     topology: Topology,
     *,
@@ -315,6 +317,7 @@ def mst_no_shortcut(
 # ----------------------------------------------------------------------
 
 
+@engine_parameter
 def mst_kutten_peleg(
     topology: Topology,
     *,
@@ -467,6 +470,7 @@ def mst_kutten_peleg(
 # ----------------------------------------------------------------------
 
 
+@engine_parameter
 def mst_collect_at_root(topology: Topology, *, seed: int = 0) -> MSTResult:
     """The O(m + D) strawman: upcast all edges, solve at the root."""
     from repro.apps.mst import kruskal_reference

@@ -13,6 +13,17 @@ from repro.congest.topology import Edge, Topology, canonical_edge
 from repro.congest.message import bandwidth_limit, check_message, message_bits
 from repro.congest.node import NodeHandle
 from repro.congest.algorithm import NodeAlgorithm
+from repro.congest.engine import (
+    ENGINES,
+    BatchedEngine,
+    EngineBase,
+    ReferenceEngine,
+    engine_parameter,
+    get_default_engine,
+    resolve_engine,
+    set_default_engine,
+    using_engine,
+)
 from repro.congest.simulator import RunResult, Simulator, run_algorithm
 from repro.congest.trace import PhaseRecord, RoundLedger
 from repro.congest.bfs import BFSTreeAlgorithm, build_bfs_tree
@@ -33,6 +44,15 @@ __all__ = [
     "message_bits",
     "NodeHandle",
     "NodeAlgorithm",
+    "ENGINES",
+    "EngineBase",
+    "engine_parameter",
+    "ReferenceEngine",
+    "BatchedEngine",
+    "get_default_engine",
+    "set_default_engine",
+    "using_engine",
+    "resolve_engine",
     "RunResult",
     "Simulator",
     "run_algorithm",

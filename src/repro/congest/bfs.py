@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from repro.congest.algorithm import NodeAlgorithm
+from repro.congest.engine import EngineLike
 from repro.congest.simulator import RunResult, Simulator
 from repro.congest.topology import Topology
 from repro.congest.trace import RoundLedger
@@ -69,6 +70,7 @@ def build_bfs_tree(
     *,
     seed: int = 0,
     ledger: Optional[RoundLedger] = None,
+    engine: EngineLike = None,
 ) -> Tuple[SpanningTree, RunResult]:
     """Run the distributed BFS and return the resulting spanning tree.
 
@@ -76,7 +78,7 @@ def build_bfs_tree(
     the ledger's barrier depth is set to the tree height, so later
     phases are charged realistic synchronisation barriers).
     """
-    result = Simulator(topology, BFSTreeAlgorithm(root), seed=seed).run()
+    result = Simulator(topology, BFSTreeAlgorithm(root), seed=seed, engine=engine).run()
     parent = [result.states[v].parent for v in topology.nodes]
     tree = SpanningTree(root, parent)
     if ledger is not None:

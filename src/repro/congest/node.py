@@ -65,8 +65,9 @@ class NodeHandle:
 
     def broadcast(self, payload: Any) -> None:
         """Send the same message to every neighbor."""
-        for neighbor in self.neighbors:
-            self.send(neighbor, payload)
+        if self._halted:
+            raise SimulationError(f"halted node {self.id} tried to send")
+        self._sim.queue_broadcast(self.id, payload)
 
     def wake_at(self, round_number: int) -> None:
         """Schedule this node to be activated in the given future round."""

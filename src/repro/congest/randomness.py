@@ -18,6 +18,7 @@ import random
 from typing import Optional, Tuple
 
 from repro.congest.algorithm import NodeAlgorithm
+from repro.congest.engine import EngineLike
 from repro.congest.simulator import RunResult, Simulator
 from repro.congest.topology import Topology
 from repro.congest.trace import RoundLedger
@@ -114,6 +115,7 @@ def share_randomness(
     *,
     seed: int = 0,
     ledger: Optional[RoundLedger] = None,
+    engine: EngineLike = None,
 ) -> Tuple[int, RunResult]:
     """Distribute an O(log^2 n)-bit shared seed to every node.
 
@@ -133,7 +135,7 @@ def share_randomness(
         for v in topology.nodes
     }
     algorithm = SeedBroadcastAlgorithm(inputs, tree.root, chunks)
-    result = Simulator(topology, algorithm, seed=seed).run()
+    result = Simulator(topology, algorithm, seed=seed, engine=engine).run()
     for v in topology.nodes:
         assert result.states[v].seed == shared, "seed broadcast diverged"
     if ledger is not None:

@@ -15,51 +15,25 @@ Scheduling is event-driven: a node runs in a round only if it received
 messages or scheduled a wake-up, and stretches of rounds in which no
 node acts are skipped in O(1) time — but still *counted*, because round
 complexity is the quantity this whole repository measures.
+
+The execution semantics live in :mod:`repro.congest.engine`, which
+ships two interchangeable engines: the transparent ``"reference"``
+implementation (the executable specification) and the ``"batched"``
+default (flat adjacency slots, round-stamped duplicate detection,
+send-time delivery — several times faster, differentially tested to be
+bit-for-bit identical).  :class:`Simulator` is the stable facade that
+selects and drives one.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Optional
 
 from repro.congest.algorithm import NodeAlgorithm
-from repro.congest.message import bandwidth_limit, check_message
-from repro.congest.node import NodeHandle
-from repro.congest.topology import Topology, canonical_edge
-from repro.errors import RoundLimitExceededError, SimulationError
+from repro.congest.engine import EngineLike, RunResult, resolve_engine
+from repro.congest.topology import Topology
 
-
-class RunResult:
-    """Outcome of one simulated execution.
-
-    Attributes
-    ----------
-    rounds:
-        Number of communication rounds consumed (the index of the last
-        round in which any node acted or any message was delivered).
-    messages:
-        Total number of messages delivered.
-    states:
-        Mapping ``node_id -> SimpleNamespace`` with each node's final
-        state (the algorithm's outputs).
-    edge_traffic:
-        When tracing is enabled, mapping ``edge -> message count``.
-    dropped_to_halted:
-        Messages that arrived at an already-halted node (a well-formed
-        protocol keeps this at zero; tests assert on it).
-    """
-
-    __slots__ = ("rounds", "messages", "states", "edge_traffic", "dropped_to_halted")
-
-    def __init__(self, rounds, messages, states, edge_traffic, dropped_to_halted):
-        self.rounds = rounds
-        self.messages = messages
-        self.states = states
-        self.edge_traffic = edge_traffic
-        self.dropped_to_halted = dropped_to_halted
-
-    def __repr__(self) -> str:
-        return f"RunResult(rounds={self.rounds}, messages={self.messages})"
+__all__ = ["RunResult", "Simulator", "run_algorithm"]
 
 
 class Simulator:
@@ -73,15 +47,25 @@ class Simulator:
         The node program (one instance drives every node).
     seed:
         Seed for the per-node pseudo-random generators.  Two runs with
-        the same seed are bit-for-bit identical.
+        the same seed are bit-for-bit identical, regardless of engine.
     check_bandwidth:
-        Audit every payload against the O(log n)-bit budget.
+        Audit payloads against the O(log n)-bit budget.
     bandwidth_bits:
-        Override the default budget from :func:`bandwidth_limit`.
+        Override the default budget from
+        :func:`~repro.congest.message.bandwidth_limit`.
     max_rounds:
         Watchdog; exceeded means the protocol failed to terminate.
     trace_edges:
         Record per-edge message counts (used by congestion analyses).
+    engine:
+        Which execution engine to use: ``"batched"`` (default),
+        ``"reference"``, an :class:`~repro.congest.engine.EngineBase`
+        subclass, or ``None`` for the process-wide default (see
+        :func:`~repro.congest.engine.set_default_engine`).
+    audit_sample:
+        Audit every ``audit_sample``-th message instead of every one
+        (``1`` = full audit).  Sampling keeps the asymptotic-violation
+        check on hot paths at a fraction of the cost.
     """
 
     def __init__(
@@ -94,156 +78,51 @@ class Simulator:
         bandwidth_bits: Optional[int] = None,
         max_rounds: int = 10_000_000,
         trace_edges: bool = False,
+        engine: EngineLike = None,
+        audit_sample: int = 1,
     ) -> None:
         self.topology = topology
         self.algorithm = algorithm
         self.seed = seed
         self.check_bandwidth = check_bandwidth
-        self.bandwidth_bits = (
-            bandwidth_bits if bandwidth_bits is not None else bandwidth_limit(topology.n)
-        )
         self.max_rounds = max_rounds
         self.trace_edges = trace_edges
+        self._engine = resolve_engine(engine)(
+            topology,
+            algorithm,
+            seed=seed,
+            check_bandwidth=check_bandwidth,
+            bandwidth_bits=bandwidth_bits,
+            max_rounds=max_rounds,
+            trace_edges=trace_edges,
+            audit_sample=audit_sample,
+        )
+        self.bandwidth_bits = self._engine.bandwidth_bits
 
-        self.current_round = 0
-        self._nodes: List[NodeHandle] = [
-            NodeHandle(v, topology.neighbors(v), self, (seed << 20) ^ (v * 2654435761))
-            for v in topology.nodes
-        ]
-        # Messages queued during the current round, delivered next round.
-        self._outgoing: List[Tuple[int, int, Any]] = []
-        self._sent_pairs: Set[Tuple[int, int]] = set()
-        self._neighbor_sets = [set(topology.neighbors(v)) for v in topology.nodes]
-        self._alarm_heap: List[int] = []
-        self._alarms: Dict[int, Set[int]] = {}
-        self._messages_delivered = 0
-        self._dropped_to_halted = 0
-        self._edge_traffic: Dict[Tuple[int, int], int] = {}
+    @property
+    def engine_name(self) -> str:
+        """Name of the engine executing this simulation."""
+        return self._engine.name
 
-    # ------------------------------------------------------------------
-    # Callbacks used by NodeHandle
-    # ------------------------------------------------------------------
+    @property
+    def current_round(self) -> int:
+        """The engine's current round (0 before the run starts)."""
+        return self._engine.current_round
 
+    # Compatibility pass-throughs: older code (and tests) drove these
+    # callbacks directly on the Simulator.
     def queue_message(self, sender: int, to: int, payload: Any) -> None:
-        """Queue a message for next-round delivery, enforcing the model."""
-        if to not in self._neighbor_sets[sender]:
-            raise SimulationError(
-                f"node {sender} tried to send to non-neighbor {to}"
-            )
-        pair = (sender, to)
-        if pair in self._sent_pairs:
-            raise SimulationError(
-                f"node {sender} sent two messages to {to} in round "
-                f"{self.current_round}"
-            )
-        if self.check_bandwidth:
-            check_message(payload, self.bandwidth_bits)
-        self._sent_pairs.add(pair)
-        self._outgoing.append((sender, to, payload))
+        self._engine.queue_message(sender, to, payload)
+
+    def queue_broadcast(self, sender: int, payload: Any) -> None:
+        self._engine.queue_broadcast(sender, payload)
 
     def schedule_wakeup(self, node_id: int, round_number: int) -> None:
-        """Register a future wake-up for a node."""
-        if round_number <= self.current_round:
-            raise SimulationError(
-                f"wake-up for node {node_id} at round {round_number} is not "
-                f"in the future (current round {self.current_round})"
-            )
-        bucket = self._alarms.get(round_number)
-        if bucket is None:
-            bucket = set()
-            self._alarms[round_number] = bucket
-            heapq.heappush(self._alarm_heap, round_number)
-        bucket.add(node_id)
-
-    # ------------------------------------------------------------------
-    # Main loop
-    # ------------------------------------------------------------------
+        self._engine.schedule_wakeup(node_id, round_number)
 
     def run(self) -> RunResult:
         """Execute the algorithm until quiescence and return the result."""
-        algorithm = self.algorithm
-        nodes = self._nodes
-
-        for node in nodes:
-            algorithm.setup(node)
-
-        # Round 0: every node starts.
-        self.current_round = 0
-        for node in nodes:
-            if not node._halted:
-                algorithm.on_start(node)
-        inbox = self._collect_outgoing()
-        last_active_round = 0
-
-        while inbox or self._alarm_heap:
-            next_round = self.current_round + 1
-            if not inbox:
-                # Idle gap: jump straight to the earliest alarm.
-                next_round = max(next_round, self._peek_alarm())
-            if next_round > self.max_rounds:
-                raise RoundLimitExceededError(
-                    f"'{getattr(algorithm, 'name', algorithm)}' still running "
-                    f"after {self.max_rounds} rounds"
-                )
-            self.current_round = next_round
-
-            woken = self._pop_alarms(next_round)
-            active = set(inbox)
-            active.update(woken)
-            acted = False
-            for node_id in sorted(active):
-                node = nodes[node_id]
-                if node._halted:
-                    if node_id in inbox:
-                        self._dropped_to_halted += len(inbox[node_id])
-                    continue
-                messages = inbox.get(node_id, [])
-                messages.sort(key=lambda pair: pair[0])
-                algorithm.on_round(node, messages)
-                acted = True
-            if acted or inbox:
-                last_active_round = next_round
-            inbox = self._collect_outgoing()
-
-        states = {node.id: node.state for node in nodes}
-        return RunResult(
-            rounds=last_active_round,
-            messages=self._messages_delivered,
-            states=states,
-            edge_traffic=dict(self._edge_traffic) if self.trace_edges else {},
-            dropped_to_halted=self._dropped_to_halted,
-        )
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-
-    def _collect_outgoing(self) -> Dict[int, List[Tuple[int, Any]]]:
-        """Move queued messages into next round's inboxes."""
-        inbox: Dict[int, List[Tuple[int, Any]]] = {}
-        for sender, to, payload in self._outgoing:
-            inbox.setdefault(to, []).append((sender, payload))
-            self._messages_delivered += 1
-            if self.trace_edges:
-                edge = canonical_edge(sender, to)
-                self._edge_traffic[edge] = self._edge_traffic.get(edge, 0) + 1
-        self._outgoing.clear()
-        self._sent_pairs.clear()
-        return inbox
-
-    def _peek_alarm(self) -> int:
-        while self._alarm_heap and self._alarm_heap[0] not in self._alarms:
-            heapq.heappop(self._alarm_heap)
-        if not self._alarm_heap:
-            raise SimulationError("no pending alarms")  # pragma: no cover
-        return self._alarm_heap[0]
-
-    def _pop_alarms(self, round_number: int) -> Set[int]:
-        due: Set[int] = set()
-        while self._alarm_heap and self._alarm_heap[0] <= round_number:
-            when = heapq.heappop(self._alarm_heap)
-            due.update(self._alarms.pop(when, ()))
-        return due
+        return self._engine.run()
 
 
 def run_algorithm(topology: Topology, algorithm: NodeAlgorithm, **kwargs) -> RunResult:

@@ -29,6 +29,7 @@ from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
 from repro.congest.algorithm import NodeAlgorithm
 from repro.congest.randomness import coin
+from repro.congest.engine import EngineLike
 from repro.congest.simulator import RunResult, Simulator
 from repro.congest.topology import Edge, Topology
 from repro.congest.trace import RoundLedger
@@ -117,6 +118,7 @@ def core_fast(
     participating: Optional[Iterable[int]] = None,
     seed: int = 0,
     ledger: Optional[RoundLedger] = None,
+    engine: EngineLike = None,
 ) -> CoreOutcome:
     """Run the distributed CoreFast subroutine.
 
@@ -144,7 +146,7 @@ def core_fast(
             "cap": tau - 1,
         }
     result_a = Simulator(
-        topology, CoreSlowAlgorithm(phase_a_inputs), seed=seed
+        topology, CoreSlowAlgorithm(phase_a_inputs), seed=seed, engine=engine
     ).run()
 
     # Phase B: flood the complete id sets up to the first unusable edge.
@@ -158,7 +160,7 @@ def core_fast(
             and not result_a.states[v].unusable,
         }
     result_b = Simulator(
-        topology, FloodUpAlgorithm(phase_b_inputs), seed=seed + 1
+        topology, FloodUpAlgorithm(phase_b_inputs), seed=seed + 1, engine=engine
     ).run()
 
     edge_map: Dict[Edge, Tuple[int, ...]] = {}

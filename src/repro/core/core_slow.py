@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.congest.algorithm import NodeAlgorithm
+from repro.congest.engine import EngineLike
 from repro.congest.simulator import RunResult, Simulator
 from repro.congest.topology import Edge, Topology
 from repro.congest.trace import RoundLedger
@@ -163,6 +164,7 @@ def core_slow(
     participating: Optional[Iterable[int]] = None,
     seed: int = 0,
     ledger: Optional[RoundLedger] = None,
+    engine: EngineLike = None,
 ) -> CoreOutcome:
     """Run the distributed CoreSlow subroutine (cap ``2c``).
 
@@ -174,7 +176,7 @@ def core_slow(
         raise ShortcutError("congestion parameter c must be >= 1")
     participating_set = set(participating) if participating is not None else None
     inputs = _make_inputs(topology, tree, partition, 2 * c, participating_set)
-    result = Simulator(topology, CoreSlowAlgorithm(inputs), seed=seed).run()
+    result = Simulator(topology, CoreSlowAlgorithm(inputs), seed=seed, engine=engine).run()
     outcome = _extract_outcome(tree, partition, result)
     if ledger is not None:
         ledger.charge_phase("core-slow", outcome.rounds, outcome.messages)

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.congest.algorithm import NodeAlgorithm
+from repro.congest.engine import EngineLike
 from repro.congest.simulator import Simulator
 from repro.congest.topology import Topology
 from repro.congest.trace import RoundLedger
@@ -89,8 +90,10 @@ class PartwiseEngine:
         *,
         seed: int = 0,
         ledger: Optional[RoundLedger] = None,
+        engine: EngineLike = None,
     ) -> None:
         self.topology = topology
+        self.sim_engine = engine
         self.tree: SpanningTree = shortcut.tree
         self.partition = shortcut.partition
         self.shortcut = shortcut
@@ -158,6 +161,7 @@ class PartwiseEngine:
             seed=self.seed + self._step,
             ledger=self.ledger,
             phase_name=f"partwise/convergecast#{self._step}",
+            engine=self.sim_engine,
         )
         root_values = {key: val for key, val in combined.items() if val is not None}
         self._step += 1
@@ -169,6 +173,7 @@ class PartwiseEngine:
             seed=self.seed + self._step,
             ledger=self.ledger,
             phase_name=f"partwise/broadcast#{self._step}",
+            engine=self.sim_engine,
         )
         out: Values = {}
         for v, block in self.block_of.items():
@@ -189,6 +194,7 @@ class PartwiseEngine:
             self.topology,
             PartExchangeAlgorithm(inputs),
             seed=self.seed + self._step,
+            engine=self.sim_engine,
         ).run()
         self.ledger.charge(
             f"partwise/exchange#{self._step}", max(1, result.rounds), result.messages

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from repro.congest.algorithm import NodeAlgorithm
+from repro.congest.engine import EngineLike
 from repro.congest.simulator import RunResult, Simulator
 from repro.congest.topology import Topology
 from repro.congest.trace import RoundLedger
@@ -246,6 +247,7 @@ def convergecast(
     seed: int = 0,
     ledger: Optional[RoundLedger] = None,
     phase_name: str = "subtree-convergecast",
+    engine: EngineLike = None,
 ) -> Tuple[Dict[TaskKey, Optional[int]], RunResult]:
     """Run Lemma 2 convergecast over ``tasks``.
 
@@ -272,7 +274,7 @@ def convergecast(
     for v in topology.nodes:
         inputs.setdefault(v, {"tree_parent": tree.parent(v), "cc_tasks": {}})
     algorithm = SubtreeConvergecastAlgorithm(inputs, combine)
-    result = Simulator(topology, algorithm, seed=seed).run()
+    result = Simulator(topology, algorithm, seed=seed, engine=engine).run()
     combined: Dict[TaskKey, Optional[int]] = {}
     for task in task_list:
         combined[task.key] = result.states[task.root].cc_results[task.key]
@@ -290,6 +292,7 @@ def broadcast(
     seed: int = 0,
     ledger: Optional[RoundLedger] = None,
     phase_name: str = "subtree-broadcast",
+    engine: EngineLike = None,
 ) -> Tuple[Dict[TaskKey, Dict[int, int]], RunResult]:
     """Run Lemma 2 broadcast over ``tasks``.
 
@@ -311,7 +314,7 @@ def broadcast(
     for v in topology.nodes:
         inputs.setdefault(v, {"bc_tasks": {}})
     algorithm = SubtreeBroadcastAlgorithm(inputs)
-    result = Simulator(topology, algorithm, seed=seed).run()
+    result = Simulator(topology, algorithm, seed=seed, engine=engine).run()
     delivered: Dict[TaskKey, Dict[int, int]] = {}
     for task in task_list:
         delivered[task.key] = {

@@ -1,0 +1,159 @@
+"""Differential conformance: BatchedEngine vs ReferenceEngine.
+
+Every test runs the same workload on both engines and asserts the
+observable outcome is identical: ``rounds``, ``messages``, final node
+``states``, ``edge_traffic``, and ``dropped_to_halted``.  This suite
+is what licenses the batched engine as the default — any divergence
+from the reference semantics is a bug here before it is a wrong number
+in an experiment table.
+"""
+
+import pytest
+
+from repro.congest.bfs import BFSTreeAlgorithm
+from repro.congest.simulator import Simulator
+from repro.congest.workloads import (
+    AlarmStormAlgorithm,
+    FloodAlgorithm,
+    NeighborScanAlgorithm,
+    TokenWalkAlgorithm,
+)
+from repro.core.core_fast import core_fast
+from repro.core.core_slow import core_slow
+from repro.core.existence import best_certified
+from repro.core.tree_routing import convergecast, make_task
+from repro.apps.mst import kruskal_reference, minimum_spanning_tree
+from repro.graphs import generators, partitions
+from repro.graphs.spanning_trees import SpanningTree
+from repro.graphs.weights import weighted
+
+ENGINES = ("reference", "batched")
+
+
+def _run(topology, algorithm, seed, **kwargs):
+    results = {}
+    for engine in ENGINES:
+        results[engine] = Simulator(
+            topology, algorithm, seed=seed, trace_edges=True, engine=engine, **kwargs
+        ).run()
+    return results["reference"], results["batched"]
+
+
+def _assert_identical(reference, batched):
+    assert batched.rounds == reference.rounds
+    assert batched.messages == reference.messages
+    assert batched.dropped_to_halted == reference.dropped_to_halted
+    assert batched.edge_traffic == reference.edge_traffic
+    assert set(batched.states) == set(reference.states)
+    for node_id, state in reference.states.items():
+        assert vars(batched.states[node_id]) == vars(state), f"node {node_id}"
+
+
+TOPOLOGIES = {
+    "grid": lambda: generators.grid(6, 6),
+    "torus": lambda: generators.torus(5, 5),
+    "hub": lambda: generators.cycle_with_hub(48, 8),
+    "delaunay": lambda: generators.delaunay(40, 3),
+}
+
+
+@pytest.mark.parametrize("topo_name", sorted(TOPOLOGIES))
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_bfs_identical(topo_name, seed):
+    topology = TOPOLOGIES[topo_name]()
+    reference, batched = _run(
+        topology, BFSTreeAlgorithm(seed % topology.n), seed
+    )
+    _assert_identical(reference, batched)
+
+
+@pytest.mark.parametrize("topo_name", sorted(TOPOLOGIES))
+@pytest.mark.parametrize(
+    "workload",
+    [
+        FloodAlgorithm(12),
+        NeighborScanAlgorithm(9),
+        AlarmStormAlgorithm(17, 4),
+        TokenWalkAlgorithm(40),
+    ],
+    ids=lambda workload: workload.name,
+)
+def test_workloads_identical(topo_name, workload):
+    topology = TOPOLOGIES[topo_name]()
+    reference, batched = _run(topology, workload, seed=5)
+    _assert_identical(reference, batched)
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+@pytest.mark.parametrize("topo_name", ["grid", "torus"])
+def test_core_slow_identical(topo_name, seed):
+    topology = TOPOLOGIES[topo_name]()
+    tree = SpanningTree.bfs(topology, 0)
+    partition = partitions.voronoi(topology, 5, seed=2)
+    point = best_certified(tree, partition)
+    outcomes = {
+        engine: core_slow(
+            topology, tree, partition, point.congestion, seed=seed, engine=engine
+        )
+        for engine in ENGINES
+    }
+    reference, batched = outcomes["reference"], outcomes["batched"]
+    assert batched.rounds == reference.rounds
+    assert batched.messages == reference.messages
+    assert batched.unusable == reference.unusable
+    assert batched.shortcut.edge_map == reference.shortcut.edge_map
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_core_fast_identical(seed):
+    topology = TOPOLOGIES["grid"]()
+    tree = SpanningTree.bfs(topology, 0)
+    partition = partitions.grid_rows(6, 6)
+    point = best_certified(tree, partition)
+    outcomes = {
+        engine: core_fast(
+            topology, tree, partition, point.congestion,
+            shared_seed=99, seed=seed, engine=engine,
+        )
+        for engine in ENGINES
+    }
+    reference, batched = outcomes["reference"], outcomes["batched"]
+    assert batched.rounds == reference.rounds
+    assert batched.messages == reference.messages
+    assert batched.unusable == reference.unusable
+    assert batched.shortcut.edge_map == reference.shortcut.edge_map
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_tree_routing_identical(seed):
+    topology = TOPOLOGIES["grid"]()
+    tree = SpanningTree.bfs(topology, 0)
+    tasks = []
+    for tid, v in enumerate((7, 13, 22, 30)):
+        nodes = {v} | set(tree.ancestors(v))
+        tasks.append(make_task(tree, tid, nodes))
+    values = {t.key: {v: v for v in t.nodes} for t in tasks}
+    outcomes = {}
+    for engine in ENGINES:
+        combined, run = convergecast(
+            topology, tree, tasks, values, "min", seed=seed, engine=engine
+        )
+        outcomes[engine] = (combined, run.rounds, run.messages)
+    assert outcomes["batched"] == outcomes["reference"]
+
+
+@pytest.mark.parametrize("topo_name", ["grid", "torus"])
+def test_mst_identical(topo_name):
+    topology = weighted(TOPOLOGIES[topo_name](), seed=17)
+    results = {
+        engine: minimum_spanning_tree(topology, seed=23, engine=engine)
+        for engine in ENGINES
+    }
+    reference, batched = results["reference"], results["batched"]
+    assert batched.edges == reference.edges
+    assert batched.weight == reference.weight
+    assert batched.phases == reference.phases
+    assert batched.ledger.total_rounds == reference.ledger.total_rounds
+    assert batched.ledger.total_messages == reference.ledger.total_messages
+    _edges, ref_weight = kruskal_reference(topology)
+    assert batched.weight == ref_weight

@@ -215,6 +215,122 @@ def test_edge_traffic_tracing(pair):
     assert result.edge_traffic[(0, 1)] == 4
 
 
+ENGINES = ("reference", "batched")
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_duplicate_wakeups_in_one_round_fire_once(pair, engine):
+    """Re-registering the same (node, round) alarm must not double-run."""
+
+    class DoubleAlarm(NodeAlgorithm):
+        def on_start(self, node):
+            node.state.activations = 0
+            if node.id == 0:
+                node.wake_at(7)
+                node.wake_at(7)  # same round again: must coalesce
+
+        def on_round(self, node, messages):
+            node.state.activations += 1
+
+    result = Simulator(pair, DoubleAlarm(), engine=engine).run()
+    assert result.states[0].activations == 1
+    assert result.rounds == 7
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_two_nodes_same_alarm_round(pair, engine):
+    """One heap entry, two due nodes: both must run, once each."""
+
+    class SharedAlarm(NodeAlgorithm):
+        def on_start(self, node):
+            node.state.woke = None
+            node.wake_at(11)
+
+        def on_round(self, node, messages):
+            node.state.woke = node.round
+
+    result = Simulator(pair, SharedAlarm(), engine=engine).run()
+    assert result.states[0].woke == result.states[1].woke == 11
+    assert result.rounds == 11
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_wakeup_scheduled_during_idle_stretch(pair, engine):
+    """An alarm set from inside a skipped idle gap must still fire.
+
+    Node 0 idles until round 10, then schedules round 12 while a far
+    alarm for round 40 is already pending — the near alarm must not be
+    shadowed by the earlier heap entry, and the tail gap must still be
+    skipped-but-counted.
+    """
+
+    class NestedAlarm(NodeAlgorithm):
+        def on_start(self, node):
+            node.state.fired = []
+            if node.id == 0:
+                node.wake_at(10)
+                node.wake_at(40)
+
+        def on_round(self, node, messages):
+            node.state.fired.append(node.round)
+            if node.round == 10:
+                node.wake_at(12)
+
+    result = Simulator(pair, NestedAlarm(), engine=engine).run()
+    assert result.states[0].fired == [10, 12, 40]
+    assert result.rounds == 40
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_alarm_and_message_in_same_round(triangle_path, engine):
+    """A node woken by an alarm still receives that round's messages."""
+
+    class AlarmAndMessage(NodeAlgorithm):
+        def on_start(self, node):
+            node.state.got = None
+            if node.id == 1:
+                node.wake_at(1)
+            if node.id == 0:
+                node.send(1, ("x",))
+
+        def on_round(self, node, messages):
+            if node.id == 1 and node.state.got is None:
+                node.state.got = [sender for sender, _ in messages]
+
+    result = Simulator(triangle_path, AlarmAndMessage(), engine=engine).run()
+    assert result.states[1].got == [0]
+    assert result.rounds == 1
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_overlapping_alarms_pop_together(pair, engine):
+    """Alarms at r and r' <= r due in the same step pop as one batch.
+
+    Node 0's message delivery at round 6 coincides with node 1's alarm
+    for round 5 *and* round 6 (the round-5 entry became due during the
+    5→6 advance): node 1 must run exactly once.
+    """
+
+    class Overlap(NodeAlgorithm):
+        def on_start(self, node):
+            node.state.runs = 0
+            if node.id == 1:
+                node.wake_at(5)
+                node.wake_at(6)
+            if node.id == 0:
+                node.wake_at(5)
+
+        def on_round(self, node, messages):
+            node.state.runs += 1
+            if node.id == 0 and node.round == 5:
+                node.send(1, ("x",))
+
+    result = Simulator(pair, Overlap(), engine=engine).run()
+    # node 1 runs at round 5 (alarm) and round 6 (alarm + message).
+    assert result.states[1].runs == 2
+    assert result.rounds == 6
+
+
 def test_broadcast_sends_to_all_neighbors(triangle_path):
     class Once(NodeAlgorithm):
         def on_start(self, node):

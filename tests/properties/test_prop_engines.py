@@ -1,0 +1,218 @@
+"""Property-based tests of the engine contract (both engines).
+
+Random topologies plus random send/wake-up/halt schedules, checking
+the invariants spelled out in :mod:`repro.congest.engine`:
+
+* messages sent in round ``r`` are delivered exactly at ``r + 1``;
+* duplicate sends and non-neighbor sends raise on every engine;
+* ``dropped_to_halted`` agrees between engines;
+* same-seed runs are bit-for-bit reproducible;
+* the batched engine's inlined bandwidth audit agrees with
+  :func:`repro.congest.message.message_bits` on every payload shape.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.congest.algorithm import NodeAlgorithm
+from repro.congest.engine import BatchedEngine, ENGINES
+from repro.congest.message import check_message, message_bits
+from repro.congest.simulator import Simulator
+from repro.congest.topology import Topology
+from repro.errors import BandwidthExceededError, SimulationError
+from repro.graphs import generators
+
+settings.register_profile(
+    "repro-engines",
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro-engines")
+
+ENGINE_NAMES = tuple(sorted(ENGINES))
+
+
+@st.composite
+def topologies(draw):
+    kind = draw(st.sampled_from(["grid", "cycle", "er"]))
+    if kind == "grid":
+        return generators.grid(draw(st.integers(2, 6)), draw(st.integers(2, 6)))
+    if kind == "cycle":
+        return generators.cycle(draw(st.integers(3, 30)))
+    return generators.erdos_renyi_connected(
+        draw(st.integers(4, 30)), 0.2, seed=draw(st.integers(0, 100))
+    )
+
+
+class RandomSchedule(NodeAlgorithm):
+    """Chaotic but reproducible traffic driven by each node's RNG.
+
+    Each activation sends to a random subset of neighbors (round
+    number embedded in the payload), sometimes schedules a wake-up a
+    random distance into the future (possibly deep inside an idle
+    stretch), and sometimes halts.  Receivers log
+    ``(sender, sent_round, arrival_round)`` so tests can check the
+    delivery-time invariant exactly.
+    """
+
+    def __init__(self, horizon: int, halt_rate: float = 0.05):
+        super().__init__()
+        self.horizon = horizon
+        self.halt_rate = halt_rate
+
+    def on_start(self, node):
+        node.state.log = []
+        self._act(node)
+
+    def on_round(self, node, messages):
+        for sender, payload in messages:
+            node.state.log.append((sender, payload[1], node.round))
+        self._act(node)
+
+    def _act(self, node):
+        rng = node.random
+        if node.round >= self.horizon:
+            return
+        k = rng.randrange(node.degree + 1)
+        for neighbor in rng.sample(node.neighbors, k):
+            node.send(neighbor, ("m", node.round))
+        if rng.random() < 0.4:
+            node.wake_at(node.round + 1 + rng.randrange(2 * self.horizon))
+        if rng.random() < self.halt_rate:
+            node.halt()
+
+
+@given(topologies(), st.integers(0, 50), st.integers(0, 3))
+def test_engines_agree_on_random_schedules(topology, horizon, seed):
+    results = {
+        engine: Simulator(
+            topology, RandomSchedule(horizon), seed=seed,
+            trace_edges=True, engine=engine,
+        ).run()
+        for engine in ENGINE_NAMES
+    }
+    first = results[ENGINE_NAMES[0]]
+    for engine in ENGINE_NAMES[1:]:
+        other = results[engine]
+        assert other.rounds == first.rounds
+        assert other.messages == first.messages
+        assert other.dropped_to_halted == first.dropped_to_halted
+        assert other.edge_traffic == first.edge_traffic
+        for v in topology.nodes:
+            assert vars(other.states[v]) == vars(first.states[v])
+
+
+@given(topologies(), st.integers(0, 40), st.integers(0, 3))
+def test_no_delivery_before_next_round(topology, horizon, seed):
+    for engine in ENGINE_NAMES:
+        result = Simulator(
+            topology, RandomSchedule(horizon), seed=seed, engine=engine
+        ).run()
+        for v in topology.nodes:
+            for _sender, sent_round, arrival_round in result.states[v].log:
+                assert arrival_round == sent_round + 1
+
+
+@given(topologies(), st.integers(0, 40), st.integers(0, 5))
+def test_same_seed_bit_for_bit(topology, horizon, seed):
+    for engine in ENGINE_NAMES:
+        a = Simulator(topology, RandomSchedule(horizon), seed=seed, engine=engine).run()
+        b = Simulator(topology, RandomSchedule(horizon), seed=seed, engine=engine).run()
+        assert a.rounds == b.rounds
+        assert a.messages == b.messages
+        assert a.dropped_to_halted == b.dropped_to_halted
+        for v in topology.nodes:
+            assert vars(a.states[v]) == vars(b.states[v])
+
+
+class DoubleSend(NodeAlgorithm):
+    def on_start(self, node):
+        if node.id == 0:
+            node.send(1, ("a",))
+            node.send(1, ("b",))
+
+
+class DoubleViaBroadcast(NodeAlgorithm):
+    def on_start(self, node):
+        if node.id == 0:
+            node.send(node.neighbors[0], ("a",))
+            node.broadcast(("b",))
+
+
+class NonNeighborSend(NodeAlgorithm):
+    def __init__(self, target: int):
+        super().__init__()
+        self.target = target
+
+    def on_start(self, node):
+        if node.id == 0:
+            node.send(self.target, ("x",))
+
+
+class Oversized(NodeAlgorithm):
+    def on_start(self, node):
+        if node.id == 0:
+            node.send(1, ("huge", 2 ** 500))
+
+
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+def test_duplicate_send_raises(engine):
+    pair = Topology(2, [(0, 1)])
+    with pytest.raises(SimulationError):
+        Simulator(pair, DoubleSend(), engine=engine).run()
+    with pytest.raises(SimulationError):
+        Simulator(pair, DoubleViaBroadcast(), engine=engine).run()
+
+
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+@pytest.mark.parametrize("target", [2, -1, 99])
+def test_non_neighbor_send_raises(engine, target):
+    path3 = Topology(3, [(0, 1), (1, 2)])
+    with pytest.raises(SimulationError):
+        Simulator(path3, NonNeighborSend(target), engine=engine).run()
+
+
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+def test_oversized_payload_raises(engine):
+    pair = Topology(2, [(0, 1)])
+    with pytest.raises(BandwidthExceededError):
+        Simulator(pair, Oversized(), engine=engine).run()
+
+
+# ----------------------------------------------------------------------
+# Audit fast-path equivalence
+# ----------------------------------------------------------------------
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2 ** 80), 2 ** 80),
+    st.sampled_from(["tag", "x", "bfs", "child"]),
+)
+payloads = st.one_of(
+    scalars,
+    st.lists(scalars, max_size=6).map(tuple),
+    # invalid shapes the audit must reject identically
+    st.lists(st.integers(0, 3), max_size=3),
+    st.tuples(st.sampled_from(["t"]), st.tuples(st.integers(0, 3))),
+)
+
+
+@given(payloads, st.integers(8, 200))
+def test_fast_audit_matches_reference_audit(payload, limit):
+    pair = Topology(2, [(0, 1)])
+    engine = BatchedEngine(pair, NodeAlgorithm(), bandwidth_bits=limit)
+    try:
+        check_message(payload, limit)
+        expected = None
+    except BandwidthExceededError as exc:
+        expected = type(exc)
+    if expected is None:
+        engine._audit_fast(payload)  # must not raise
+        # and the fast path must agree a compliant payload is compliant
+        assert message_bits(payload) <= limit
+    else:
+        with pytest.raises(expected):
+            engine._audit_fast(payload)
