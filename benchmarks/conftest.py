@@ -37,6 +37,38 @@ writes the simulator-engine throughput baseline (schema id
 * ``speedups`` — the per-family speedup column, same order.
 * ``largest_scale_speedup`` — ``speedups[-1]``; the tracked headline
   number (CI asserts it stays >= 3).
+
+BENCH_quality.json schema
+-------------------------
+
+``python benchmarks/bench_e15_quality.py --out BENCH_quality.json``
+writes the analysis-layer twin (schema id ``repro.bench_quality.v1``):
+wall time of :func:`repro.core.quality.measure` per quality kernel
+(``reference`` vs ``fast``) over the family pool of
+:func:`repro.analysis.experiments.quality_families`.  A JSON object
+with:
+
+* ``schema`` — the literal string ``"repro.bench_quality.v1"``.
+* ``scale`` — ``"small"`` or ``"paper"`` (the E15 instance sizes).
+* ``kernels`` — list of quality-kernel names measured
+  (``repro.core.quality.KERNELS`` order).
+* ``python`` / ``machine`` — interpreter version and architecture.
+* ``families`` — list ordered by measurement cost (last = largest
+  scale); each entry has:
+
+  - ``family`` — instance label, e.g. ``"grid-large/voronoi"``;
+  - ``n`` / ``m`` / ``parts`` — topology and partition sizes;
+  - ``congestion`` / ``dilation`` / ``block_parameter`` — the measured
+    quality values (identical across kernels by construction; E15
+    raises on divergence);
+  - ``kernels`` — mapping kernel name -> ``{"wall_s",
+    "measures_per_s"}`` (best-of-N wall seconds for one full
+    ``measure()`` with dilation);
+  - ``speedup`` — reference wall time / fast wall time.
+
+* ``speedups`` — the per-family speedup column, same order.
+* ``largest_scale_speedup`` — ``speedups[-1]``; the tracked headline
+  number (CI asserts it stays >= 3).
 """
 
 import os

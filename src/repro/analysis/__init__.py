@@ -1,10 +1,13 @@
-"""Analysis harness: metrics, tables, and per-claim experiment runners."""
+"""Analysis harness: metrics, tables, parallel fan-out, and per-claim
+experiment runners."""
 
 from repro.analysis.metrics import bound_ratio, fraction, geometric_mean, loglog_slope
+from repro.analysis.parallel import parallel_map, resolve_jobs, task_seed
 from repro.analysis.tables import Table
 from repro.analysis.experiments import (
     ALL_EXPERIMENTS,
     ExperimentResult,
+    quality_families,
     run_all,
     standard_instances,
 )
@@ -14,9 +17,13 @@ __all__ = [
     "fraction",
     "geometric_mean",
     "loglog_slope",
+    "parallel_map",
+    "resolve_jobs",
+    "task_seed",
     "Table",
     "ALL_EXPERIMENTS",
     "ExperimentResult",
+    "quality_families",
     "run_all",
     "standard_instances",
 ]

@@ -1,14 +1,24 @@
 """Experiment runners: one per quantitative claim of the paper.
 
 The paper is a theory paper — its "evaluation" is the set of theorems
-and lemmas listed in DESIGN.md.  Each ``run_eXX`` function below
-regenerates the corresponding table: it builds the workload, runs the
-relevant distributed algorithms on the CONGEST simulator, and reports
-*measured vs claimed* quantities.  Benchmarks in ``benchmarks/`` wrap
-these runners; ``EXPERIMENTS.md`` records their output.
+and lemmas indexed in ``EXPERIMENTS.md``.  Each ``run_eXX`` function
+below regenerates the corresponding table: it builds the workload, runs
+the relevant distributed algorithms on the CONGEST simulator, and
+reports *measured vs claimed* quantities.  Benchmarks in
+``benchmarks/`` wrap these runners; ``EXPERIMENTS.md`` records their
+output.
 
 Scale: ``"small"`` keeps every runner in seconds (CI-sized), ``"paper"``
 uses larger instances for the record in EXPERIMENTS.md.
+
+Runners whose instance grids are embarrassingly parallel (E1, E4–E7)
+fan their cells out through
+:func:`repro.analysis.parallel.parallel_map`: set ``REPRO_JOBS=auto``
+(or an explicit worker count) to use multiple processes.  Every task
+carries its own seed and the current engine name, and results merge in
+task order, so the tables are identical at any worker count.  The
+module-level ``_eXX_task`` functions exist because worker payloads
+must be picklable.
 """
 
 from __future__ import annotations
@@ -20,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import bound_ratio, fraction, loglog_slope
+from repro.analysis.parallel import parallel_map, resolve_jobs
 from repro.analysis.tables import Table
 from repro.apps.aggregation import min_outgoing_edges
 from repro.apps.fragment_comm import fragment_aggregate
@@ -29,7 +40,12 @@ from repro.apps.mst_baselines import (
     mst_kutten_peleg,
     mst_no_shortcut,
 )
-from repro.congest.engine import ENGINES, engine_parameter
+from repro.congest.engine import (
+    ENGINES,
+    engine_parameter,
+    get_default_engine,
+    using_engine,
+)
 from repro.congest.randomness import mix
 from repro.congest.simulator import Simulator
 from repro.congest.topology import Topology
@@ -39,11 +55,11 @@ from repro.congest.workloads import (
     FloodAlgorithm,
     NeighborScanAlgorithm,
 )
-from repro.core import quality
+from repro.core import quality, quality_fast
 from repro.core.core_fast import core_fast, sampling_parameters
 from repro.core.core_slow import core_slow
 from repro.core.doubling import find_shortcut_doubling
-from repro.core.existence import best_certified, genus_bound
+from repro.core.existence import best_certified, genus_bound, greedy_capped_shortcut
 from repro.core.find_shortcut import find_shortcut
 from repro.core.partwise import PartwiseEngine
 from repro.core.tree_routing import (
@@ -104,27 +120,38 @@ def standard_instances(scale: str) -> List[Tuple[str, Topology, "partitions.Part
 # ----------------------------------------------------------------------
 
 
-@engine_parameter
-def run_e01(scale: str = "small") -> ExperimentResult:
-    table = Table(
-        "E1 (Lemma 1): dilation of constructed shortcuts vs b(2D+1)",
-        ["instance", "D", "b", "dilation", "bound", "ratio"],
-    )
-    ratios = []
-    for name, topology, partition in standard_instances(scale):
+def _e01_task(task):
+    name, topology, partition, engine = task
+    with using_engine(engine):
         tree = SpanningTree.bfs(topology, 0)
         point = best_certified(tree, partition)
         result = find_shortcut(
             topology, tree, partition, point.congestion, point.block, seed=11
         )
         report = quality.measure(result.shortcut, topology, with_dilation=True)
-        bound = quality.lemma1_bound(report.block_parameter, tree.height)
-        ratio = bound_ratio(report.dilation, bound)
-        ratios.append(ratio)
-        table.add_row(
-            name, tree.height, report.block_parameter,
-            report.dilation, bound, ratio,
-        )
+    bound = quality.lemma1_bound(report.block_parameter, tree.height)
+    ratio = bound_ratio(report.dilation, bound)
+    return (name, tree.height, report.block_parameter, report.dilation, bound, ratio)
+
+
+@engine_parameter
+def run_e01(scale: str = "small") -> ExperimentResult:
+    table = Table(
+        "E1 (Lemma 1): dilation of constructed shortcuts vs b(2D+1)",
+        ["instance", "D", "b", "dilation", "bound", "ratio"],
+    )
+    engine = get_default_engine()
+    rows = parallel_map(
+        _e01_task,
+        [
+            (name, topology, partition, engine)
+            for name, topology, partition in standard_instances(scale)
+        ],
+    )
+    ratios = []
+    for row in rows:
+        ratios.append(row[-1])
+        table.add_row(*row)
     return ExperimentResult(
         "E1",
         "dilation <= b(2D+1) for every constructed shortcut",
@@ -227,20 +254,17 @@ def run_e03(scale: str = "small") -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 
-@engine_parameter
-def run_e04(scale: str = "small") -> ExperimentResult:
-    table = Table(
-        "E4 (Lemma 3/6): Verification rounds and exactness",
-        ["instance", "b_limit", "rounds", "14 b'(D+c)", "ratio", "exact"],
-    )
+def _e04_task(task):
+    name, topology, partition, engine = task
+    rows = []
     ratios = []
     all_exact = True
-    for name, topology, partition in standard_instances(scale):
+    with using_engine(engine):
         tree = SpanningTree.bfs(topology, 0)
         point = best_certified(tree, partition)
         outcome = core_slow(topology, tree, partition, point.congestion, seed=17)
         report = quality.measure(outcome.shortcut, topology, with_dilation=False)
-        truth = quality.block_counts(outcome.shortcut)
+        truth = quality_fast.block_counts(outcome.shortcut)
         for b_limit in {1, max(1, report.block_parameter)}:
             ledger = RoundLedger()
             verdict = verification(
@@ -255,9 +279,31 @@ def run_e04(scale: str = "small") -> ExperimentResult:
             bound = 14 * b_limit * (tree.height + c)
             ratio = bound_ratio(ledger.total_rounds, bound)
             ratios.append(ratio)
-            table.add_row(
-                name, b_limit, ledger.total_rounds, bound, ratio, exact
-            )
+            rows.append((name, b_limit, ledger.total_rounds, bound, ratio, exact))
+    return rows, ratios, all_exact
+
+
+@engine_parameter
+def run_e04(scale: str = "small") -> ExperimentResult:
+    table = Table(
+        "E4 (Lemma 3/6): Verification rounds and exactness",
+        ["instance", "b_limit", "rounds", "14 b'(D+c)", "ratio", "exact"],
+    )
+    engine = get_default_engine()
+    outcomes = parallel_map(
+        _e04_task,
+        [
+            (name, topology, partition, engine)
+            for name, topology, partition in standard_instances(scale)
+        ],
+    )
+    ratios = []
+    all_exact = True
+    for rows, task_ratios, task_exact in outcomes:
+        ratios.extend(task_ratios)
+        all_exact = all_exact and task_exact
+        for row in rows:
+            table.add_row(*row)
     return ExperimentResult(
         "E4",
         "Verification finds exactly the parts with <= b' blocks, in O(b'(D+c))",
@@ -273,32 +319,47 @@ def run_e04(scale: str = "small") -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 
+def _e05_task(task):
+    name, topology, partition, engine = task
+    with using_engine(engine):
+        tree = SpanningTree.bfs(topology, 0)
+        point = best_certified(tree, partition)
+        c, b = point.congestion, point.block
+        outcome = core_slow(topology, tree, partition, c, seed=23)
+        report = quality.measure(outcome.shortcut, topology, with_dilation=False)
+        counts = quality_fast.block_counts(outcome.shortcut)
+    good = sum(1 for count in counts if count <= 3 * b)
+    congestion_ok = report.shortcut_congestion <= 2 * c
+    good_ok = good >= partition.size / 2
+    bound = 3 * tree.height * (2 * c + 2)
+    ratio = bound_ratio(outcome.rounds, bound)
+    row = (
+        name, c, report.shortcut_congestion, congestion_ok,
+        good, partition.size, good_ok, outcome.rounds, bound, ratio,
+    )
+    return row, ratio, congestion_ok and good_ok
+
+
 @engine_parameter
 def run_e05(scale: str = "small") -> ExperimentResult:
     table = Table(
         "E5 (Lemma 7): CoreSlow congestion <= 2c, >= N/2 good parts, O(Dc) rounds",
         ["instance", "c", "congestion", "<=2c", "good", "N", ">=N/2", "rounds", "3D(2c+2)", "ratio"],
     )
+    engine = get_default_engine()
+    outcomes = parallel_map(
+        _e05_task,
+        [
+            (name, topology, partition, engine)
+            for name, topology, partition in standard_instances(scale)
+        ],
+    )
     ratios = []
     all_ok = True
-    for name, topology, partition in standard_instances(scale):
-        tree = SpanningTree.bfs(topology, 0)
-        point = best_certified(tree, partition)
-        c, b = point.congestion, point.block
-        outcome = core_slow(topology, tree, partition, c, seed=23)
-        report = quality.measure(outcome.shortcut, topology, with_dilation=False)
-        counts = quality.block_counts(outcome.shortcut)
-        good = sum(1 for count in counts if count <= 3 * b)
-        congestion_ok = report.shortcut_congestion <= 2 * c
-        good_ok = good >= partition.size / 2
-        all_ok = all_ok and congestion_ok and good_ok
-        bound = 3 * tree.height * (2 * c + 2)
-        ratio = bound_ratio(outcome.rounds, bound)
+    for row, ratio, ok in outcomes:
         ratios.append(ratio)
-        table.add_row(
-            name, c, report.shortcut_congestion, congestion_ok,
-            good, partition.size, good_ok, outcome.rounds, bound, ratio,
-        )
+        all_ok = all_ok and ok
+        table.add_row(*row)
     return ExperimentResult(
         "E5",
         "CoreSlow: congestion <= 2c and >= N/2 good parts, O(D c) rounds",
@@ -312,35 +373,64 @@ def run_e05(scale: str = "small") -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 
+def _e06_task(task):
+    """One instance × one seed chunk (the instance payload is shipped
+    once per chunk, not once per seed)."""
+    topology, tree, partition, c, b, seed_chunk, engine = task
+    triples = []
+    with using_engine(engine):
+        for seed in seed_chunk:
+            outcome = core_fast(
+                topology, tree, partition, c, shared_seed=mix(97, seed), seed=seed
+            )
+            report = quality.measure(outcome.shortcut, topology, with_dilation=False)
+            counts = quality_fast.block_counts(outcome.shortcut)
+            good = sum(1 for count in counts if count <= 3 * b)
+            triples.append((report.shortcut_congestion, good, outcome.rounds))
+    return triples
+
+
 @engine_parameter
 def run_e06(scale: str = "small", seeds: Optional[Sequence[int]] = None) -> ExperimentResult:
     if seeds is None:
         seeds = range(10 if scale == "small" else 25)
+    seeds = list(seeds)
     table = Table(
         "E6 (Lemma 5): CoreFast over seeds: congestion <= 8c, >= N/2 good",
         ["instance", "c", "tau", "max congestion", "<=8c rate", ">=N/2 rate", "max rounds"],
     )
-    rates = []
+    engine = get_default_engine()
+    # Enough chunks per instance to saturate the workers, few enough
+    # that each instance payload is pickled O(jobs) times, not once
+    # per seed.  Chunk boundaries never affect the merged output.
+    n_chunks = min(resolve_jobs(), len(seeds)) or 1
+    chunk_size = math.ceil(len(seeds) / n_chunks)
+    seed_chunks = [
+        seeds[i : i + chunk_size] for i in range(0, len(seeds), chunk_size)
+    ]
+    instance_info = []
+    tasks = []
     for name, topology, partition in standard_instances(scale):
         tree = SpanningTree.bfs(topology, 0)
         point = best_certified(tree, partition)
         c, b = point.congestion, point.block
         _p, tau = sampling_parameters(topology.n, c)
-        congestion_hits = good_hits = 0
-        max_congestion = max_rounds = 0
-        for seed in seeds:
-            outcome = core_fast(
-                topology, tree, partition, c, shared_seed=mix(97, seed), seed=seed
-            )
-            report = quality.measure(outcome.shortcut, topology, with_dilation=False)
-            counts = quality.block_counts(outcome.shortcut)
-            good = sum(1 for count in counts if count <= 3 * b)
-            congestion_hits += report.shortcut_congestion <= 8 * c
-            good_hits += good >= partition.size / 2
-            max_congestion = max(max_congestion, report.shortcut_congestion)
-            max_rounds = max(max_rounds, outcome.rounds)
-        c_rate = fraction(congestion_hits, len(list(seeds)))
-        g_rate = fraction(good_hits, len(list(seeds)))
+        instance_info.append((name, c, tau, partition.size))
+        tasks.extend(
+            (topology, tree, partition, c, b, chunk, engine)
+            for chunk in seed_chunks
+        )
+    results = parallel_map(_e06_task, tasks)
+    per_seed = [triple for task_triples in results for triple in task_triples]
+    rates = []
+    for index, (name, c, tau, n_parts) in enumerate(instance_info):
+        chunk = per_seed[index * len(seeds) : (index + 1) * len(seeds)]
+        congestion_hits = sum(1 for sc, _good, _r in chunk if sc <= 8 * c)
+        good_hits = sum(1 for _sc, good, _r in chunk if good >= n_parts / 2)
+        max_congestion = max(sc for sc, _good, _r in chunk)
+        max_rounds = max(rounds for _sc, _good, rounds in chunk)
+        c_rate = fraction(congestion_hits, len(seeds))
+        g_rate = fraction(good_hits, len(seeds))
         rates.append((c_rate, g_rate))
         table.add_row(name, c, tau, max_congestion, c_rate, g_rate, max_rounds)
     return ExperimentResult(
@@ -357,17 +447,9 @@ def run_e06(scale: str = "small", seeds: Optional[Sequence[int]] = None) -> Expe
 # ----------------------------------------------------------------------
 
 
-@engine_parameter
-def run_e07(scale: str = "small") -> ExperimentResult:
-    table = Table(
-        "E7 (Theorem 3): FindShortcut on grids of growing size",
-        ["n", "N", "c", "b", "iters", "ceil(log2 N)+1", "congestion", "c*8*iters", "block", "3b", "rounds"],
-    )
-    sides = (6, 9, 12, 16) if scale == "small" else (8, 12, 16, 22, 28)
-    iteration_ok = True
-    quality_ok = True
-    ns, rounds_list = [], []
-    for side in sides:
+def _e07_task(task):
+    side, engine = task
+    with using_engine(engine):
         topology = generators.grid(side, side)
         partition = partitions.voronoi(topology, side, 4)
         tree = SpanningTree.bfs(topology, 0)
@@ -376,16 +458,36 @@ def run_e07(scale: str = "small") -> ExperimentResult:
             topology, tree, partition, point.congestion, point.block, seed=29
         )
         report = quality.measure(result.shortcut, topology, with_dilation=False)
-        iter_bound = math.ceil(_log2(partition.size)) + 1
-        iteration_ok = iteration_ok and result.iterations <= iter_bound + 2
-        quality_ok = quality_ok and report.block_parameter <= 3 * point.block
-        ns.append(topology.n)
-        rounds_list.append(result.rounds)
+    return (
+        topology.n, partition.size, point.congestion, point.block,
+        result.iterations, result.rounds,
+        report.shortcut_congestion, report.block_parameter,
+    )
+
+
+@engine_parameter
+def run_e07(scale: str = "small") -> ExperimentResult:
+    table = Table(
+        "E7 (Theorem 3): FindShortcut on grids of growing size",
+        ["n", "N", "c", "b", "iters", "ceil(log2 N)+1", "congestion", "c*8*iters", "block", "3b", "rounds"],
+    )
+    sides = (6, 9, 12, 16) if scale == "small" else (8, 12, 16, 22, 28)
+    engine = get_default_engine()
+    outcomes = parallel_map(_e07_task, [(side, engine) for side in sides])
+    iteration_ok = True
+    quality_ok = True
+    ns, rounds_list = [], []
+    for n, n_parts, c, b, iterations, rounds, built_congestion, built_block in outcomes:
+        iter_bound = math.ceil(_log2(n_parts)) + 1
+        iteration_ok = iteration_ok and iterations <= iter_bound + 2
+        quality_ok = quality_ok and built_block <= 3 * b
+        ns.append(n)
+        rounds_list.append(rounds)
         table.add_row(
-            topology.n, partition.size, point.congestion, point.block,
-            result.iterations, iter_bound,
-            report.shortcut_congestion, 8 * point.congestion * result.iterations,
-            report.block_parameter, 3 * point.block, result.rounds,
+            n, n_parts, c, b,
+            iterations, iter_bound,
+            built_congestion, 8 * c * iterations,
+            built_block, 3 * b, rounds,
         )
     return ExperimentResult(
         "E7",
@@ -799,6 +901,119 @@ def run_e14(scale: str = "small", repeats: int = 3) -> ExperimentResult:
     )
 
 
+# ----------------------------------------------------------------------
+# E15 — quality-kernel throughput: fast vs reference measures
+# ----------------------------------------------------------------------
+
+
+def quality_families(scale: str) -> List[Tuple[str, Topology, "partitions.Partition", int]]:
+    """Benchmark families for the quality kernels, small→large.
+
+    Each entry is ``(name, topology, partition, congestion_cap)``; the
+    shortcut under measurement is built *centrally* with
+    ``greedy_capped_shortcut`` so the timed work is measuring quality,
+    not constructing shortcuts.  Ordered by ``measure()`` cost; the
+    last entry (largest parts, heaviest all-pairs dilation) anchors the
+    headline speedup in ``BENCH_quality.json``.
+    """
+    big = scale == "paper"
+    side = 36 if big else 22
+    half = side // 2
+    grid_small = generators.grid(half, half)
+    torus = generators.torus(half, half)
+    hub_n = 16 * half
+    hub = generators.cycle_with_hub(hub_n, 8)
+    grid_large = generators.grid(side, side)
+    return [
+        ("hub/arcs", hub, partitions.cycle_arcs(hub_n, 8, extra_nodes=1), 2),
+        ("grid/voronoi", grid_small, partitions.voronoi(grid_small, half, 1), 2),
+        ("torus/voronoi", torus, partitions.voronoi(torus, 6, 2), 2),
+        ("grid-large/voronoi", grid_large, partitions.voronoi(grid_large, 8, 3), 3),
+    ]
+
+
+def run_e15(scale: str = "small", repeats: int = 3) -> ExperimentResult:
+    """Throughput of both quality kernels on the family pool.
+
+    Also cross-checks equivalence on the fly: the fast and reference
+    kernels must return an identical :class:`~repro.core.quality.QualityReport`
+    on every family (the full differential suite lives in
+    ``tests/core/test_quality_equivalence.py``).  The ``data`` dict
+    carries the ``BENCH_quality.json`` payload; see
+    ``benchmarks/conftest.py`` for the schema.
+    """
+    kernel_names = list(quality.KERNELS)
+    table = Table(
+        "E15: quality-kernel throughput (best-of-%d wall time)" % repeats,
+        ["family", "n", "m", "N", "congestion", "dilation"]
+        + [f"{name} s" for name in kernel_names]
+        + ["speedup"],
+    )
+    families = []
+    speedups = []
+    for name, topology, partition, cap in quality_families(scale):
+        tree = SpanningTree.bfs(topology, 0)
+        shortcut, _unusable = greedy_capped_shortcut(tree, partition, cap)
+        per_kernel: Dict[str, Dict[str, float]] = {}
+        reports: Dict[str, quality.QualityReport] = {}
+        for kernel in kernel_names:
+            best = math.inf
+            for _ in range(repeats):
+                start = time.perf_counter()
+                report = quality.measure(
+                    shortcut, topology, with_dilation=True, kernel=kernel
+                )
+                best = min(best, time.perf_counter() - start)
+            reports[kernel] = report
+            per_kernel[kernel] = {
+                "wall_s": best,
+                "measures_per_s": 1.0 / best if best > 0 else math.inf,
+            }
+        if reports["fast"] != reports["reference"]:
+            raise AssertionError(
+                f"quality kernels disagree on {name}: fast="
+                f"{reports['fast']!r} but reference={reports['reference']!r}"
+            )
+        report = reports["reference"]
+        speedup = per_kernel["reference"]["wall_s"] / per_kernel["fast"]["wall_s"]
+        speedups.append(speedup)
+        families.append(
+            {
+                "family": name,
+                "n": topology.n,
+                "m": topology.m,
+                "parts": partition.size,
+                "congestion": report.congestion,
+                "dilation": report.dilation,
+                "block_parameter": report.block_parameter,
+                "kernels": per_kernel,
+                "speedup": speedup,
+            }
+        )
+        table.add_row(
+            name, topology.n, topology.m, partition.size,
+            report.congestion, report.dilation,
+            *[round(per_kernel[k]["wall_s"], 5) for k in kernel_names],
+            round(speedup, 2),
+        )
+    return ExperimentResult(
+        "E15",
+        "the flat-array quality kernels outpace the reference at identical reports",
+        table,
+        data={
+            "schema": "repro.bench_quality.v1",
+            "scale": scale,
+            "kernels": kernel_names,
+            "families": families,
+            "speedups": speedups,
+            "largest_scale_speedup": speedups[-1],
+        },
+        notes="Shortcuts are built centrally so the timing isolates "
+        "quality measurement; the last family has the largest parts "
+        "(heaviest dilation scan) and anchors the tracked speedup.",
+    )
+
+
 ALL_EXPERIMENTS: Dict[str, Callable[[str], ExperimentResult]] = {
     "E1": run_e01,
     "E2": run_e02,
@@ -814,6 +1029,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[[str], ExperimentResult]] = {
     "E12": run_e12,
     "E13": run_e13,
     "E14": run_e14,
+    "E15": run_e15,
 }
 
 

@@ -1,0 +1,88 @@
+"""Process-parallel experiment harness.
+
+The ``run_eXX`` runners walk instance grids (families × seeds) whose
+cells are completely independent; this module fans those cells out to
+worker processes while keeping the results **deterministic**:
+
+* every task carries its own seed (derive one with :func:`task_seed`
+  from a base seed and the task index — never from worker identity);
+* results are merged back in task-submission order, so tables and
+  ``data`` payloads are identical at any worker count;
+* the worker count comes from the ``REPRO_JOBS`` environment knob
+  (default ``1`` = serial, ``0``/``auto`` = all cores) or an explicit
+  ``jobs=`` argument.
+
+Workers are separate processes, so task functions must be module-level
+(picklable) and must not rely on the parent's process-wide defaults:
+pass the engine name in the task payload and re-enter
+``using_engine(...)`` inside the worker (see the ``_eXX_task`` workers
+in :mod:`repro.analysis.experiments`).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, TypeVar
+
+from repro.congest.randomness import mix
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Effective worker count: explicit ``jobs``, else ``REPRO_JOBS``.
+
+    ``0`` or ``"auto"`` selects ``os.cpu_count()``; unset defaults to
+    serial execution (the deterministic, fork-free baseline).
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "1").strip().lower()
+        if raw in ("", "auto"):
+            jobs = 0
+        else:
+            try:
+                jobs = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{JOBS_ENV}={raw!r} is not an integer or 'auto'"
+                ) from None
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def task_seed(base: int, index: int) -> int:
+    """Deterministic per-task seed, independent of the worker count."""
+    return mix(base, index)
+
+
+def parallel_map(
+    fn: Callable[[T], R], tasks: Iterable[T], *, jobs: Optional[int] = None
+) -> List[R]:
+    """Apply ``fn`` to every task, fanning out over processes.
+
+    Results come back in task order regardless of completion order, so
+    a ``jobs=8`` run is indistinguishable from a serial one.  Falls
+    back to serial execution (with a warning) where worker processes
+    cannot be spawned at all.
+    """
+    task_list = list(tasks)
+    workers = min(resolve_jobs(jobs), len(task_list))
+    if workers <= 1:
+        return [fn(task) for task in task_list]
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, task_list))
+    except (OSError, PermissionError) as error:
+        warnings.warn(
+            f"parallel_map: cannot spawn worker processes ({error}); "
+            f"falling back to serial execution",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [fn(task) for task in task_list]

@@ -4,8 +4,10 @@ Usage::
 
     python -m repro.analysis.report [small|paper] [output-path]
 
-Runs every experiment E1–E13 and writes the paper-claim-vs-measured
-record.  The same tables print during ``pytest benchmarks/``.
+Runs every experiment E1–E15 and writes the paper-claim-vs-measured
+record.  The same tables print during ``pytest benchmarks/``.  Set
+``REPRO_JOBS`` to fan the parallel-friendly runners out over worker
+processes (the output is identical at any worker count).
 """
 
 from __future__ import annotations
@@ -26,8 +28,11 @@ a theory paper: it has no measured tables, and its only figure is an
 illustration (reproduced by ``examples/visualize_blocks.py``).  Its
 quantitative content is the set of theorems and lemmas below; each
 experiment regenerates one of them on the CONGEST simulator and reports
-the measured quantity against the claimed bound.  DESIGN.md holds the
-full experiment index and workload descriptions.
+the measured quantity against the claimed bound.  The experiment index
+lives in ``repro.analysis.experiments`` (one ``run_eXX`` per claim,
+wrapped by ``benchmarks/bench_eXX_*.py``); E14/E15 track the
+simulator-engine and quality-kernel throughput rather than a paper
+claim.
 
 **Summary of reproduction status** (scale = ``{scale}``): every bound
 holds on every instance tested; the w.h.p. guarantees hold on every

@@ -45,7 +45,7 @@ class Topology:
         CONGEST model in the paper assumes a connected network.
     """
 
-    __slots__ = ("_n", "_edges", "_adj", "_weights", "_edge_set")
+    __slots__ = ("_n", "_edges", "_adj", "_weights", "_edge_set", "_kernels")
 
     def __init__(
         self,
@@ -62,6 +62,9 @@ class Topology:
                 raise TopologyError(f"edge ({u}, {v}) out of range for n={n}")
             canon.add(canonical_edge(u, v))
         self._n = n
+        # Lazy cache for derived flat-array structures (repro.graphs.csr).
+        # The topology itself is immutable, so entries never invalidate.
+        self._kernels: Dict[str, object] = {}
         self._edges: Tuple[Edge, ...] = tuple(sorted(canon))
         self._edge_set = frozenset(self._edges)
         adj: List[List[int]] = [[] for _ in range(n)]

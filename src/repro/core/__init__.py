@@ -17,6 +17,7 @@ Layout mirrors the paper:
 
 from repro.core.shortcut import GeneralShortcut, TreeRestrictedShortcut
 from repro.core.quality import (
+    KERNELS,
     BlockComponent,
     QualityReport,
     block_components,
@@ -24,10 +25,14 @@ from repro.core.quality import (
     block_parameter,
     congestion,
     dilation,
+    get_default_kernel,
     lemma1_bound,
     measure,
+    set_default_kernel,
     shortcut_congestion,
+    using_kernel,
 )
+from repro.core import quality_fast
 from repro.core.existence import (
     CertifiedPoint,
     best_certified,
@@ -63,8 +68,13 @@ from repro.core.doubling import DoublingResult, Trial, find_shortcut_doubling
 __all__ = [
     "GeneralShortcut",
     "TreeRestrictedShortcut",
+    "KERNELS",
     "BlockComponent",
     "QualityReport",
+    "get_default_kernel",
+    "set_default_kernel",
+    "using_kernel",
+    "quality_fast",
     "block_components",
     "block_counts",
     "block_parameter",

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.congest.topology import Edge
-from repro.core.quality import block_counts, shortcut_congestion
+from repro.core.quality_fast import block_counts, shortcut_congestion
 from repro.core.shortcut import TreeRestrictedShortcut
 from repro.errors import ShortcutError
 from repro.graphs.partitions import Partition

@@ -31,7 +31,8 @@ from repro.congest.engine import EngineLike
 from repro.congest.simulator import Simulator
 from repro.congest.topology import Topology
 from repro.congest.trace import RoundLedger
-from repro.core.quality import BlockComponent, block_components
+from repro.core.quality import BlockComponent
+from repro.core.quality_fast import block_components
 from repro.core.shortcut import TreeRestrictedShortcut
 from repro.core.tree_routing import (
     SubtreeTask,
@@ -122,15 +123,21 @@ class PartwiseEngine:
         )
 
         # Part-internal neighborhood (one round of neighbor discovery,
-        # charged up front).
+        # charged up front).  Computed from the cached CSR + label
+        # arrays rather than per-neighbor part_of() calls.
+        from repro.graphs.csr import adjacency_csr
+
+        csr = adjacency_csr(topology)
+        labels = self.partition.labels
+        indptr, indices = csr.indptr, csr.indices
         self.part_neighbors: Dict[int, Tuple[int, ...]] = {}
         for v in topology.nodes:
-            part = self.partition.part_of(v)
-            if part is None:
+            part = labels[v]
+            if part < 0:
                 self.part_neighbors[v] = ()
             else:
                 self.part_neighbors[v] = tuple(
-                    w for w in topology.neighbors(v) if self.partition.part_of(w) == part
+                    w for w in indices[indptr[v] : indptr[v + 1]] if labels[w] == part
                 )
         self.ledger.charge("partwise/neighbor-discovery", 1, 2 * topology.m)
 

@@ -9,19 +9,77 @@ Implements Definitions 1 and 3 and Lemma 1 of the paper:
   ``(V, H_i)`` that intersect ``P_i``; the **block parameter** bounds
   their number over all parts;
 * **Lemma 1** — ``dilation <= b * (2 * depth(T) + 1)``.
+
+This module is the *executable reference*: every function walks the
+obvious dict-of-set structures so that it reads like the definitions.
+The hot path used by experiments lives in
+:mod:`repro.core.quality_fast` (flat-array kernels over
+:mod:`repro.graphs.csr` structures) and is selected through
+:func:`measure`'s ``kernel`` argument — mirroring the reference/batched
+engine split of :mod:`repro.congest.engine`.  The differential suite in
+``tests/core/test_quality_equivalence.py`` proves both kernels return
+bit-for-bit identical reports.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from repro.congest.topology import Edge, Topology, canonical_edge
 from repro.core.shortcut import TreeRestrictedShortcut
 from repro.errors import ShortcutError
 from repro.graphs.partitions import Partition
 from repro.graphs.spanning_trees import SpanningTree
+
+# ----------------------------------------------------------------------
+# Kernel registry (reference vs fast), mirroring the engine registry
+# ----------------------------------------------------------------------
+
+KERNELS: Tuple[str, ...] = ("reference", "fast")
+
+DEFAULT_KERNEL = "fast"
+
+_default_kernel = DEFAULT_KERNEL
+
+
+def get_default_kernel() -> str:
+    """Name of the quality kernel used when none is specified."""
+    return _default_kernel
+
+
+def set_default_kernel(kernel: Optional[str]) -> str:
+    """Set the process-wide default kernel; returns the previous name."""
+    global _default_kernel
+    previous = _default_kernel
+    _default_kernel = resolve_kernel(kernel)
+    return previous
+
+
+@contextmanager
+def using_kernel(kernel: Optional[str]) -> Iterator[str]:
+    """Temporarily override the default kernel (``None`` is a no-op)."""
+    if kernel is None:
+        yield _default_kernel
+        return
+    previous = set_default_kernel(kernel)
+    try:
+        yield _default_kernel
+    finally:
+        set_default_kernel(previous)
+
+
+def resolve_kernel(kernel: Optional[str]) -> str:
+    """Validate a kernel name (``None`` means the current default)."""
+    if kernel is None:
+        return _default_kernel
+    if kernel not in KERNELS:
+        raise ShortcutError(
+            f"unknown quality kernel {kernel!r}; available: {sorted(KERNELS)}"
+        )
+    return kernel
 
 
 @dataclass(frozen=True)
@@ -106,8 +164,12 @@ def block_counts(shortcut: TreeRestrictedShortcut) -> List[int]:
 
 
 def block_parameter(shortcut: TreeRestrictedShortcut) -> int:
-    """The block parameter ``b``: max block-component count over parts."""
-    return max(block_counts(shortcut))
+    """The block parameter ``b``: max block-component count over parts.
+
+    A shortcut over a zero-part partition has block parameter 0 (there
+    is no part to route for).
+    """
+    return max(block_counts(shortcut), default=0)
 
 
 def shortcut_congestion(shortcut: TreeRestrictedShortcut) -> int:
@@ -224,12 +286,25 @@ def measure(
     shortcut: TreeRestrictedShortcut,
     topology: Topology,
     with_dilation: bool = True,
+    kernel: Optional[str] = None,
 ) -> QualityReport:
     """Compute a full :class:`QualityReport` for a shortcut.
 
-    Dilation costs O(n · m) per part; disable it for large sweeps
+    ``kernel`` selects the implementation: ``"fast"`` (the default —
+    flat-array union-find, counting-array congestion, and frontier BFS
+    dilation with an eccentricity early-exit) or ``"reference"`` (this
+    module's dict-of-set definitions).  Both return bit-for-bit
+    identical reports.
+
+    Dilation remains the expensive field — O(n · m) per part on the
+    reference kernel, and still all-pairs-BFS-shaped (though early-exit
+    pruned) on the fast one — so disable it for very large sweeps
     (Lemma 1 bounds it from the block parameter anyway).
     """
+    if resolve_kernel(kernel) == "fast":
+        from repro.core import quality_fast
+
+        return quality_fast.measure(shortcut, topology, with_dilation=with_dilation)
     counts = tuple(block_counts(shortcut))
     return QualityReport(
         congestion=congestion(shortcut, topology),

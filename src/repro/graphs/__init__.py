@@ -12,6 +12,7 @@ from repro.graphs.partitions import (
     voronoi,
     whole,
 )
+from repro.graphs import csr
 from repro.graphs import generators
 from repro.graphs import hard_instances
 from repro.graphs import weights
@@ -27,6 +28,7 @@ __all__ = [
     "singletons",
     "voronoi",
     "whole",
+    "csr",
     "generators",
     "hard_instances",
     "weights",

@@ -1,0 +1,234 @@
+"""Flat-array (CSR) graph kernels for the analysis layer.
+
+This module mirrors, at the analysis layer, the engine split of
+:mod:`repro.congest.engine`: the dict-of-set graph walks that the
+quality measures and partition utilities used to rebuild on every call
+are replaced by immutable flat arrays, computed once and cached on the
+owning :class:`~repro.congest.topology.Topology` /
+:class:`~repro.graphs.spanning_trees.SpanningTree`.  Both classes are
+read-only values, so a cache hung off them never invalidates.
+
+Three structures are provided:
+
+* :class:`AdjacencyCSR` — compressed-sparse-row adjacency of a
+  topology (``indptr`` / ``indices``) plus, per adjacency slot, the
+  index of the underlying canonical edge (``edge_ids``), enabling
+  counting-array accumulation over edges;
+* :func:`edge_ids` — the canonical-edge → dense-index mapping
+  (positions in ``topology.edges``);
+* :class:`TreeArrays` — parent/depth arrays of a rooted spanning tree
+  together with an Euler tour (preorder + entry/exit times), giving
+  O(1) ancestor tests and contiguous subtree slices.
+
+Everything here is plain Python lists — the same trade the batched
+CONGEST engine makes: flat indexable storage beats hash-based
+containers by a large constant factor without any new dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.congest.topology import Edge, Topology, canonical_edge
+from repro.graphs.spanning_trees import SpanningTree
+
+
+class AdjacencyCSR:
+    """Immutable flat adjacency of a topology.
+
+    Attributes
+    ----------
+    n, m:
+        Node and edge counts.
+    indptr:
+        ``n + 1`` offsets; node ``v``'s neighbors live in
+        ``indices[indptr[v]:indptr[v + 1]]`` (ascending, identical to
+        ``topology.neighbors(v)``).
+    indices:
+        The ``2m`` neighbor entries.
+    edge_ids:
+        Parallel to ``indices``: ``edge_ids[k]`` is the position in
+        ``topology.edges`` of the edge ``{v, indices[k]}``.
+    """
+
+    __slots__ = ("n", "m", "indptr", "indices", "edge_ids")
+
+    def __init__(self, topology: Topology) -> None:
+        self.n = topology.n
+        self.m = topology.m
+        index = edge_ids(topology)
+        indptr: List[int] = [0]
+        indices: List[int] = []
+        ids: List[int] = []
+        for v in topology.nodes:
+            for w in topology.neighbors(v):
+                indices.append(w)
+                ids.append(index[canonical_edge(v, w)])
+            indptr.append(len(indices))
+        self.indptr = indptr
+        self.indices = indices
+        self.edge_ids = ids
+
+    def neighbors(self, v: int) -> List[int]:
+        """Neighbors of ``v`` as a list slice (ascending)."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+
+class TreeArrays:
+    """Flat parent/depth/Euler-tour arrays of a rooted spanning tree.
+
+    ``preorder`` lists the nodes in DFS order (children visited in
+    ascending id, matching ``SpanningTree.children``); ``tour_in[v]``
+    and ``tour_out[v]`` delimit ``v``'s subtree: it is exactly
+    ``preorder[tour_in[v]:tour_out[v]]``.
+    """
+
+    __slots__ = ("n", "root", "parent", "depth", "preorder", "tour_in", "tour_out")
+
+    def __init__(self, tree: SpanningTree) -> None:
+        n = tree.n
+        self.n = n
+        self.root = tree.root
+        self.parent: List[int] = [
+            -1 if tree.parent(v) is None else tree.parent(v) for v in range(n)
+        ]
+        self.depth: List[int] = [tree.depth(v) for v in range(n)]
+        preorder: List[int] = []
+        tour_in = [0] * n
+        tour_out = [0] * n
+        stack: List[Tuple[int, bool]] = [(tree.root, False)]
+        while stack:
+            v, done = stack.pop()
+            if done:
+                tour_out[v] = len(preorder)
+                continue
+            tour_in[v] = len(preorder)
+            preorder.append(v)
+            stack.append((v, True))
+            for child in reversed(tree.children(v)):
+                stack.append((child, False))
+        self.preorder = preorder
+        self.tour_in = tour_in
+        self.tour_out = tour_out
+
+    def is_ancestor(self, ancestor: int, descendant: int) -> bool:
+        """Whether ``ancestor`` lies on the root path of ``descendant``
+        (inclusive: every node is its own ancestor)."""
+        return (
+            self.tour_in[ancestor] <= self.tour_in[descendant]
+            and self.tour_out[descendant] <= self.tour_out[ancestor]
+        )
+
+    def subtree(self, v: int) -> List[int]:
+        """All nodes of ``v``'s subtree, in preorder."""
+        return self.preorder[self.tour_in[v] : self.tour_out[v]]
+
+
+def bounded_diameter(adjacency: List[List[int]]) -> int:
+    """Exact diameter of a local-id graph via eccentricity bounding.
+
+    A BFS from ``v`` with eccentricity ``e`` pins every node ``w`` into
+    ``max(d, e - d) <= ecc(w) <= e + d`` where ``d = dist(v, w)``.
+    Nodes whose upper bound cannot beat the best eccentricity seen are
+    dropped; sources alternate between the widest upper bound (to
+    shrink the candidate set) and the smallest lower bound (a central
+    node, whose BFS tightens everyone's upper bound).  Exact for every
+    graph, and typically needs a handful of BFS passes instead of one
+    per node.  Returns ``-1`` when the graph is disconnected (callers
+    raise their own domain error).
+
+    This is the shared diameter kernel behind
+    :func:`repro.core.quality_fast.dilation` and
+    ``Partition.part_diameters``.
+    """
+    k = len(adjacency)
+    if k <= 1:
+        return 0
+    infinity = 2 * k
+    lower = [0] * k
+    upper = [infinity] * k
+    alive = [True] * k
+    remaining = k
+    worst = 0
+    dist = [-1] * k
+    pick_upper = True
+    source = 0
+    while remaining:
+        for j in range(k):
+            dist[j] = -1
+        dist[source] = 0
+        frontier = [source]
+        reached = 1
+        ecc = 0
+        while frontier:
+            nxt: List[int] = []
+            for u in frontier:
+                du = dist[u] + 1
+                for w in adjacency[u]:
+                    if dist[w] < 0:
+                        dist[w] = du
+                        nxt.append(w)
+            if nxt:
+                ecc += 1
+                reached += len(nxt)
+            frontier = nxt
+        if reached != k:
+            return -1
+        if ecc > worst:
+            worst = ecc
+        next_source = -1
+        best_key = -1
+        for w in range(k):
+            if not alive[w]:
+                continue
+            d = dist[w]
+            low = d if d >= ecc - d else ecc - d
+            if low > lower[w]:
+                lower[w] = low
+            high = ecc + d
+            if high < upper[w]:
+                upper[w] = high
+            if lower[w] > worst:
+                worst = lower[w]
+            if upper[w] <= worst or lower[w] == upper[w]:
+                alive[w] = False
+                remaining -= 1
+                continue
+            # Deterministic selection for the next BFS source.
+            key = upper[w] if pick_upper else infinity - lower[w]
+            if key > best_key:
+                best_key = key
+                next_source = w
+        pick_upper = not pick_upper
+        source = next_source
+    return worst
+
+
+def edge_ids(topology: Topology) -> Dict[Edge, int]:
+    """Canonical edge → position in ``topology.edges`` (cached)."""
+    cache = topology._kernels
+    index = cache.get("edge_ids")
+    if index is None:
+        index = {edge: i for i, edge in enumerate(topology.edges)}
+        cache["edge_ids"] = index
+    return index
+
+
+def adjacency_csr(topology: Topology) -> AdjacencyCSR:
+    """The cached :class:`AdjacencyCSR` of a topology."""
+    cache = topology._kernels
+    csr = cache.get("csr")
+    if csr is None:
+        csr = AdjacencyCSR(topology)
+        cache["csr"] = csr
+    return csr
+
+
+def tree_arrays(tree: SpanningTree) -> TreeArrays:
+    """The cached :class:`TreeArrays` of a spanning tree."""
+    cache = tree._kernels
+    arrays = cache.get("arrays")
+    if arrays is None:
+        arrays = TreeArrays(tree)
+        cache["arrays"] = arrays
+    return arrays

@@ -19,6 +19,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.congest.topology import Topology
 from repro.errors import TopologyError
+from repro.graphs.csr import adjacency_csr, bounded_diameter
 from repro.graphs.generators import grid_node
 
 
@@ -77,6 +78,16 @@ class Partition:
         index = self._part_of[v]
         return None if index == -1 else index
 
+    @property
+    def labels(self) -> Tuple[int, ...]:
+        """Per-node part index, ``-1`` for uncovered nodes.
+
+        The flat-array twin of :meth:`part_of`, used by the kernel
+        fast paths (:mod:`repro.core.quality_fast`) for O(1) membership
+        tests without per-node method calls.
+        """
+        return self._part_of
+
     def members(self, index: int) -> FrozenSet[int]:
         """Nodes of part ``index``."""
         return self._parts[index]
@@ -112,34 +123,42 @@ class Partition:
         return f"Partition(n={self._n}, N={self.size}, covered={self.covered})"
 
 
+def _induced_csr(topology: Topology, part: FrozenSet[int]):
+    """Local-id adjacency lists of ``G[part]`` from the cached CSR."""
+    csr = adjacency_csr(topology)
+    nodes = sorted(part)
+    local = {v: i for i, v in enumerate(nodes)}
+    indptr, indices = csr.indptr, csr.indices
+    adjacency: List[List[int]] = []
+    for v in nodes:
+        adjacency.append(
+            [local[w] for w in indices[indptr[v] : indptr[v + 1]] if w in local]
+        )
+    return adjacency
+
+
 def _is_connected_subset(topology: Topology, part: FrozenSet[int]) -> bool:
-    start = next(iter(part))
-    seen = {start}
-    queue = deque([start])
-    while queue:
-        u = queue.popleft()
-        for w in topology.neighbors(u):
-            if w in part and w not in seen:
-                seen.add(w)
-                queue.append(w)
-    return len(seen) == len(part)
+    adjacency = _induced_csr(topology, part)
+    k = len(adjacency)
+    seen = [False] * k
+    seen[0] = True
+    stack = [0]
+    reached = 1
+    while stack:
+        u = stack.pop()
+        for w in adjacency[u]:
+            if not seen[w]:
+                seen[w] = True
+                reached += 1
+                stack.append(w)
+    return reached == k
 
 
 def _induced_diameter(topology: Topology, part: FrozenSet[int]) -> int:
-    best = 0
-    for source in part:
-        dist = {source: 0}
-        queue = deque([source])
-        while queue:
-            u = queue.popleft()
-            for w in topology.neighbors(u):
-                if w in part and w not in dist:
-                    dist[w] = dist[u] + 1
-                    queue.append(w)
-        if len(dist) != len(part):
-            raise TopologyError("part is not connected")
-        best = max(best, max(dist.values()))
-    return best
+    diameter = bounded_diameter(_induced_csr(topology, part))
+    if diameter < 0:
+        raise TopologyError("part is not connected")
+    return diameter
 
 
 # ----------------------------------------------------------------------

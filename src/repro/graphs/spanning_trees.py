@@ -28,7 +28,15 @@ class SpanningTree:
         ``None``) for the root and only for the root.
     """
 
-    __slots__ = ("_root", "_parent", "_children", "_depth", "_height", "_edges")
+    __slots__ = (
+        "_root",
+        "_parent",
+        "_children",
+        "_depth",
+        "_height",
+        "_edges",
+        "_kernels",
+    )
 
     def __init__(self, root: int, parent: Sequence[Optional[int]]) -> None:
         n = len(parent)
@@ -45,6 +53,8 @@ class SpanningTree:
                 raise TopologyError(f"node {v}: parent {p} out of range")
             norm.append(p)
         self._root = root
+        # Lazy cache for derived flat-array structures (repro.graphs.csr).
+        self._kernels: Dict[str, object] = {}
         self._parent: Tuple[int, ...] = tuple(norm)
 
         children: List[List[int]] = [[] for _ in range(n)]

@@ -1,0 +1,79 @@
+"""Tests for the process-parallel experiment harness."""
+
+import os
+
+import pytest
+
+from repro.analysis.parallel import JOBS_ENV, parallel_map, resolve_jobs, task_seed
+
+
+def _square(x):
+    return x * x
+
+
+def _flaky(x):
+    if x == 3:
+        raise ValueError("task 3 exploded")
+    return x
+
+
+@pytest.fixture
+def jobs_env(monkeypatch):
+    def set_env(value):
+        if value is None:
+            monkeypatch.delenv(JOBS_ENV, raising=False)
+        else:
+            monkeypatch.setenv(JOBS_ENV, value)
+
+    return set_env
+
+
+def test_resolve_jobs_default_is_serial(jobs_env):
+    jobs_env(None)
+    assert resolve_jobs() == 1
+
+
+def test_resolve_jobs_env_values(jobs_env):
+    jobs_env("4")
+    assert resolve_jobs() == 4
+    jobs_env("auto")
+    assert resolve_jobs() == (os.cpu_count() or 1)
+    jobs_env("0")
+    assert resolve_jobs() == (os.cpu_count() or 1)
+    jobs_env("many")
+    with pytest.raises(ValueError):
+        resolve_jobs()
+
+
+def test_resolve_jobs_argument_overrides_env(jobs_env):
+    jobs_env("7")
+    assert resolve_jobs(2) == 2
+    assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+
+def test_task_seed_is_deterministic_and_spread():
+    seeds = [task_seed(42, i) for i in range(64)]
+    assert seeds == [task_seed(42, i) for i in range(64)]
+    assert len(set(seeds)) == len(seeds)
+    assert task_seed(42, 0) != task_seed(43, 0)
+
+
+def test_parallel_map_serial_matches_map():
+    tasks = list(range(10))
+    assert parallel_map(_square, tasks, jobs=1) == [x * x for x in tasks]
+
+
+def test_parallel_map_preserves_order_with_workers():
+    tasks = list(range(12))
+    assert parallel_map(_square, tasks, jobs=2) == [x * x for x in tasks]
+
+
+def test_parallel_map_empty():
+    assert parallel_map(_square, [], jobs=4) == []
+
+
+def test_parallel_map_propagates_task_errors():
+    with pytest.raises(ValueError):
+        parallel_map(_flaky, range(5), jobs=1)
+    with pytest.raises(ValueError):
+        parallel_map(_flaky, range(5), jobs=2)

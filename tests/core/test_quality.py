@@ -3,7 +3,7 @@
 import pytest
 
 from repro.congest.topology import Topology
-from repro.core import quality
+from repro.core import quality, quality_fast
 from repro.core.shortcut import TreeRestrictedShortcut
 from repro.errors import ShortcutError
 from repro.graphs.partitions import Partition
@@ -134,6 +134,53 @@ def test_measure_without_dilation(grid6, grid6_tree, grid6_voronoi):
     report = quality.measure(s, grid6, with_dilation=False)
     assert report.dilation is None
     assert "-" in str(report)
+
+
+@pytest.mark.parametrize("kernel", quality.KERNELS)
+def test_zero_part_shortcut_returns_zero(line, line_tree, kernel):
+    """Regression: block_parameter / measure used to crash with
+    ``ValueError: max() arg is an empty sequence`` on zero parts."""
+    parts = Partition(6, [])
+    s = TreeRestrictedShortcut.empty(line_tree, parts)
+    assert quality.block_parameter(s) == 0
+    assert quality.block_counts(s) == []
+    report = quality.measure(s, line, kernel=kernel)
+    assert report.block_parameter == 0
+    assert report.congestion == 0
+    assert report.shortcut_congestion == 0
+    assert report.dilation == 0
+    assert report.block_counts == ()
+
+
+@pytest.mark.parametrize("kernel", quality.KERNELS)
+def test_dilation_disconnected_raises_per_part(line, line_tree, kernel):
+    """The disconnected error must also fire on a single-part query,
+    name the offending part, and leave connected parts measurable."""
+    parts = Partition(6, [[0, 1], [3, 5]])  # part 1 disconnected in G[P_1]+H_1
+    s = TreeRestrictedShortcut.empty(line_tree, parts)
+    with quality.using_kernel(kernel):
+        assert quality.measure(s, line, with_dilation=False).dilation is None
+        with pytest.raises(ShortcutError, match="G\\[P_1\\]"):
+            quality.measure(s, line)
+    dilation_of = quality.dilation if kernel == "reference" else quality_fast.dilation
+    assert dilation_of(s, line, 0) == 1
+    with pytest.raises(ShortcutError, match="disconnected"):
+        dilation_of(s, line, 1)
+
+
+@pytest.mark.parametrize("kernel", quality.KERNELS)
+def test_congestion_ignores_weights(line, line_tree, kernel):
+    """Definition 1 counts subgraphs per edge; weights must not change
+    any quality measure."""
+    parts = Partition(6, [[0, 1], [2]])
+    subgraphs = [[], [(0, 1), (1, 2)]]
+    s = TreeRestrictedShortcut(line_tree, parts, subgraphs)
+    plain = quality.measure(s, line, kernel=kernel)
+    heavy = line.with_weights({edge: 1000 + i for i, edge in enumerate(line.edges)})
+    tree = SpanningTree(0, [-1, 0, 1, 2, 3, 4])
+    s_heavy = TreeRestrictedShortcut(tree, parts, subgraphs)
+    assert quality.measure(s_heavy, heavy, kernel=kernel) == plain
+    assert quality.congestion(s_heavy, heavy) == 2
 
 
 def test_block_root_is_unique_min_depth(grid6, grid6_tree):

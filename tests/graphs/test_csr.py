@@ -1,0 +1,86 @@
+"""Tests for the flat-CSR kernel structures (repro.graphs.csr)."""
+
+import pickle
+
+from repro.congest.topology import canonical_edge
+from repro.graphs import generators
+from repro.graphs.csr import adjacency_csr, edge_ids, tree_arrays
+from repro.graphs.spanning_trees import SpanningTree
+
+
+def test_adjacency_matches_neighbors(grid6):
+    csr = adjacency_csr(grid6)
+    assert csr.n == grid6.n
+    assert csr.m == grid6.m
+    assert csr.indptr[0] == 0
+    assert csr.indptr[-1] == 2 * grid6.m
+    for v in grid6.nodes:
+        assert tuple(csr.neighbors(v)) == grid6.neighbors(v)
+
+
+def test_edge_ids_are_positions_in_edges(grid6):
+    index = edge_ids(grid6)
+    assert len(index) == grid6.m
+    for i, edge in enumerate(grid6.edges):
+        assert index[edge] == i
+
+
+def test_edge_ids_align_with_adjacency_slots(torus5):
+    csr = adjacency_csr(torus5)
+    for v in torus5.nodes:
+        for k in range(csr.indptr[v], csr.indptr[v + 1]):
+            w = csr.indices[k]
+            assert torus5.edges[csr.edge_ids[k]] == canonical_edge(v, w)
+
+
+def test_structures_are_cached(grid6, grid6_tree):
+    assert adjacency_csr(grid6) is adjacency_csr(grid6)
+    assert edge_ids(grid6) is edge_ids(grid6)
+    assert tree_arrays(grid6_tree) is tree_arrays(grid6_tree)
+
+
+def test_tree_arrays_parent_depth(grid6_tree):
+    arrays = tree_arrays(grid6_tree)
+    assert arrays.root == grid6_tree.root
+    for v in range(grid6_tree.n):
+        parent = grid6_tree.parent(v)
+        assert arrays.parent[v] == (-1 if parent is None else parent)
+        assert arrays.depth[v] == grid6_tree.depth(v)
+
+
+def test_euler_tour_subtree_slices():
+    topology = generators.binary_tree(4)
+    tree = SpanningTree.bfs(topology, 0)
+    arrays = tree_arrays(tree)
+    assert sorted(arrays.preorder) == list(range(tree.n))
+    assert arrays.preorder[0] == tree.root
+    for v in range(tree.n):
+        subtree = set(arrays.subtree(v))
+        assert v in subtree
+        for child in tree.children(v):
+            assert set(arrays.subtree(child)) <= subtree
+        expected = {
+            w for w in range(tree.n) if v in set(tree.ancestors(w, include_self=True))
+        }
+        assert subtree == expected
+
+
+def test_is_ancestor_matches_ancestors(grid6_tree):
+    arrays = tree_arrays(grid6_tree)
+    for v in (0, 7, 21, 35):
+        ancestors = set(grid6_tree.ancestors(v, include_self=True))
+        for u in range(grid6_tree.n):
+            assert arrays.is_ancestor(u, v) == (u in ancestors)
+
+
+def test_caches_survive_pickling(grid6, grid6_tree):
+    """Worker processes receive topologies with (or without) warm
+    caches; both must keep working after a pickle round-trip."""
+    adjacency_csr(grid6)
+    tree_arrays(grid6_tree)
+    topology = pickle.loads(pickle.dumps(grid6))
+    tree = pickle.loads(pickle.dumps(grid6_tree))
+    csr = adjacency_csr(topology)
+    for v in topology.nodes:
+        assert tuple(csr.neighbors(v)) == topology.neighbors(v)
+    assert tree_arrays(tree).depth == tree_arrays(grid6_tree).depth
