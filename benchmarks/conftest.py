@@ -69,6 +69,41 @@ with:
 * ``speedups`` — the per-family speedup column, same order.
 * ``largest_scale_speedup`` — ``speedups[-1]``; the tracked headline
   number (CI asserts it stays >= 3).
+
+BENCH_construct.json schema
+---------------------------
+
+``python benchmarks/bench_e16_construct.py --out BENCH_construct.json``
+writes the construction-layer baseline (schema id
+``repro.bench_construct.v1``): wall time of one full parameter-oblivious
+``find_shortcut_doubling`` search per construction mode (``simulate``
+vs ``direct``, see :mod:`repro.core.construct_fast`) over the family
+pool of :func:`repro.analysis.experiments.construct_families`.  A JSON
+object with:
+
+* ``schema`` — the literal string ``"repro.bench_construct.v1"``.
+* ``scale`` — ``"small"`` or ``"paper"`` (the E16 instance sizes).
+* ``modes`` — construction-mode names measured
+  (``repro.core.construct_fast.MODES`` order).
+* ``python`` / ``machine`` — interpreter version and architecture.
+* ``families`` — list ordered by simulate-mode cost (last = largest
+  scale); each entry has:
+
+  - ``family`` — instance label, e.g. ``"grid-large/voronoi"``;
+  - ``n`` / ``m`` / ``parts`` — topology and partition sizes;
+  - ``trials`` / ``iterations`` — doubling trials and the successful
+    trial's iteration count (identical across modes by construction;
+    E16 raises on divergence);
+  - ``modes`` — mapping mode name -> ``{"wall_s",
+    "constructions_per_s", "rounds"}`` (best-of-N wall seconds for one
+    full doubling search; ``rounds`` is the ledger total — measured in
+    simulate mode, the analytic model in direct mode);
+  - ``speedup`` — simulate wall time / direct wall time.
+
+* ``speedups`` — the per-family speedup column, same order.
+* ``largest_scale_speedup`` — ``speedups[-1]``; the tracked headline
+  number (CI gates it at >= 5; the paper-scale record in
+  EXPERIMENTS.md clears >= 20).
 """
 
 import os

@@ -97,6 +97,23 @@ class SeedBroadcastAlgorithm(NodeAlgorithm):
             node.state.seed = _assemble(node.state.received)
 
 
+def seed_chunk_count(n: int) -> int:
+    """Number of ``O(log n)``-bit chunks the shared seed is split into."""
+    return max(1, n.bit_length())
+
+
+def draw_shared_seed(n: int, seed: int) -> int:
+    """The shared seed the root draws before broadcasting it.
+
+    Factored out so the direct construction kernels
+    (:mod:`repro.core.construct_fast`) can obtain the *same* seed a
+    simulated :func:`share_randomness` would have distributed, without
+    running the broadcast.
+    """
+    rng = random.Random(seed)
+    return rng.getrandbits(_CHUNK_BITS * seed_chunk_count(n))
+
+
 def _split(seed: int, n_chunks: int) -> Tuple[int, ...]:
     mask = (1 << _CHUNK_BITS) - 1
     return tuple((seed >> (_CHUNK_BITS * i)) & mask for i in range(n_chunks))
@@ -123,9 +140,8 @@ def share_randomness(
     number of chunks is ``ceil(log2 n)`` so the total entropy is
     Theta(log^2 n) bits, matching the paper's requirement.
     """
-    rng = random.Random(seed)
-    n_chunks = max(1, topology.n.bit_length())
-    shared = rng.getrandbits(_CHUNK_BITS * n_chunks)
+    n_chunks = seed_chunk_count(topology.n)
+    shared = draw_shared_seed(topology.n, seed)
     chunks = _split(shared, n_chunks)
     inputs = {
         v: {

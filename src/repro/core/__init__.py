@@ -12,7 +12,9 @@ Layout mirrors the paper:
 * :mod:`repro.core.core_slow`, :mod:`repro.core.core_fast` —
   Algorithms 1 and 2 (Lemmas 7 and 5);
 * :mod:`repro.core.find_shortcut` — Theorem 3;
-* :mod:`repro.core.doubling` — Appendix A.
+* :mod:`repro.core.doubling` — Appendix A;
+* :mod:`repro.core.construct_fast` — the simulation-free direct
+  kernels for the whole construction stack (``mode="direct"``).
 """
 
 from repro.core.shortcut import GeneralShortcut, TreeRestrictedShortcut
@@ -58,7 +60,15 @@ from repro.core.core_fast import (
     sampling_parameters,
 )
 from repro.core.verification import VerificationOutcome, verification
+from repro.core.construct_fast import (
+    MODES,
+    construct_mode_parameter,
+    get_default_mode,
+    set_default_mode,
+    using_mode,
+)
 from repro.core.find_shortcut import (
+    ConstructionState,
     FindShortcutResult,
     default_iteration_limit,
     find_shortcut,
@@ -105,6 +115,12 @@ __all__ = [
     "sampling_parameters",
     "VerificationOutcome",
     "verification",
+    "MODES",
+    "construct_mode_parameter",
+    "get_default_mode",
+    "set_default_mode",
+    "using_mode",
+    "ConstructionState",
     "FindShortcutResult",
     "default_iteration_limit",
     "find_shortcut",

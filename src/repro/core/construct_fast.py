@@ -1,0 +1,568 @@
+"""Direct construction kernels — the simulation-free Theorem 3 stack.
+
+The FindShortcut pipeline (CoreFast/CoreSlow → Verification → freeze,
+looped O(log N) times, wrapped by the Appendix A doubling search) is a
+deterministic function of ``(topology, tree, partition, seeds)``: every
+simulated phase computes a quantity that a centralized bottom-up pass
+over the cached CSR/Euler-tour arrays (:mod:`repro.graphs.csr`) can
+reproduce bit-for-bit.  This module mirrors — one layer up — the
+engine split of :mod:`repro.congest.engine` and the quality-kernel
+split of :mod:`repro.core.quality_fast`:
+
+* ``mode="simulate"`` (default) runs the node programs on the CONGEST
+  simulator — the executable specification;
+* ``mode="direct"`` computes the same outputs at array speed and
+  charges the :class:`~repro.congest.trace.RoundLedger` from the
+  analytic cost model below.
+
+Selection is threaded through :func:`~repro.core.find_shortcut.find_shortcut`,
+:func:`~repro.core.doubling.find_shortcut_doubling`,
+:func:`~repro.core.verification.verification`,
+:func:`~repro.core.core_slow.core_slow` and
+:func:`~repro.core.core_fast.core_fast` exactly like ``engine=`` and
+``kernel=``: a ``mode=`` keyword per call site, a process-wide default
+(:func:`set_default_mode`), and a scoped override (:func:`using_mode`).
+
+Equivalence contract
+--------------------
+
+Direct mode reproduces the simulated pipeline *bit-for-bit* on every
+combinatorial output: shortcut edge maps, unusable edge sets,
+``good_history``, iteration counts, verification count maps, and the
+doubling ``trials`` tuple.  The differential suite in
+``tests/core/test_construct_equivalence.py`` enforces this across the
+planar, torus, hub, and Delaunay families, exactly as the
+engine-equivalence suite licenses the batched engine.
+
+The analytic round ledger
+-------------------------
+
+Direct mode charges the ledger per phase from a documented cost model,
+cross-checked in the same differential suite against the simulated
+engines' actual round/message counts:
+
+``share-randomness``
+    Exact.  Pipelining ``k = max(1, ceil(log2 n))`` chunks down a
+    depth-``D`` tree delivers the last chunk at round ``D + k - 1``;
+    every non-root node receives each chunk once (``k(n-1)``
+    messages).
+
+``core-slow`` / ``core-fast/sample``
+    Exact.  The streaming recurrence of Algorithm 1 is closed-form:
+    a node seals one round after the last child's ``done`` marker
+    (``S(v) = max_child(done(child) + 1)``, 0 at leaves), streams its
+    ``Q(v)`` ids (0 when the edge is unusable), and sends ``done`` at
+    ``done(v) = S(v) + Q(v)``.  Total rounds are the root's last
+    ``done`` delivery; messages are ``sum(Q(v) + 1)`` over non-root
+    nodes.
+
+``core-fast/flood``
+    Exact.  The min-first flood of Algorithm 2 steps 3–5 has no closed
+    form (forwarding order depends on arrival order), so the kernel
+    replays it as a centralized per-round event loop over int heaps —
+    identical dynamics, none of the engine machinery.
+
+``verification``
+    Analytic upper bound (the Lemma 3 accounting).  One run of the
+    supergraph protocol is ``A = 6·b' + 4`` block aggregates (each one
+    convergecast + one broadcast, Lemma 2: ``<= D + c + 2`` rounds and
+    ``<= Σ|H_i|`` messages each), ``X = 4·b' + 1`` one-round exchanges
+    (``<=`` the part-internal directed edge count in messages), plus
+    one neighbor-discovery round (``2m`` messages):
+
+    ``rounds <= 1 + 2A(D + c + 2) + X``
+
+    where ``c`` is the tentative shortcut's edge congestion.  The
+    differential suite asserts the bound dominates the simulated
+    totals on every family while the exact phases match to the round.
+
+``termination-check``
+    Identical in both modes: one convergecast/broadcast barrier over
+    ``T``, ``2·depth(T) + 1`` rounds per iteration.
+
+Everything here is plain Python over flat arrays — the same trade the
+batched engine and the quality kernels make.
+"""
+
+from __future__ import annotations
+
+import heapq
+from contextlib import contextmanager
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.congest.randomness import seed_chunk_count
+from repro.congest.topology import Edge, Topology
+from repro.congest.trace import RoundLedger
+from repro.core.core_slow import CoreOutcome
+from repro.core.quality_fast import _find
+from repro.core.shortcut import TreeRestrictedShortcut
+from repro.errors import ShortcutError
+from repro.graphs.csr import adjacency_csr, tree_arrays
+from repro.graphs.partitions import Partition
+from repro.graphs.spanning_trees import SpanningTree
+
+# ----------------------------------------------------------------------
+# Mode registry (simulate vs direct), mirroring engines and kernels
+# ----------------------------------------------------------------------
+
+MODES: Tuple[str, ...] = ("simulate", "direct")
+
+DEFAULT_MODE = "simulate"
+
+_default_mode = DEFAULT_MODE
+
+
+def get_default_mode() -> str:
+    """Name of the construction mode used when none is specified."""
+    return _default_mode
+
+
+def set_default_mode(mode: Optional[str]) -> str:
+    """Set the process-wide default mode; returns the previous name."""
+    global _default_mode
+    previous = _default_mode
+    _default_mode = resolve_mode(mode)
+    return previous
+
+
+@contextmanager
+def using_mode(mode: Optional[str]) -> Iterator[str]:
+    """Temporarily override the default mode (``None`` is a no-op)."""
+    if mode is None:
+        yield _default_mode
+        return
+    previous = set_default_mode(mode)
+    try:
+        yield _default_mode
+    finally:
+        set_default_mode(previous)
+
+
+def resolve_mode(mode: Optional[str]) -> str:
+    """Validate a mode name (``None`` means the current default)."""
+    if mode is None:
+        return _default_mode
+    if mode not in MODES:
+        raise ShortcutError(
+            f"unknown construction mode {mode!r}; available: {sorted(MODES)}"
+        )
+    return mode
+
+
+def construct_mode_parameter(func):
+    """Give an entry point a ``construct_mode=`` keyword.
+
+    For the duration of the call the given mode becomes the process
+    default, so every construction the function runs — however deeply
+    nested — uses it.  The decorated twin of
+    :func:`repro.congest.engine.engine_parameter`.
+    """
+    import functools
+
+    @functools.wraps(func)
+    def wrapper(*args, construct_mode: Optional[str] = None, **kwargs):
+        with using_mode(construct_mode):
+            return func(*args, **kwargs)
+
+    return wrapper
+
+
+# ----------------------------------------------------------------------
+# Cost model
+# ----------------------------------------------------------------------
+
+
+def share_randomness_cost(n: int, height: int) -> Tuple[int, int]:
+    """Exact (rounds, messages) of the shared-seed broadcast."""
+    chunks = seed_chunk_count(n)
+    if n <= 1:
+        return 0, 0
+    return height + chunks - 1, chunks * (n - 1)
+
+
+def verification_cost(
+    b_limit: int,
+    height: int,
+    task_congestion: int,
+    edge_slots: int,
+    part_edges: int,
+    m: int,
+) -> Tuple[int, int]:
+    """Modeled (rounds, messages) upper bound of one Verification run.
+
+    ``task_congestion`` is the tentative shortcut's edge congestion
+    (blocks per tree edge), ``edge_slots`` its total assigned edge
+    slots ``Σ|H_i|``, ``part_edges`` the directed part-internal edge
+    count, ``m`` the topology's edge count.  See the module docstring
+    for the derivation.
+    """
+    if b_limit < 1:
+        return 1, 2 * m
+    aggregates = 6 * b_limit + 4
+    exchanges = 4 * b_limit + 1
+    rounds = 1 + aggregates * 2 * (height + task_congestion + 2) + exchanges
+    messages = 2 * m + aggregates * 2 * edge_slots + exchanges * part_edges
+    return rounds, messages
+
+
+def part_internal_edges(topology: Topology, partition: Partition) -> int:
+    """Directed edges with both endpoints in the same part (cached).
+
+    The per-instance constant feeding the exchange term of
+    :func:`verification_cost`; hung off the topology's kernel cache
+    keyed by the partition's label array.
+    """
+    cache = topology._kernels
+    key = ("part_edges", partition.labels)
+    count = cache.get(key)
+    if count is None:
+        csr = adjacency_csr(topology)
+        labels = partition.labels
+        indptr, indices = csr.indptr, csr.indices
+        count = 0
+        for v in range(topology.n):
+            label = labels[v]
+            if label < 0:
+                continue
+            for w in indices[indptr[v] : indptr[v + 1]]:
+                if labels[w] == label:
+                    count += 1
+        cache[key] = count
+    return count
+
+
+# ----------------------------------------------------------------------
+# Upward streaming sweep (CoreSlow / CoreFast Phase A)
+# ----------------------------------------------------------------------
+
+
+def _upward_sweep(
+    tree: SpanningTree,
+    own: List[Optional[int]],
+    cap: int,
+) -> Tuple[Dict[Edge, Tuple[int, ...]], Set[Edge], List[bool], int, int]:
+    """One Algorithm 1 sweep: bottom-up id counting with a cap.
+
+    ``own[v]`` is the id node ``v`` injects (``None`` to relay only).
+    Returns ``(edge_map, unusable_edges, unusable_by_node, rounds,
+    messages)`` where rounds/messages are the *exact* cost of the
+    simulated streaming program (see the module docstring's recurrence).
+    """
+    arrays = tree_arrays(tree)
+    parent = arrays.parent
+    n = arrays.n
+    visible: List[Optional[Set[int]]] = [None] * n
+    done: List[int] = [0] * n
+    seal: List[int] = [0] * n
+    unusable_by_node = [False] * n
+    edge_map: Dict[Edge, Tuple[int, ...]] = {}
+    unusable: Set[Edge] = set()
+    messages = 0
+
+    for v in arrays.bottom_up():
+        ids: Set[int] = set()
+        if own[v] is not None:
+            ids.add(own[v])
+        s = 0
+        for child in tree.children(v):
+            child_visible = visible[child]
+            if child_visible:
+                ids |= child_visible
+            visible[child] = None  # free as we go
+            arrival = done[child] + 1
+            if arrival > s:
+                s = arrival
+        seal[v] = s
+        if parent[v] < 0:
+            continue
+        if len(ids) > cap:
+            unusable_by_node[v] = True
+            unusable.add(tree.parent_edge(v))
+            visible[v] = set()
+            q = 0
+        else:
+            q = len(ids)
+            visible[v] = ids
+            if ids:
+                edge_map[tree.parent_edge(v)] = tuple(sorted(ids))
+        done[v] = s + q
+        messages += q + 1  # the streamed ids plus the done marker
+
+    root_children = tree.children(tree.root)
+    rounds = max((done[c] + 1 for c in root_children), default=0)
+    return edge_map, unusable, unusable_by_node, rounds, messages
+
+
+def core_slow_direct(
+    topology: Topology,
+    tree: SpanningTree,
+    partition: Partition,
+    c: int,
+    *,
+    participating: Optional[Iterable[int]] = None,
+    ledger: Optional[RoundLedger] = None,
+) -> CoreOutcome:
+    """Direct twin of :func:`repro.core.core_slow.core_slow`.
+
+    Identical outputs *and* identical rounds/messages: the streaming
+    recurrence is exact, so the ledger entry matches what the simulated
+    program would have charged.
+    """
+    if c < 1:
+        raise ShortcutError("congestion parameter c must be >= 1")
+    participating_set = set(participating) if participating is not None else None
+    labels = partition.labels
+    own: List[Optional[int]] = [None] * topology.n
+    for v in range(topology.n):
+        part = labels[v]
+        if part >= 0 and (participating_set is None or part in participating_set):
+            own[v] = part
+    edge_map, unusable, _by_node, rounds, messages = _upward_sweep(
+        tree, own, 2 * c
+    )
+    shortcut = TreeRestrictedShortcut.from_edge_map(tree, partition, edge_map)
+    if ledger is not None:
+        ledger.charge_phase("core-slow", rounds, messages)
+    return CoreOutcome(
+        shortcut=shortcut,
+        unusable=frozenset(unusable),
+        rounds=rounds,
+        messages=messages,
+    )
+
+
+# ----------------------------------------------------------------------
+# Min-first flood (CoreFast Phase B)
+# ----------------------------------------------------------------------
+
+
+def _flood_up(
+    tree: SpanningTree,
+    own: List[Optional[int]],
+    usable: List[bool],
+) -> Tuple[List[Set[int]], int, int]:
+    """Centralized replay of :class:`~repro.core.core_fast.FloodUpAlgorithm`.
+
+    ``usable[v]`` says whether ``v`` may forward over its parent edge.
+    Returns ``(q_ids per node, rounds, messages)`` — the exact values a
+    simulated run produces: per round every forwarding node sends its
+    smallest not-yet-forwarded id and re-wakes while more remain.
+    """
+    arrays = tree_arrays(tree)
+    parent = arrays.parent
+    n = arrays.n
+    q_ids: List[Set[int]] = [set() for _ in range(n)]
+    heaps: List[List[int]] = [[] for _ in range(n)]
+    messages = 0
+
+    # Round 0 (on_start): inject own ids and pump once.
+    next_arrivals: Dict[int, List[int]] = {}
+    next_woken: Set[int] = set()
+    for v in range(n):
+        part = own[v]
+        if part is None:
+            continue
+        q_ids[v].add(part)
+        if usable[v]:
+            # The only pending id; forwarded immediately, no wake-up.
+            next_arrivals.setdefault(parent[v], []).append(part)
+            messages += 1
+
+    rounds = 0
+    current_round = 0
+    while next_arrivals or next_woken:
+        current_round += 1
+        arrivals, next_arrivals = next_arrivals, {}
+        woken, next_woken = next_woken, set()
+        active = woken.union(arrivals)
+        for v in active:
+            pending = heaps[v]
+            seen = q_ids[v]
+            if v in arrivals:
+                if usable[v]:
+                    for incoming in arrivals[v]:
+                        if incoming not in seen:
+                            seen.add(incoming)
+                            heapq.heappush(pending, incoming)
+                else:
+                    seen.update(arrivals[v])
+            if usable[v] and pending:
+                smallest = heapq.heappop(pending)
+                next_arrivals.setdefault(parent[v], []).append(smallest)
+                messages += 1
+                if pending:
+                    next_woken.add(v)
+        rounds = current_round
+    return q_ids, rounds, messages
+
+
+def core_fast_direct(
+    topology: Topology,
+    tree: SpanningTree,
+    partition: Partition,
+    c: int,
+    shared_seed: int,
+    *,
+    gamma: float = 2.0,
+    participating: Optional[Iterable[int]] = None,
+    ledger: Optional[RoundLedger] = None,
+) -> CoreOutcome:
+    """Direct twin of :func:`repro.core.core_fast.core_fast`.
+
+    Phase A is the sampled upward sweep (exact recurrence), Phase B the
+    centralized flood replay; outputs, rounds, and messages all match
+    the simulated run bit-for-bit.
+    """
+    from repro.core.core_fast import active_parts, sampling_parameters
+
+    p, tau = sampling_parameters(topology.n, c, gamma)
+    participating_set = (
+        set(participating) if participating is not None else set(range(partition.size))
+    )
+    active = active_parts(partition, shared_seed, p) & participating_set
+    labels = partition.labels
+    n = topology.n
+
+    own_active: List[Optional[int]] = [None] * n
+    own_all: List[Optional[int]] = [None] * n
+    for v in range(n):
+        part = labels[v]
+        if part < 0:
+            continue
+        if part in active:
+            own_active[v] = part
+        if part in participating_set:
+            own_all[v] = part
+    _map_a, unusable, unusable_by_node, rounds_a, messages_a = _upward_sweep(
+        tree, own_active, tau - 1
+    )
+
+    arrays = tree_arrays(tree)
+    usable = [
+        arrays.parent[v] >= 0 and not unusable_by_node[v] for v in range(n)
+    ]
+    q_ids, rounds_b, messages_b = _flood_up(tree, own_all, usable)
+
+    edge_map: Dict[Edge, Tuple[int, ...]] = {}
+    for v in range(n):
+        if not usable[v]:
+            continue
+        ids = q_ids[v]
+        if ids:
+            edge_map[tree.parent_edge(v)] = tuple(sorted(ids))
+    shortcut = TreeRestrictedShortcut.from_edge_map(tree, partition, edge_map)
+    if ledger is not None:
+        ledger.charge_phase("core-fast/sample", rounds_a, messages_a)
+        ledger.charge_phase("core-fast/flood", rounds_b, messages_b)
+    return CoreOutcome(
+        shortcut=shortcut,
+        unusable=frozenset(unusable),
+        rounds=rounds_a + rounds_b,
+        messages=messages_a + messages_b,
+    )
+
+
+# ----------------------------------------------------------------------
+# Verification (Lemma 3) — union-find block/component counting
+# ----------------------------------------------------------------------
+
+
+def verification_counts_direct(
+    topology: Topology,
+    shortcut: TreeRestrictedShortcut,
+    b_limit: int,
+) -> Dict[int, Optional[int]]:
+    """Direct twin of :meth:`~repro.core.partwise.PartwiseEngine.count_blocks`.
+
+    Reproduces the simulated protocol's per-part answer exactly: a part
+    whose communication subgraph ``G[P_i] + H_i`` splits into several
+    components gets each component's block count delivered to that
+    component's members only (the supergraph protocol cannot bridge
+    components), and a component with more than ``b_limit`` blocks
+    withholds its verdict — both collapse to the same reduction the
+    simulated engine applies over per-member verdicts.
+    """
+    partition = shortcut.partition
+    if b_limit < 1:
+        return {index: None for index in range(partition.size)}
+    csr = adjacency_csr(topology)
+    labels = partition.labels
+    indptr, indices = csr.indptr, csr.indices
+    block_parent = list(range(partition.n))
+    comp_parent = list(range(partition.n))
+    per_part: Dict[int, Optional[int]] = {}
+
+    for index in range(partition.size):
+        members = partition.members(index)
+        touched: List[int] = []
+        # Block structure: components of (V, H_i).
+        for u, v in shortcut.subgraph(index):
+            touched.append(u)
+            touched.append(v)
+            ru, rv = _find(block_parent, u), _find(block_parent, v)
+            if ru != rv:
+                block_parent[ru] = rv
+        # Communication components: part-internal edges + co-blocked
+        # members (a block's members are one supernode).
+        block_rep: Dict[int, int] = {}
+        for v in members:
+            for w in indices[indptr[v] : indptr[v + 1]]:
+                if labels[w] == index and w > v:
+                    ru, rv = _find(comp_parent, v), _find(comp_parent, w)
+                    if ru != rv:
+                        comp_parent[ru] = rv
+            root = _find(block_parent, v)
+            rep = block_rep.get(root)
+            if rep is None:
+                block_rep[root] = v
+            else:
+                ru, rv = _find(comp_parent, rep), _find(comp_parent, v)
+                if ru != rv:
+                    comp_parent[ru] = rv
+        # Count distinct blocks per component.
+        comp_blocks: Dict[int, Set[int]] = {}
+        for v in members:
+            comp_blocks.setdefault(_find(comp_parent, v), set()).add(
+                _find(block_parent, v)
+            )
+        verdict: Dict[int, Optional[int]] = {}
+        for v in members:
+            count = len(comp_blocks[_find(comp_parent, v)])
+            verdict[v] = count if count <= b_limit else None
+        # The exact reduction the simulated engine applies.
+        member_verdicts = {verdict.get(v) for v in members}
+        if None in member_verdicts or not member_verdicts:
+            per_part[index] = None
+        else:
+            per_part[index] = member_verdicts.pop()
+        # Reset the shared arrays (writes only happen at touched
+        # entries and at members, as in quality_fast.block_counts).
+        for v in touched:
+            block_parent[v] = v
+        for v in members:
+            block_parent[v] = v
+            comp_parent[v] = v
+    return per_part
+
+
+def charge_verification_model(
+    ledger: Optional[RoundLedger],
+    topology: Topology,
+    shortcut: TreeRestrictedShortcut,
+    b_limit: int,
+) -> None:
+    """Charge the Lemma 3 cost-model bound for one Verification run."""
+    if ledger is None:
+        return
+    from repro.core.quality_fast import shortcut_congestion
+
+    edge_slots = sum(len(subgraph) for subgraph in shortcut.subgraphs)
+    rounds, messages = verification_cost(
+        b_limit,
+        shortcut.tree.height,
+        shortcut_congestion(shortcut),
+        edge_slots,
+        part_internal_edges(topology, shortcut.partition),
+        topology.m,
+    )
+    ledger.charge("verification", rounds, messages)

@@ -165,15 +165,27 @@ def core_slow(
     seed: int = 0,
     ledger: Optional[RoundLedger] = None,
     engine: EngineLike = None,
+    mode: Optional[str] = None,
 ) -> CoreOutcome:
-    """Run the distributed CoreSlow subroutine (cap ``2c``).
+    """Run the CoreSlow subroutine (cap ``2c``).
 
     ``participating`` restricts the construction to a subset of part
     ids (FindShortcut re-runs the core only on still-bad parts); other
-    parts' nodes behave as relays.
+    parts' nodes behave as relays.  ``mode`` selects the execution
+    path: ``"simulate"`` runs the node program on the CONGEST engine,
+    ``"direct"`` computes the identical outcome — including exact
+    rounds and messages — with the array kernels of
+    :mod:`repro.core.construct_fast`.
     """
     if c < 1:
         raise ShortcutError("congestion parameter c must be >= 1")
+    from repro.core.construct_fast import core_slow_direct, resolve_mode
+
+    if resolve_mode(mode) == "direct":
+        return core_slow_direct(
+            topology, tree, partition, c,
+            participating=participating, ledger=ledger,
+        )
     participating_set = set(participating) if participating is not None else None
     inputs = _make_inputs(topology, tree, partition, 2 * c, participating_set)
     result = Simulator(topology, CoreSlowAlgorithm(inputs), seed=seed, engine=engine).run()

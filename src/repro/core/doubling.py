@@ -7,6 +7,13 @@ small estimates, and on failure double them and retry.  This removes
 the knowledge requirement at the cost of an extra ``log(bc)`` factor —
 and, as the paper notes, it can find *much better* shortcuts than the
 theoretical bound whenever they happen to exist.
+
+Failed trials are not thrown away: a trial freezes every part that
+passed Verification before the budget ran out, and the next trial
+*warm-starts* from that :class:`~repro.core.find_shortcut.ConstructionState`
+— only the still-bad parts are constructed for with the doubled
+estimates, and the iterations the failed trial consumed are recorded
+on its :class:`Trial`.
 """
 
 from __future__ import annotations
@@ -16,10 +23,15 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.congest.randomness import mix, share_randomness
+from repro.congest.randomness import draw_shared_seed, mix, share_randomness
 from repro.congest.topology import Topology
 from repro.congest.trace import RoundLedger
-from repro.core.find_shortcut import FindShortcutResult, find_shortcut
+from repro.core.construct_fast import resolve_mode, share_randomness_cost
+from repro.core.find_shortcut import (
+    ConstructionState,
+    FindShortcutResult,
+    find_shortcut,
+)
 from repro.errors import ConstructionFailedError
 from repro.graphs.partitions import Partition
 from repro.graphs.spanning_trees import SpanningTree
@@ -27,7 +39,12 @@ from repro.graphs.spanning_trees import SpanningTree
 
 @dataclass(frozen=True)
 class Trial:
-    """One doubling attempt."""
+    """One doubling attempt.
+
+    ``iterations`` counts the core/verification iterations the trial
+    consumed — the full budget for a failed trial, the actual number
+    needed for the successful one.
+    """
 
     c: int
     b: int
@@ -69,6 +86,8 @@ def find_shortcut_doubling(
     gamma: float = 2.0,
     max_trials: int = 64,
     ledger: Optional[RoundLedger] = None,
+    mode: Optional[str] = None,
+    warm_start: bool = True,
 ) -> DoublingResult:
     """Construct a shortcut with no prior knowledge of (c, b).
 
@@ -76,14 +95,28 @@ def find_shortcut_doubling(
     always terminates: once ``2c`` exceeds the number of parts no edge
     is ever unusable, every part receives its full-ancestor subgraph
     (one block), and the first iteration succeeds.
+
+    With ``warm_start`` (the default) each failed trial's frozen good
+    parts carry forward: the doubled retry only constructs for the
+    parts that are still bad.  ``warm_start=False`` restores the
+    restart-from-scratch behaviour for comparisons.  ``mode`` selects
+    simulate vs direct execution exactly as in
+    :func:`~repro.core.find_shortcut.find_shortcut`.
     """
+    mode = resolve_mode(mode)
     if ledger is None:
         ledger = RoundLedger(barrier_depth=tree.height)
     if use_fast and shared_seed is None:
-        shared_seed, _result = share_randomness(
-            topology, tree, seed=seed, ledger=ledger
-        )
+        if mode == "direct":
+            shared_seed = draw_shared_seed(topology.n, seed)
+            rounds, messages = share_randomness_cost(topology.n, tree.height)
+            ledger.charge_phase("share-randomness", rounds, messages)
+        else:
+            shared_seed, _result = share_randomness(
+                topology, tree, seed=seed, ledger=ledger
+            )
     trials: List[Trial] = []
+    carried: Optional[ConstructionState] = None
     c, b = max(1, c_start), max(1, b_start)
     # A tight per-trial budget: the halving argument needs ~log2 N
     # iterations when the estimates are adequate, so a trial that
@@ -103,9 +136,15 @@ def find_shortcut_doubling(
                 gamma=gamma,
                 max_iterations=trial_budget,
                 ledger=ledger,
+                mode=mode,
+                warm_start=carried,
             )
-        except ConstructionFailedError:
-            trials.append(Trial(c=c, b=b, succeeded=False, iterations=0))
+        except ConstructionFailedError as error:
+            trials.append(
+                Trial(c=c, b=b, succeeded=False, iterations=error.iterations)
+            )
+            if warm_start and error.state is not None:
+                carried = error.state
             c *= 2
             b *= 2
             continue

@@ -15,18 +15,31 @@ iterations; the frozen subgraphs accumulate congestion O(c log N)
 while every part's block parameter is at most ``3b`` — Theorem 3.
 
 The round cost — O(D log n log N + bD log N + bc log N) — is recorded
-phase by phase on a :class:`~repro.congest.trace.RoundLedger`.
+phase by phase on a :class:`~repro.congest.trace.RoundLedger`.  The
+whole pipeline runs in one of two modes (see
+:mod:`repro.core.construct_fast`): ``mode="simulate"`` executes every
+phase as a node program on the CONGEST simulator, ``mode="direct"``
+computes the bit-for-bit identical outputs with centralized array
+kernels and charges the ledger from the analytic cost model.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Tuple
 
-from repro.congest.randomness import mix, share_randomness
+from repro.congest.randomness import (
+    draw_shared_seed,
+    mix,
+    share_randomness,
+)
 from repro.congest.topology import Topology
 from repro.congest.trace import RoundLedger
+from repro.core.construct_fast import (
+    resolve_mode,
+    share_randomness_cost,
+)
 from repro.core.core_fast import core_fast
 from repro.core.core_slow import core_slow
 from repro.core.shortcut import TreeRestrictedShortcut
@@ -34,6 +47,21 @@ from repro.core.verification import verification
 from repro.errors import ConstructionFailedError
 from repro.graphs.partitions import Partition
 from repro.graphs.spanning_trees import SpanningTree
+
+
+@dataclass(frozen=True)
+class ConstructionState:
+    """Partial progress of an interrupted FindShortcut run.
+
+    Carried on :class:`~repro.errors.ConstructionFailedError` so the
+    Appendix A doubling driver can warm-start the next trial: the parts
+    in ``remaining`` are still bad, while every other part's subgraph
+    is already frozen inside ``shortcut``.
+    """
+
+    remaining: FrozenSet[int]
+    shortcut: TreeRestrictedShortcut
+    good_history: Tuple[FrozenSet[int], ...]
 
 
 @dataclass(frozen=True)
@@ -78,6 +106,8 @@ def find_shortcut(
     gamma: float = 2.0,
     max_iterations: Optional[int] = None,
     ledger: Optional[RoundLedger] = None,
+    mode: Optional[str] = None,
+    warm_start: Optional[ConstructionState] = None,
 ) -> FindShortcutResult:
     """Construct a T-restricted shortcut given the existential (c, b).
 
@@ -95,31 +125,76 @@ def find_shortcut(
         The shared-randomness seed; when ``None`` and CoreFast is used,
         the seed is distributed over the network first (O(D + log n)
         rounds, charged on the ledger).
+    mode:
+        ``"simulate"`` (default) runs every phase as a CONGEST node
+        program; ``"direct"`` computes identical outputs with the array
+        kernels of :mod:`repro.core.construct_fast`.  ``None`` uses the
+        process-wide default (:func:`~repro.core.construct_fast.using_mode`).
+    warm_start:
+        A :class:`ConstructionState` from a previous failed run: only
+        its ``remaining`` parts are constructed for, on top of its
+        already-frozen subgraphs.  Used by the doubling driver so a
+        doubled-parameter retry does not redo finished parts.
+
+    Ledger cost model
+    -----------------
+    In simulate mode every phase record carries the measured rounds and
+    messages of its simulation.  In direct mode the ledger is charged
+    from the analytic per-phase cost model of
+    :mod:`repro.core.construct_fast`: *exact* closed forms for
+    ``share-randomness`` (pipelined chunk broadcast: ``D + ceil(log2 n)
+    - 1`` rounds), ``core-slow``/``core-fast/sample`` (the Algorithm 1
+    streaming recurrence) and ``core-fast/flood`` (a centralized replay
+    of the min-first flood), plus the Lemma 3 *upper bound*
+    ``1 + 2(6b' + 4)(D + c + 2) + (4b' + 1)`` rounds for each
+    ``verification`` with threshold ``b'``; ``termination-check``
+    charges ``2 depth(T) + 1`` per iteration in both modes.  The
+    differential suite cross-checks the model against the simulated
+    engines' actual counts (exact phases to the round, the verification
+    bound as a dominating estimate).
 
     Raises
     ------
     ConstructionFailedError
         If parts remain bad after the iteration budget — the failure
-        signal consumed by the Appendix A doubling mechanism.
+        signal consumed by the Appendix A doubling mechanism.  The
+        error carries the iterations consumed and a
+        :class:`ConstructionState` snapshot of the frozen progress.
     """
+    mode = resolve_mode(mode)
     if ledger is None:
         ledger = RoundLedger(barrier_depth=tree.height)
     if max_iterations is None:
         max_iterations = default_iteration_limit(partition.size)
     if use_fast and shared_seed is None:
-        shared_seed, _result = share_randomness(
-            topology, tree, seed=seed, ledger=ledger
-        )
+        if mode == "direct":
+            shared_seed = draw_shared_seed(topology.n, seed)
+            rounds, messages = share_randomness_cost(topology.n, tree.height)
+            ledger.charge_phase("share-randomness", rounds, messages)
+        else:
+            shared_seed, _result = share_randomness(
+                topology, tree, seed=seed, ledger=ledger
+            )
 
-    remaining = set(range(partition.size))
-    accumulated = TreeRestrictedShortcut.empty(tree, partition)
+    if warm_start is not None:
+        remaining = set(warm_start.remaining)
+        accumulated = warm_start.shortcut
+    else:
+        remaining = set(range(partition.size))
+        accumulated = TreeRestrictedShortcut.empty(tree, partition)
     good_history: List[FrozenSet[int]] = []
     iteration = 0
     while remaining:
         if iteration >= max_iterations:
             raise ConstructionFailedError(
                 f"FindShortcut(c={c}, b={b}): {len(remaining)} parts still "
-                f"bad after {iteration} iterations — parameters too small?"
+                f"bad after {iteration} iterations — parameters too small?",
+                iterations=iteration,
+                state=ConstructionState(
+                    remaining=frozenset(remaining),
+                    shortcut=accumulated,
+                    good_history=tuple(good_history),
+                ),
             )
         iteration += 1
         if use_fast:
@@ -133,6 +208,7 @@ def find_shortcut(
                 participating=remaining,
                 seed=mix(seed, iteration),
                 ledger=ledger,
+                mode=mode,
             )
         else:
             outcome = core_slow(
@@ -143,6 +219,7 @@ def find_shortcut(
                 participating=remaining,
                 seed=mix(seed, iteration),
                 ledger=ledger,
+                mode=mode,
             )
         verdict = verification(
             topology,
@@ -151,6 +228,7 @@ def find_shortcut(
             consider=remaining,
             seed=mix(seed, iteration, 1),
             ledger=ledger,
+            mode=mode,
         )
         good = verdict.good_parts
         good_history.append(good)

@@ -36,6 +36,7 @@ def verification(
     consider: Optional[Iterable[int]] = None,
     seed: int = 0,
     ledger: Optional[RoundLedger] = None,
+    mode: Optional[str] = None,
 ) -> VerificationOutcome:
     """Find all parts whose shortcut subgraph has <= ``b_limit`` blocks.
 
@@ -46,9 +47,25 @@ def verification(
     Upon completion every node knows its part's verdict — here exposed
     as the returned outcome; per-node knowledge is the ``verdict`` map
     of :meth:`PartwiseEngine.count_blocks`.
+
+    ``mode="direct"`` computes the identical counts with the
+    union-find kernel of
+    :func:`repro.core.construct_fast.verification_counts_direct` and
+    charges the ledger from the Lemma 3 analytic cost model instead of
+    simulating the supergraph protocol.
     """
-    engine = PartwiseEngine(topology, shortcut, seed=seed, ledger=ledger)
-    counts, _verdict = engine.count_blocks(b_limit)
+    from repro.core.construct_fast import (
+        charge_verification_model,
+        resolve_mode,
+        verification_counts_direct,
+    )
+
+    if resolve_mode(mode) == "direct":
+        counts = verification_counts_direct(topology, shortcut, b_limit)
+        charge_verification_model(ledger, topology, shortcut, b_limit)
+    else:
+        engine = PartwiseEngine(topology, shortcut, seed=seed, ledger=ledger)
+        counts, _verdict = engine.count_blocks(b_limit)
     considered = (
         set(consider) if consider is not None else set(range(shortcut.size))
     )

@@ -41,7 +41,25 @@ class ConstructionFailedError(ReproError):
     This is the failure signal used by the doubling mechanism of
     Appendix A: a trial with too-small parameter estimates raises this
     error, and the driver retries with doubled parameters.
+
+    Attributes
+    ----------
+    iterations:
+        Core/verification iterations consumed before giving up (0 when
+        the failure happened before the main loop).  The doubling
+        driver records this on its failed ``Trial``s.
+    state:
+        Optional partial-progress payload (a
+        :class:`repro.core.find_shortcut.ConstructionState`): the parts
+        still bad and the subgraphs already frozen, enabling the
+        doubling warm start.  Kept untyped here so the exception layer
+        stays free of core-layer imports.
     """
+
+    def __init__(self, message: str, *, iterations: int = 0, state=None) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.state = state
 
 
 class VerificationError(ReproError):

@@ -81,9 +81,29 @@ class TreeArrays:
     ascending id, matching ``SpanningTree.children``); ``tour_in[v]``
     and ``tour_out[v]`` delimit ``v``'s subtree: it is exactly
     ``preorder[tour_in[v]:tour_out[v]]``.
+
+    Two derived node orderings serve the direct construction kernels
+    (:mod:`repro.core.construct_fast`), which replace whole simulated
+    phases with bottom-up array passes:
+
+    * :meth:`bottom_up` — children strictly before parents (reversed
+      preorder), the order every upward sweep (CoreSlow counting,
+      CoreFast sampling and flooding) processes nodes in;
+    * :meth:`levels` — nodes grouped by depth, root level first, the
+      per-level ordering used to reason about pipelined round costs.
     """
 
-    __slots__ = ("n", "root", "parent", "depth", "preorder", "tour_in", "tour_out")
+    __slots__ = (
+        "n",
+        "root",
+        "parent",
+        "depth",
+        "preorder",
+        "tour_in",
+        "tour_out",
+        "_bottom_up",
+        "_levels",
+    )
 
     def __init__(self, tree: SpanningTree) -> None:
         n = tree.n
@@ -110,6 +130,32 @@ class TreeArrays:
         self.preorder = preorder
         self.tour_in = tour_in
         self.tour_out = tour_out
+        self._bottom_up: List[int] = []
+        self._levels: List[List[int]] = []
+
+    def bottom_up(self) -> List[int]:
+        """All nodes with every child before its parent (lazily cached).
+
+        Reversed preorder: within one subtree all descendants precede
+        the subtree root, so one pass in this order implements any
+        leaves-to-root recurrence.
+        """
+        if not self._bottom_up:
+            self._bottom_up = self.preorder[::-1]
+        return self._bottom_up
+
+    def levels(self) -> List[List[int]]:
+        """Nodes grouped by tree depth, ascending ids per level (cached).
+
+        ``levels()[d]`` lists the depth-``d`` nodes; the grouping backs
+        the per-level round accounting of the analytic cost models.
+        """
+        if not self._levels:
+            levels: List[List[int]] = [[] for _ in range(max(self.depth) + 1)]
+            for v in range(self.n):
+                levels[self.depth[v]].append(v)
+            self._levels = levels
+        return self._levels
 
     def is_ancestor(self, ancestor: int, descendant: int) -> bool:
         """Whether ``ancestor`` lies on the root path of ``descendant``

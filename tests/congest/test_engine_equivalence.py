@@ -104,6 +104,30 @@ def test_core_slow_identical(topo_name, seed):
     assert batched.shortcut.edge_map == reference.shortcut.edge_map
 
 
+@pytest.mark.parametrize("topo_name", sorted(TOPOLOGIES))
+@pytest.mark.parametrize("seed", [0, 4])
+def test_flood_up_identical(topo_name, seed):
+    """The heap-pumped FloodUpAlgorithm on its own: both engines must
+    agree on rounds, messages, and every node's q_ids/forwarded state
+    even with a scattered unusable-edge pattern."""
+    from repro.core.core_fast import FloodUpAlgorithm
+
+    topology = TOPOLOGIES[topo_name]()
+    tree = SpanningTree.bfs(topology, 0)
+    partition = partitions.voronoi(topology, 7, seed=seed)
+    inputs = {}
+    for v in topology.nodes:
+        parent = tree.parent(v)
+        inputs[v] = {
+            "part": partition.part_of(v),
+            "tree_parent": parent,
+            # A deterministic scattered pattern of unusable edges.
+            "parent_usable": parent is not None and (v * 7 + seed) % 5 != 0,
+        }
+    reference, batched = _run(topology, FloodUpAlgorithm(inputs), seed=seed)
+    _assert_identical(reference, batched)
+
+
 @pytest.mark.parametrize("seed", [0, 7])
 def test_core_fast_identical(seed):
     topology = TOPOLOGIES["grid"]()

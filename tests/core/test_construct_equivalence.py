@@ -1,0 +1,231 @@
+"""Differential conformance: direct construction kernels vs simulation.
+
+Every test runs the same construction in ``mode="simulate"`` and
+``mode="direct"`` and asserts the observable outcome is bit-for-bit
+identical: shortcut edge maps, unusable sets, verification counts,
+``good_history``, iteration counts, and doubling trials.  The analytic
+round ledger is cross-checked against the simulated engines' actual
+counts: the share-randomness and core phases must match *exactly*
+(their models are closed forms of the streaming recurrences), and the
+Lemma 3 verification model must dominate the simulated partwise
+totals.  This suite is what licenses direct mode for the large-scale
+experiments — exactly as the engine-equivalence suite licenses the
+batched engine.
+"""
+
+import pytest
+
+from repro.congest.topology import Topology
+from repro.core.core_fast import core_fast
+from repro.core.core_slow import core_slow
+from repro.core.doubling import find_shortcut_doubling
+from repro.core.existence import best_certified
+from repro.core.find_shortcut import find_shortcut
+from repro.core.verification import verification
+from repro.errors import ConstructionFailedError
+from repro.graphs import generators, partitions
+from repro.graphs.spanning_trees import SpanningTree
+
+MODES = ("simulate", "direct")
+
+
+def _instances():
+    grid = generators.grid(6, 6)
+    torus = generators.torus(5, 5)
+    hub = generators.cycle_with_hub(48, 8)
+    delaunay = generators.delaunay(40, 3)
+    return {
+        "grid": (grid, partitions.voronoi(grid, 6, seed=3)),
+        "torus": (torus, partitions.voronoi(torus, 5, seed=2)),
+        "hub": (hub, partitions.cycle_arcs(48, 8, extra_nodes=1)),
+        "delaunay": (delaunay, partitions.voronoi(delaunay, 6, seed=5)),
+    }
+
+
+INSTANCES = _instances()
+
+
+def _ledger_by_phase(ledger):
+    """Aggregate (rounds, messages) per phase-name prefix."""
+    totals = {}
+    for record in ledger.records:
+        key = record.name.split("#")[0].split("/")[0]
+        rounds, messages = totals.get(key, (0, 0))
+        totals[key] = (rounds + record.rounds, messages + record.messages)
+    return totals
+
+
+def _assert_ledger_crosscheck(simulate_ledger, direct_ledger):
+    """The analytic model vs the simulated engines' actual counts."""
+    simulated = _ledger_by_phase(simulate_ledger)
+    direct = _ledger_by_phase(direct_ledger)
+    # Exact phases: closed forms of the streaming recurrences.
+    for phase in ("share-randomness", "core-slow", "core-fast", "termination-check"):
+        if phase in simulated or phase in direct:
+            assert direct.get(phase) == simulated.get(phase), phase
+    # The Lemma 3 model must dominate the simulated partwise totals.
+    actual_rounds = sum(
+        value[0] for key, value in simulated.items() if key == "partwise"
+    )
+    actual_messages = sum(
+        value[1] for key, value in simulated.items() if key == "partwise"
+    )
+    model_rounds, model_messages = direct.get("verification", (0, 0))
+    assert model_rounds >= actual_rounds
+    assert model_messages >= actual_messages
+    # Barrier accounting is identical in both modes.
+    assert (
+        direct_ledger.total_rounds - direct_ledger.simulated_rounds
+        == simulate_ledger.total_rounds - simulate_ledger.simulated_rounds
+    )
+
+
+@pytest.mark.parametrize("name", sorted(INSTANCES))
+@pytest.mark.parametrize("seed", [0, 7])
+def test_core_slow_direct_identical(name, seed):
+    topology, partition = INSTANCES[name]
+    tree = SpanningTree.bfs(topology, 0)
+    point = best_certified(tree, partition)
+    outcomes = {
+        mode: core_slow(
+            topology, tree, partition, point.congestion, seed=seed, mode=mode
+        )
+        for mode in MODES
+    }
+    simulate, direct = outcomes["simulate"], outcomes["direct"]
+    assert direct.shortcut.edge_map == simulate.shortcut.edge_map
+    assert direct.unusable == simulate.unusable
+    assert direct.rounds == simulate.rounds
+    assert direct.messages == simulate.messages
+
+
+@pytest.mark.parametrize("name", sorted(INSTANCES))
+@pytest.mark.parametrize("shared_seed", [1, 99, 12345])
+def test_core_fast_direct_identical(name, shared_seed):
+    topology, partition = INSTANCES[name]
+    tree = SpanningTree.bfs(topology, 0)
+    point = best_certified(tree, partition)
+    participating = set(range(0, partition.size, 2)) or None
+    outcomes = {
+        mode: core_fast(
+            topology, tree, partition, point.congestion,
+            shared_seed=shared_seed, participating=participating, mode=mode,
+        )
+        for mode in MODES
+    }
+    simulate, direct = outcomes["simulate"], outcomes["direct"]
+    assert direct.shortcut.edge_map == simulate.shortcut.edge_map
+    assert direct.unusable == simulate.unusable
+    assert direct.rounds == simulate.rounds
+    assert direct.messages == simulate.messages
+
+
+@pytest.mark.parametrize("name", sorted(INSTANCES))
+@pytest.mark.parametrize("b_limit", [0, 1, 2, 5])
+def test_verification_direct_identical(name, b_limit):
+    topology, partition = INSTANCES[name]
+    tree = SpanningTree.bfs(topology, 0)
+    point = best_certified(tree, partition)
+    outcome = core_slow(topology, tree, partition, point.congestion, seed=17)
+    verdicts = {
+        mode: verification(
+            topology, outcome.shortcut, b_limit, seed=19, mode=mode
+        )
+        for mode in MODES
+    }
+    assert verdicts["direct"].counts == verdicts["simulate"].counts
+    assert verdicts["direct"].good_parts == verdicts["simulate"].good_parts
+
+
+def test_verification_direct_identical_on_disconnected_part():
+    """A disconnected part never gets a verdict — in either mode."""
+    topology = INSTANCES["grid"][0]
+    # Part 0 is two opposite corners: G[P_0] is disconnected, so the
+    # supergraph protocol cannot deliver one consistent verdict.
+    partition = partitions.Partition(
+        topology.n, [[0, 35], [1, 2, 3], [6, 12, 18], [30, 31, 32]]
+    )
+    tree = SpanningTree.bfs(topology, 0)
+    outcome = core_slow(topology, tree, partition, 2, seed=23)
+    for b_limit in (1, 2, 4):
+        verdicts = {
+            mode: verification(
+                topology, outcome.shortcut, b_limit, seed=29, mode=mode
+            )
+            for mode in MODES
+        }
+        assert verdicts["direct"].counts == verdicts["simulate"].counts
+        assert verdicts["direct"].good_parts == verdicts["simulate"].good_parts
+
+
+@pytest.mark.parametrize("name", sorted(INSTANCES))
+@pytest.mark.parametrize("use_fast", [True, False], ids=["fast", "slow"])
+def test_find_shortcut_direct_identical(name, use_fast):
+    topology, partition = INSTANCES[name]
+    tree = SpanningTree.bfs(topology, 0)
+    point = best_certified(tree, partition)
+    results = {
+        mode: find_shortcut(
+            topology, tree, partition, point.congestion, point.block,
+            use_fast=use_fast, seed=11, mode=mode,
+        )
+        for mode in MODES
+    }
+    simulate, direct = results["simulate"], results["direct"]
+    assert direct.shortcut.edge_map == simulate.shortcut.edge_map
+    assert direct.good_history == simulate.good_history
+    assert direct.iterations == simulate.iterations
+    _assert_ledger_crosscheck(simulate.ledger, direct.ledger)
+
+
+@pytest.mark.parametrize("name", sorted(INSTANCES))
+def test_doubling_direct_identical(name):
+    topology, partition = INSTANCES[name]
+    tree = SpanningTree.bfs(topology, 0)
+    results = {
+        mode: find_shortcut_doubling(topology, tree, partition, seed=61, mode=mode)
+        for mode in MODES
+    }
+    simulate, direct = results["simulate"], results["direct"]
+    assert direct.trials == simulate.trials
+    assert direct.result.shortcut.edge_map == simulate.result.shortcut.edge_map
+    assert direct.result.good_history == simulate.result.good_history
+    _assert_ledger_crosscheck(simulate.ledger, direct.ledger)
+
+
+def test_doubling_direct_identical_without_warm_start():
+    topology, partition = INSTANCES["grid"]
+    tree = SpanningTree.bfs(topology, 0)
+    results = {
+        mode: find_shortcut_doubling(
+            topology, tree, partition, seed=61, mode=mode, warm_start=False
+        )
+        for mode in MODES
+    }
+    assert results["direct"].trials == results["simulate"].trials
+    assert (
+        results["direct"].result.shortcut.edge_map
+        == results["simulate"].result.shortcut.edge_map
+    )
+
+
+def test_failure_state_identical():
+    """Both modes fail identically and carry the same partial state."""
+    topology = INSTANCES["grid"][0]
+    partition = partitions.grid_rows(6, 6)
+    tree = SpanningTree.bfs(topology, 0)
+    errors = {}
+    for mode in MODES:
+        with pytest.raises(ConstructionFailedError) as info:
+            find_shortcut(
+                topology, tree, partition, 1, 1,
+                max_iterations=2, seed=3, mode=mode,
+            )
+        errors[mode] = info.value
+    simulate, direct = errors["simulate"], errors["direct"]
+    assert direct.iterations == simulate.iterations == 2
+    assert direct.state.remaining == simulate.state.remaining
+    assert direct.state.good_history == simulate.state.good_history
+    assert (
+        direct.state.shortcut.edge_map == simulate.state.shortcut.edge_map
+    )

@@ -73,6 +73,61 @@ def test_matches_reference_with_participation(grid6, grid6_tree, grid6_voronoi):
             assert not outcome.shortcut.subgraph(i)
 
 
+def test_matches_reference_on_weighted_topology():
+    """Weights ride along on the topology; the construction and its
+    centralized twin must ignore them identically."""
+    from repro.graphs import generators, partitions
+    from repro.graphs.spanning_trees import SpanningTree
+    from repro.graphs.weights import weighted
+
+    topology = weighted(generators.grid(5, 5), seed=31)
+    tree = SpanningTree.bfs(topology, 0)
+    partition = partitions.voronoi(topology, 5, seed=4)
+    for shared_seed in (3, 17):
+        outcome = core_fast(topology, tree, partition, 2, shared_seed=shared_seed)
+        ref_map, ref_unusable = core_fast_reference(
+            tree, partition, 2, shared_seed, topology.n
+        )
+        got = {e: tuple(sorted(p)) for e, p in outcome.shortcut.edge_map.items()}
+        assert got == dict(ref_map)
+        assert outcome.unusable == ref_unusable
+
+
+def test_matches_reference_on_disconnected_part(grid6, grid6_tree):
+    """Parts need not induce connected subgraphs for the core sweep —
+    each fragment floods its ancestors independently in both paths."""
+    from repro.graphs.partitions import Partition
+
+    partition = Partition(
+        grid6.n, [[0, 35], [5, 30], [14, 15, 21, 20]]
+    )
+    for shared_seed in (1, 9):
+        outcome = core_fast(grid6, grid6_tree, partition, 2, shared_seed=shared_seed)
+        ref_map, ref_unusable = core_fast_reference(
+            grid6_tree, partition, 2, shared_seed, grid6.n
+        )
+        got = {e: tuple(sorted(p)) for e, p in outcome.shortcut.edge_map.items()}
+        assert got == dict(ref_map)
+        assert outcome.unusable == ref_unusable
+
+
+def test_matches_reference_at_p_equal_one(grid6, grid6_tree, grid6_voronoi):
+    """c = 1 degenerates the sampling to p = 1 (exact counting with
+    threshold 4c): every participating part is active, and Phase A
+    must still agree with the twin."""
+    p, tau = sampling_parameters(grid6.n, 1)
+    assert p == 1.0 and tau == 4
+    active = active_parts(grid6_voronoi, shared_seed=55, p=p)
+    assert len(active) == grid6_voronoi.size
+    outcome = core_fast(grid6, grid6_tree, grid6_voronoi, 1, shared_seed=55)
+    ref_map, ref_unusable = core_fast_reference(
+        grid6_tree, grid6_voronoi, 1, 55, grid6.n
+    )
+    got = {e: tuple(sorted(p)) for e, p in outcome.shortcut.edge_map.items()}
+    assert got == dict(ref_map)
+    assert outcome.unusable == ref_unusable
+
+
 def test_congestion_8c_whp(grid6, grid6_tree, grid6_voronoi):
     point = best_certified(grid6_tree, grid6_voronoi)
     violations = 0

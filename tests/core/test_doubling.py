@@ -1,9 +1,12 @@
 """Tests for the Appendix A doubling mechanism."""
 
+import math
+
 import pytest
 
 from repro.core import quality
 from repro.core.doubling import find_shortcut_doubling
+from repro.core.find_shortcut import find_shortcut
 from repro.errors import ConstructionFailedError
 from repro.graphs import generators, partitions
 from repro.graphs.spanning_trees import SpanningTree
@@ -69,6 +72,56 @@ def test_ledger_accumulates_failed_trials(grid6, grid6_tree):
     outcome = find_shortcut_doubling(grid6, grid6_tree, partition, seed=8)
     # Rounds include all trials, successful or not.
     assert outcome.rounds >= outcome.result.ledger.total_rounds - outcome.rounds
+
+
+def test_failed_trials_record_consumed_iterations(grid6, grid6_tree):
+    """Regression: failed trials used to hardcode ``iterations=0``."""
+    partition = partitions.grid_rows(6, 6)
+    outcome = find_shortcut_doubling(grid6, grid6_tree, partition, seed=8)
+    budget = max(3, math.ceil(math.log2(partition.size + 1)) + 2)
+    failed = [trial for trial in outcome.trials if not trial.succeeded]
+    assert failed  # row parts are hopeless at (c=1, b=1)
+    assert all(trial.iterations == budget for trial in failed)
+
+
+def test_construction_error_carries_iterations_and_state(grid6, grid6_tree):
+    partition = partitions.grid_rows(6, 6)
+    with pytest.raises(ConstructionFailedError) as info:
+        find_shortcut(
+            grid6, grid6_tree, partition, 1, 1, max_iterations=2, seed=3
+        )
+    error = info.value
+    assert error.iterations == 2
+    assert error.state is not None
+    assert error.state.remaining
+    assert len(error.state.good_history) == 2
+    frozen = set(range(partition.size)) - set(error.state.remaining)
+    for index in frozen:
+        assert error.state.shortcut.subgraph(index)
+
+
+def test_warm_start_carries_frozen_parts(grid6, grid6_tree):
+    """The successful trial only constructs for the still-bad parts."""
+    partition = partitions.grid_rows(6, 6)
+    warm = find_shortcut_doubling(grid6, grid6_tree, partition, seed=8)
+    failed = [trial for trial in warm.trials if not trial.succeeded]
+    assert failed
+    # The warm-started success covers only the parts the failed trials
+    # left bad; the frozen parts ride along in the final shortcut.
+    covered = set()
+    for good in warm.result.good_history:
+        covered |= good
+    assert covered < set(range(partition.size))
+    counts = quality.block_counts(warm.result.shortcut)
+    assert all(count <= 3 * warm.b for count in counts)
+
+    cold = find_shortcut_doubling(
+        grid6, grid6_tree, partition, seed=8, warm_start=False
+    )
+    cold_covered = set()
+    for good in cold.result.good_history:
+        cold_covered |= good
+    assert cold_covered == set(range(partition.size))
 
 
 def test_deterministic_slow_variant(grid6, grid6_tree, grid6_voronoi):
