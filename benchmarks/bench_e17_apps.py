@@ -1,0 +1,93 @@
+"""E17 — application throughput: direct backend vs the simulated stack.
+
+As a pytest benchmark this wraps :func:`repro.analysis.experiments.run_e17`
+like every other ``bench_eXX`` module.  Run directly as a script it
+also writes the machine-readable baseline::
+
+    python benchmarks/bench_e17_apps.py --scale small --out BENCH_apps.json
+
+so the perf trajectory of the application layer (wall time of one full
+shortcut Borůvka MST per family, per backend) is tracked alongside the
+simulator, quality, and construction baselines.  The JSON schema
+(``repro.bench_apps.v1``) is documented in ``benchmarks/conftest.py``.
+"""
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+try:
+    from repro.analysis.experiments import run_e17
+except ImportError:  # direct script run without the package installed
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.analysis.experiments import run_e17
+
+# The headline acceptance bar: the direct application stack must beat
+# the simulated one by at least this factor on the largest
+# both-backend family.
+MIN_LARGEST_SCALE_SPEEDUP = 3.0
+
+
+def test_e17_app_throughput(benchmark, scale):
+    # Deferred so the script path below works without pytest installed.
+    from conftest import run_experiment
+
+    result = run_experiment(benchmark, run_e17, scale)
+    assert result.data["largest_scale_speedup"] >= MIN_LARGEST_SCALE_SPEEDUP
+    # run_e17 itself raises if the backends disagreed on any output;
+    # every both-backend family must clear the bar — the win is
+    # algorithmic (no engine machinery on any superstep), not a timing
+    # accident.
+    assert all(speedup > 2 for speedup in result.data["speedups"])
+    # The direct-only extension must reach instances >= 10x the
+    # same-scale E9 grid (>= 1000 nodes at paper scale).
+    assert result.data["extension_max_n"] >= 10 * result.data["e9_grid_n"]
+
+
+def write_baseline(scale: str, out_path: Path) -> dict:
+    """Run E17 and write the ``BENCH_apps.json`` baseline file."""
+    result = run_e17(scale)
+    payload = dict(result.data)
+    payload["python"] = platform.python_version()
+    payload["machine"] = platform.machine()
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small", choices=["small", "paper"])
+    parser.add_argument(
+        "--out", default="BENCH_apps.json", type=Path,
+        help="where to write the baseline JSON",
+    )
+    parser.add_argument(
+        "--min-speedup", default=MIN_LARGEST_SCALE_SPEEDUP, type=float,
+        help="fail (exit 1) if the largest-scale speedup is below this; "
+        "pass 0 for record-only mode",
+    )
+    args = parser.parse_args(argv)
+    payload = write_baseline(args.scale, args.out)
+    for family in payload["families"]:
+        speedup = family["speedup"]
+        label = f"{speedup:.2f}x" if speedup is not None else "direct-only"
+        print(
+            f"{family['family']:<24} n={family['n']:<6} "
+            f"phases={family['phases']:<3} {label}"
+        )
+    print(f"largest-scale speedup: {payload['largest_scale_speedup']:.2f}x")
+    print(f"extension reaches n={payload['extension_max_n']}")
+    print(f"wrote {args.out}")
+    if payload["largest_scale_speedup"] < args.min_speedup:
+        print(
+            f"FAIL: largest-scale speedup below {args.min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -104,6 +104,47 @@ object with:
 * ``largest_scale_speedup`` — ``speedups[-1]``; the tracked headline
   number (CI gates it at >= 5; the paper-scale record in
   EXPERIMENTS.md clears >= 20).
+
+BENCH_apps.json schema
+----------------------
+
+``python benchmarks/bench_e17_apps.py --out BENCH_apps.json`` writes
+the application-layer baseline (schema id ``repro.bench_apps.v1``):
+wall time of one complete shortcut Borůvka MST (BFS tree → shared
+randomness → per-phase doubling search → Theorem 2 aggregation →
+star-merge broadcast) per partwise backend (``simulate`` vs ``direct``,
+see :mod:`repro.core.partwise_fast`; the direct runs also use the
+direct construction kernels) over the family pool of
+:func:`repro.analysis.experiments.app_families`.  A JSON object with:
+
+* ``schema`` — the literal string ``"repro.bench_apps.v1"``.
+* ``scale`` — ``"small"`` or ``"paper"`` (the E17 instance sizes).
+* ``backends`` — partwise-backend names measured
+  (``repro.core.partwise_fast.BACKENDS`` order).
+* ``python`` / ``machine`` — interpreter version and architecture.
+* ``families`` — list ordered by simulate-mode cost with the
+  direct-only extension instances last; each entry has:
+
+  - ``family`` — instance label, e.g. ``"grid-large/boruvka"``;
+  - ``n`` / ``m`` — topology sizes;
+  - ``phases`` — Borůvka phases (identical across backends by
+    construction; E17 raises on divergence of edges, weight, phases,
+    or per-phase merges);
+  - ``backends`` — mapping backend name -> ``{"wall_s", "msts_per_s",
+    "rounds"}`` (best-of-N wall seconds for one full MST; ``rounds``
+    is the ledger total — exact in both backends at fixed construction
+    mode, the Lemma 3 model inflates the direct construction rounds);
+  - ``speedup`` — simulate wall time / direct wall time, or ``null``
+    for the direct-only extension families (validated against Kruskal
+    instead of the simulated twin).
+
+* ``speedups`` — the speedup column of the both-backend families.
+* ``largest_scale_speedup`` — the last both-backend family's speedup;
+  the tracked headline number (CI gates it at >= 3).
+* ``extension_max_n`` / ``e9_grid_n`` — largest direct-only instance
+  and the same-scale E9 grid size it is measured against; the bench
+  asserts ``extension_max_n >= 10 * e9_grid_n`` (>= 1000 nodes at
+  paper scale).
 """
 
 import os

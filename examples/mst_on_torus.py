@@ -17,7 +17,7 @@ def main() -> None:
     topology = weighted(generators.torus(7, 7), seed=3)
     print(f"network: {topology} (toroidal grid, genus 1)")
 
-    result = minimum_spanning_tree(topology, mode="genus", genus=1, seed=11)
+    result = minimum_spanning_tree(topology, params="genus", genus=1, seed=11)
     _edges, reference_weight = kruskal_reference(topology)
 
     print(f"Borůvka phases: {result.phases}")

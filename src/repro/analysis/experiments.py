@@ -54,6 +54,12 @@ from repro.core.construct_fast import (
     get_default_mode,
     using_mode,
 )
+from repro.core.partwise_fast import (
+    BACKENDS,
+    backend_parameter,
+    get_default_backend,
+    using_backend,
+)
 from repro.congest.topology import Topology
 from repro.congest.trace import RoundLedger
 from repro.congest.workloads import (
@@ -569,34 +575,63 @@ def run_e08(scale: str = "small") -> ExperimentResult:
 # E9 — Lemma 4: MST rounds on bounded-genus graphs
 # ----------------------------------------------------------------------
 
+# Side of the simulated E9 grid per scale; E17's extension families are
+# gated against >= 10x this instance (bench_e17_apps.py).
+E9_GRID_SIDES = {"small": 7, "paper": 10}
+
 
 @engine_parameter
+@backend_parameter
+@construct_mode_parameter
 def run_e09(scale: str = "small") -> ExperimentResult:
+    backend = get_default_backend()
+    mode = get_default_mode()
     table = Table(
-        "E9 (Lemma 4): shortcut Boruvka MST (mode=genus)",
-        ["instance", "n", "D", "phases", "O(log n)?", "rounds", "exact"],
+        f"E9 (Lemma 4): shortcut Boruvka MST (params=genus, backend={backend})",
+        ["instance", "n", "D", "phases", "O(log n)?", "rounds", "constr r", "agg r", "exact"],
     )
+    side = E9_GRID_SIDES["paper" if scale == "paper" else "small"]
     if scale == "paper":
-        cases = [("grid", generators.grid(10, 10), 0), ("torus", generators.torus(8, 8), 1)]
+        cases = [("grid", generators.grid(side, side), 0), ("torus", generators.torus(8, 8), 1)]
     else:
-        cases = [("grid", generators.grid(7, 7), 0), ("torus", generators.torus(6, 6), 1)]
+        cases = [("grid", generators.grid(side, side), 0), ("torus", generators.torus(6, 6), 1)]
+    if backend == "direct" and mode == "direct":
+        # The simulation-free stack reaches instances an order of
+        # magnitude past the simulated grid; outputs stay bit-for-bit
+        # licensed by tests/apps/test_app_equivalence.py.
+        if scale == "paper":
+            cases += [
+                ("grid-large", generators.grid(32, 32), 0),
+                ("torus-large", generators.torus(24, 24), 1),
+            ]
+        else:
+            cases += [
+                ("grid-large", generators.grid(14, 14), 0),
+                ("torus-large", generators.torus(12, 12), 1),
+            ]
     all_exact = True
     for name, base, g in cases:
         topology = weighted(base, seed=41)
-        result = minimum_spanning_tree(topology, mode="genus", genus=g, seed=43)
+        result = minimum_spanning_tree(topology, params="genus", genus=g, seed=43)
         _edges, ref_weight = kruskal_reference(topology)
         exact = result.weight == ref_weight
         all_exact = all_exact and exact
         phase_bound = 8 * math.ceil(_log2(topology.n)) + 8
         table.add_row(
             name, topology.n, topology.diameter(), result.phases,
-            result.phases <= phase_bound, result.rounds, exact,
+            result.phases <= phase_bound, result.rounds,
+            sum(r.construct_rounds for r in result.phase_records),
+            sum(r.aggregate_rounds for r in result.phase_records),
+            exact,
         )
     return ExperimentResult(
         "E9",
         "MST on genus-g graphs in O(gD log^2 D log^2 n) rounds, exact output",
         table,
-        data={"all_exact": all_exact},
+        data={"all_exact": all_exact, "backend": backend, "construct_mode": mode},
+        notes="The constr/agg columns split each run's ledger into "
+        "shortcut-construction rounds vs Theorem 2 aggregation and "
+        "broadcast rounds (summed over Borůvka phases).",
     )
 
 
@@ -606,6 +641,8 @@ def run_e09(scale: str = "small") -> ExperimentResult:
 
 
 @engine_parameter
+@backend_parameter
+@construct_mode_parameter
 def run_e10(scale: str = "small") -> ExperimentResult:
     """Round growth of shortcut MST vs baselines as n grows at fixed D.
 
@@ -615,34 +652,53 @@ def run_e10(scale: str = "small") -> ExperimentResult:
     (slope ~1), Kutten–Peleg pays ~sqrt(n) (slope ~0.5), and the
     shortcut MST pays polylog (slope ~0).  The Peleg–Rubinovich row
     shows the regime where the Ω̃(√n) lower bound bites everyone.
+
+    With the direct backend + construction kernels the grid extends an
+    order of magnitude into the √n-lower-bound regime; the
+    pipelined-upcast baselines (kutten-peleg, collect) have no direct
+    twin, so the extended rows time only the fully-direct algorithms.
     """
+    backend = get_default_backend()
     table = Table(
-        "E10: round growth on the hub family (fixed D) + the lower-bound graph",
-        ["instance", "n", "D", "shortcut", "kutten-peleg", "no-shortcut", "collect"],
+        f"E10: round growth on the hub family (fixed D) + the lower-bound graph (backend={backend})",
+        ["instance", "n", "D", "shortcut", "constr r", "agg r", "kutten-peleg", "no-shortcut", "collect"],
     )
     sizes = (96, 192, 384) if scale == "small" else (128, 256, 512, 1024)
+    extended = ()
+    if backend == "direct" and get_default_mode() == "direct":
+        extended = (768,) if scale == "small" else (2048, 4096)
     ns, shortcut_rounds, kp_rounds, plain_rounds = [], [], [], []
-    for hub_n in sizes:
+    for hub_n in sizes + extended:
         topology = hub_adversarial_weights(
             generators.cycle_with_hub(hub_n, 8), hub_n, seed=47
         )
-        shortcut_result = minimum_spanning_tree(topology, mode="doubling", seed=59)
-        kp = mst_kutten_peleg(topology, seed=59)
+        shortcut_result = minimum_spanning_tree(topology, params="doubling", seed=59)
         plain = mst_no_shortcut(topology, seed=59)
-        collect = mst_collect_at_root(topology, seed=59)
         _edges, ref = kruskal_reference(topology)
-        for result in (shortcut_result, kp, plain, collect):
-            assert result.weight == ref
+        baseline_rows: List[object] = []
+        if hub_n in sizes:
+            kp = mst_kutten_peleg(topology, seed=59)
+            collect = mst_collect_at_root(topology, seed=59)
+            for result in (shortcut_result, kp, plain, collect):
+                assert result.weight == ref
+            kp_rounds.append(kp.rounds)
+            baseline_rows = [kp.rounds, plain.rounds, collect.rounds]
+        else:
+            for result in (shortcut_result, plain):
+                assert result.weight == ref
+            baseline_rows = ["—", plain.rounds, "—"]
         ns.append(topology.n)
         shortcut_rounds.append(shortcut_result.rounds)
-        kp_rounds.append(kp.rounds)
         plain_rounds.append(plain.rounds)
         table.add_row(
             f"hub({hub_n})", topology.n, topology.diameter(),
-            shortcut_result.rounds, kp.rounds, plain.rounds, collect.rounds,
+            shortcut_result.rounds,
+            sum(r.construct_rounds for r in shortcut_result.phase_records),
+            sum(r.aggregate_rounds for r in shortcut_result.phase_records),
+            *baseline_rows,
         )
     pr = weighted(square_instance(7 if scale == "small" else 10).topology, seed=53)
-    pr_shortcut = minimum_spanning_tree(pr, mode="doubling", seed=59)
+    pr_shortcut = minimum_spanning_tree(pr, params="doubling", seed=59)
     pr_kp = mst_kutten_peleg(pr, seed=59)
     pr_plain = mst_no_shortcut(pr, seed=59)
     pr_collect = mst_collect_at_root(pr, seed=59)
@@ -651,11 +707,14 @@ def run_e10(scale: str = "small") -> ExperimentResult:
         assert result.weight == pr_ref
     table.add_row(
         "peleg-rubinovich", pr.n, pr.diameter(),
-        pr_shortcut.rounds, pr_kp.rounds, pr_plain.rounds, pr_collect.rounds,
+        pr_shortcut.rounds,
+        sum(r.construct_rounds for r in pr_shortcut.phase_records),
+        sum(r.aggregate_rounds for r in pr_shortcut.phase_records),
+        pr_kp.rounds, pr_plain.rounds, pr_collect.rounds,
     )
     slopes = {
         "shortcut": loglog_slope(ns, shortcut_rounds),
-        "kutten_peleg": loglog_slope(ns, kp_rounds),
+        "kutten_peleg": loglog_slope(ns[: len(kp_rounds)], kp_rounds),
         "no_shortcut": loglog_slope(ns, plain_rounds),
     }
     return ExperimentResult(
@@ -791,12 +850,17 @@ def run_e12(scale: str = "small") -> ExperimentResult:
 
 
 @engine_parameter
+@backend_parameter
+@construct_mode_parameter
 def run_e13(scale: str = "small") -> ExperimentResult:
+    backend = get_default_backend()
     table = Table(
-        "E13 (Sec. 1.2): aggregation rounds, intra-part vs shortcut",
+        f"E13 (Sec. 1.2): aggregation rounds, intra-part vs shortcut (backend={backend})",
         ["n_cycle", "D", "max part diam", "no-shortcut rounds", "shortcut rounds", "speedup"],
     )
     sizes = (128, 256, 512) if scale == "small" else (256, 512, 1024)
+    if backend == "direct" and get_default_mode() == "direct":
+        sizes = sizes + ((1024, 2048) if scale == "small" else (2048, 4096, 8192))
     speedups = []
     diam_ratio = []
     for n_cycle in sizes:
@@ -1207,6 +1271,174 @@ def run_e16(scale: str = "small", repeats: int = 2) -> ExperimentResult:
     )
 
 
+# ----------------------------------------------------------------------
+# E17 — application throughput: direct backend vs the simulated stack
+# ----------------------------------------------------------------------
+
+
+def app_families(scale: str) -> List[Tuple[str, Topology, int, bool]]:
+    """Benchmark families for the application stack, small→large.
+
+    Each entry is ``(name, weighted topology, seed, timed_in_both)``;
+    E17 runs the full shortcut Borůvka MST (BFS tree → shared
+    randomness → per-phase doubling search → Theorem 2 aggregation →
+    star-merge broadcast) end to end.  Families with
+    ``timed_in_both=True`` run on both the fully-simulated and the
+    fully-direct stack (the last of them anchors the headline speedup
+    in ``BENCH_apps.json``); the remaining *extension* families are
+    direct-only — paper-scale instances ≥ 10x beyond the simulated E9
+    grid, validated against Kruskal instead of the simulated twin.
+    """
+    big = scale == "paper"
+    side_a = 10 if big else 8
+    side_b = 8 if big else 6
+    hub_n = 256 if big else 128
+    anchor = 14 if big else 12
+    # Extension instances must reach >= 10x the same-scale E9 grid
+    # (10x10 at paper scale, 7x7 at small scale) — the bench gates it.
+    extension = (24, 32) if big else (16, 24)
+    families: List[Tuple[str, Topology, int, bool]] = [
+        ("grid/boruvka", weighted(generators.grid(side_a, side_a), seed=41), 43, True),
+        ("torus/boruvka", weighted(generators.torus(side_b, side_b), seed=41), 47, True),
+        (
+            "hub/boruvka",
+            hub_adversarial_weights(generators.cycle_with_hub(hub_n, 8), hub_n, seed=47),
+            53,
+            True,
+        ),
+        (
+            "grid-large/boruvka",
+            weighted(generators.grid(anchor, anchor), seed=41),
+            59,
+            True,
+        ),
+    ]
+    families += [
+        (
+            f"grid{side}x{side}/extension",
+            weighted(generators.grid(side, side), seed=41),
+            61,
+            False,
+        )
+        for side in extension
+    ]
+    return families
+
+
+def run_e17(scale: str = "small", repeats: int = 2) -> ExperimentResult:
+    """Throughput of the application stack on both backends.
+
+    ``backend="simulate"`` runs everything as CONGEST node programs
+    (with simulated construction); ``backend="direct"`` runs the
+    simulation-free partwise backend with the direct construction
+    kernels.  Combinatorial outputs (MST edges, weight, phases, merges)
+    must agree — the full bit-for-bit differential suite (including
+    ledgers at fixed construction mode) lives in
+    ``tests/apps/test_app_equivalence.py``.  The ``data`` dict carries
+    the ``BENCH_apps.json`` payload; see ``benchmarks/conftest.py`` for
+    the schema.
+    """
+    backend_names = list(BACKENDS)
+    table = Table(
+        "E17: application (MST) throughput (best-of-%d wall time)" % repeats,
+        ["family", "n", "m", "phases", "simulate s", "direct s", "speedup"],
+    )
+    families = []
+    speedups = []
+    largest_scale_speedup = 0.0
+    extension_max_n = 0
+    for name, topology, seed, timed_in_both in app_families(scale):
+        per_backend: Dict[str, Dict[str, float]] = {}
+        results = {}
+        modes_run = backend_names if timed_in_both else ["direct"]
+        for backend in modes_run:
+            best = math.inf
+            result = None
+            for _ in range(repeats):
+                start = time.perf_counter()
+                result = minimum_spanning_tree(
+                    topology, params="doubling", seed=seed,
+                    backend=backend, construct_mode=backend,
+                )
+                best = min(best, time.perf_counter() - start)
+            results[backend] = result
+            per_backend[backend] = {
+                "wall_s": best,
+                "msts_per_s": 1.0 / best if best > 0 else math.inf,
+                "rounds": result.rounds,
+            }
+        _edges, ref_weight = kruskal_reference(topology)
+        if results["direct"].weight != ref_weight:
+            raise AssertionError(f"direct MST inexact on {name}")
+        if timed_in_both:
+            simulate, direct = results["simulate"], results["direct"]
+            diverged = [
+                label
+                for label, match in (
+                    ("edges", direct.edges == simulate.edges),
+                    ("weight", direct.weight == simulate.weight),
+                    ("phases", direct.phases == simulate.phases),
+                    (
+                        "merges",
+                        [r.merges for r in direct.phase_records]
+                        == [r.merges for r in simulate.phase_records],
+                    ),
+                )
+                if not match
+            ]
+            if diverged:
+                raise AssertionError(
+                    f"backends disagree on {name}: {', '.join(diverged)}"
+                )
+            direct_wall = per_backend["direct"]["wall_s"]
+            speedup = (
+                per_backend["simulate"]["wall_s"] / direct_wall
+                if direct_wall > 0
+                else math.inf
+            )
+            speedups.append(speedup)
+            largest_scale_speedup = speedup
+        else:
+            speedup = None
+            extension_max_n = max(extension_max_n, topology.n)
+        families.append(
+            {
+                "family": name,
+                "n": topology.n,
+                "m": topology.m,
+                "phases": results["direct"].phases,
+                "backends": per_backend,
+                "speedup": speedup,
+            }
+        )
+        table.add_row(
+            name, topology.n, topology.m, results["direct"].phases,
+            round(per_backend["simulate"]["wall_s"], 3) if timed_in_both else "—",
+            round(per_backend["direct"]["wall_s"], 4),
+            round(speedup, 2) if speedup is not None else "—",
+        )
+    return ExperimentResult(
+        "E17",
+        "the direct application backend outpaces the simulated stack at identical outputs",
+        table,
+        data={
+            "schema": "repro.bench_apps.v1",
+            "scale": scale,
+            "backends": backend_names,
+            "families": families,
+            "speedups": speedups,
+            "largest_scale_speedup": largest_scale_speedup,
+            "extension_max_n": extension_max_n,
+            # The same-scale E9 grid size the extension is measured against.
+            "e9_grid_n": E9_GRID_SIDES["paper" if scale == "paper" else "small"] ** 2,
+        },
+        notes="Each cell runs the complete shortcut Borůvka MST; the "
+        "last both-backend family anchors the tracked speedup, and the "
+        "extension rows are direct-only paper-scale instances (≥ 10x "
+        "the simulated E9 grid) validated against Kruskal.",
+    )
+
+
 ALL_EXPERIMENTS: Dict[str, Callable[[str], ExperimentResult]] = {
     "E1": run_e01,
     "E2": run_e02,
@@ -1224,6 +1456,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[[str], ExperimentResult]] = {
     "E14": run_e14,
     "E15": run_e15,
     "E16": run_e16,
+    "E17": run_e17,
 }
 
 

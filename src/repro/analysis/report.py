@@ -4,7 +4,7 @@ Usage::
 
     python -m repro.analysis.report [small|paper] [output-path]
 
-Runs every experiment E1–E15 and writes the paper-claim-vs-measured
+Runs every experiment E1–E17 and writes the paper-claim-vs-measured
 record.  The same tables print during ``pytest benchmarks/``.  Set
 ``REPRO_JOBS`` to fan the parallel-friendly runners out over worker
 processes (the output is identical at any worker count).
@@ -22,6 +22,11 @@ from repro.analysis.experiments import ALL_EXPERIMENTS
 # that is what makes their largest paper-scale grids reachable at all.
 DIRECT_MODE_RUNNERS = frozenset({"E7", "E11", "E12"})
 
+# Application runners additionally regenerate on the direct partwise
+# backend (see repro.core.partwise_fast) — same outputs and ledger
+# structure, extended instance grids.
+DIRECT_BACKEND_RUNNERS = frozenset({"E9", "E10", "E13"})
+
 HEADER = """\
 # EXPERIMENTS — paper claims vs. measurements
 
@@ -35,9 +40,9 @@ quantitative content is the set of theorems and lemmas below; each
 experiment regenerates one of them on the CONGEST simulator and reports
 the measured quantity against the claimed bound.  The experiment index
 lives in ``repro.analysis.experiments`` (one ``run_eXX`` per claim,
-wrapped by ``benchmarks/bench_eXX_*.py``); E14/E15 track the
-simulator-engine and quality-kernel throughput rather than a paper
-claim.
+wrapped by ``benchmarks/bench_eXX_*.py``); E14–E17 track the
+simulator-engine, quality-kernel, construction-kernel, and
+application-backend throughput rather than a paper claim.
 
 **Summary of reproduction status** (scale = ``{scale}``): every bound
 holds on every instance tested; the w.h.p. guarantees hold on every
@@ -54,6 +59,8 @@ def generate(scale: str = "small") -> str:
         start = time.time()
         if name in DIRECT_MODE_RUNNERS:
             result = runner(scale, construct_mode="direct")
+        elif name in DIRECT_BACKEND_RUNNERS:
+            result = runner(scale, backend="direct", construct_mode="direct")
         else:
             result = runner(scale)
         elapsed = time.time() - start

@@ -51,8 +51,21 @@ def exchange_labels(
     seed: int = 0,
     ledger: Optional[RoundLedger] = None,
     engine: EngineLike = None,
+    backend: Optional[str] = None,
 ) -> Dict[int, Dict[int, Optional[int]]]:
-    """Run one neighbor-label exchange round over all edges."""
+    """Run one neighbor-label exchange round over all edges.
+
+    ``backend="direct"`` skips the simulation: the exchange is one
+    broadcast round of exactly ``2m`` messages, so the direct twin
+    reads the labels off the CSR arrays and charges the identical cost.
+    """
+    from repro.core.partwise_fast import neighbor_labels_direct, resolve_backend
+
+    if resolve_backend(backend) == "direct":
+        neighbor_labels, rounds, messages = neighbor_labels_direct(topology, labels)
+        if ledger is not None:
+            ledger.charge("label-exchange", rounds, messages)
+        return neighbor_labels
     inputs = {v: {"label": labels.get(v)} for v in topology.nodes}
     result = Simulator(
         topology, NeighborLabelExchangeAlgorithm(inputs), seed=seed,
@@ -125,7 +138,8 @@ def min_outgoing_edges(
     if labels is None:
         labels = {v: partition.part_of(v) for v in topology.nodes}
     neighbor_labels = exchange_labels(
-        topology, labels, seed=seed, ledger=engine.ledger
+        topology, labels, seed=seed, ledger=engine.ledger,
+        backend=engine.backend,
     )
     candidates: Dict[int, Optional[int]] = {}
     for v in topology.nodes:

@@ -22,12 +22,16 @@ from repro.apps.aggregation import exchange_labels, min_outgoing_edges
 from repro.apps.encoding import decode_edge_candidate, encode_edge_candidate
 from repro.apps.fragment_comm import fragment_aggregate
 from repro.congest.engine import engine_parameter
-from repro.congest.bfs import build_bfs_tree
-from repro.congest.randomness import coin, mix, share_randomness
+from repro.congest.randomness import coin, mix
 from repro.congest.topology import Edge, Topology, canonical_edge
 from repro.congest.trace import RoundLedger
 from repro.core.doubling import find_shortcut_doubling
 from repro.core.partwise import PartwiseEngine
+from repro.core.partwise_fast import (
+    backend_parameter,
+    bfs_and_shared_randomness,
+    get_default_backend,
+)
 from repro.errors import ReproError
 from repro.graphs.partitions import Partition
 
@@ -74,6 +78,7 @@ def _min_alive_candidates(
 
 
 @engine_parameter
+@backend_parameter
 def connected_components(
     topology: Topology,
     alive_edges: Iterable[Tuple[int, int]],
@@ -81,20 +86,25 @@ def connected_components(
     use_shortcuts: bool = True,
     seed: int = 0,
     max_phases: Optional[int] = None,
+    construct_mode: Optional[str] = None,
 ) -> ConnectivityResult:
     """Label the components of the alive subgraph.
 
     With ``use_shortcuts`` the per-phase fragment aggregation runs over
     tree-restricted shortcuts (Appendix A doubling, no parameter
     knowledge); otherwise it floods within fragments only.
+    ``construct_mode`` selects the construction kernels for the
+    doubling searches; the ``backend=`` keyword (injected by
+    :func:`~repro.core.partwise_fast.backend_parameter`) selects the
+    simulate/direct partwise backend for every aggregation.
     """
     n = topology.n
+    backend = get_default_backend()
     alive = _alive_set(alive_edges)
     if max_phases is None:
         max_phases = 8 * max(1, math.ceil(math.log2(n + 1))) + 8
     ledger = RoundLedger()
-    tree, _ = build_bfs_tree(topology, 0, seed=seed, ledger=ledger)
-    shared_seed, _ = share_randomness(topology, tree, seed=seed, ledger=ledger)
+    tree, shared_seed = bfs_and_shared_randomness(topology, seed, ledger, backend)
 
     labels = {v: v for v in topology.nodes}
     phase = 0
@@ -103,7 +113,8 @@ def connected_components(
         if phase > max_phases:
             raise ReproError(f"components did not converge in {max_phases} phases")
         neighbor_labels = exchange_labels(
-            topology, labels, seed=mix(seed, phase, 1), ledger=ledger
+            topology, labels, seed=mix(seed, phase, 1), ledger=ledger,
+            backend=backend,
         )
         candidates = _min_alive_candidates(topology, labels, alive, neighbor_labels)
         if use_shortcuts:
@@ -113,6 +124,7 @@ def connected_components(
                 seed=mix(seed, phase, 2),
                 shared_seed=mix(shared_seed, phase),
                 ledger=ledger,
+                mode=construct_mode,
             )
             engine = PartwiseEngine(
                 topology, outcome.result.shortcut,
@@ -125,6 +137,7 @@ def connected_components(
                 topology, labels, candidates, "min",
                 seed=mix(seed, phase, 4), ledger=ledger,
                 phase_name=f"components#{phase}/min",
+                backend=backend,
             )
 
         injections: Dict[int, Optional[int]] = {}
@@ -153,6 +166,7 @@ def connected_components(
                 topology, labels, injections, "min",
                 seed=mix(seed, phase, 5), ledger=ledger,
                 phase_name=f"components#{phase}/adopt",
+                backend=backend,
             )
         for v in topology.nodes:
             new_label = adopted.get(v)
@@ -167,6 +181,7 @@ def connected_components(
         outcome = find_shortcut_doubling(
             topology, tree, partition,
             seed=mix(seed, 7777), shared_seed=shared_seed, ledger=ledger,
+            mode=construct_mode,
         )
         engine = PartwiseEngine(
             topology, outcome.result.shortcut,
@@ -181,6 +196,7 @@ def connected_components(
             topology, labels, {v: v for v in topology.nodes}, "min",
             seed=mix(seed, 7779), ledger=ledger,
             phase_name="components/canonicalise",
+            backend=backend,
         )
         canonical = {v: minima[v] for v in topology.nodes}
     return ConnectivityResult(

@@ -157,9 +157,24 @@ def fragment_flood_min(
     ledger: Optional[RoundLedger] = None,
     phase_name: str = "fragment-flood",
     engine: EngineLike = None,
+    backend: Optional[str] = None,
 ) -> Tuple[Dict[int, Optional[int]], Dict[int, Optional[int]]]:
-    """Flood each fragment's minimum value; return (minima, parents)."""
+    """Flood each fragment's minimum value; return (minima, parents).
+
+    ``backend="direct"`` replays the improvement-triggered flood
+    centrally (:func:`repro.core.partwise_fast.fragment_flood_direct`)
+    — identical minima, parent pointers, rounds, and messages.
+    """
+    from repro.core.partwise_fast import fragment_flood_direct, resolve_backend
+
     neighbors = _fragment_neighbors(topology, labels)
+    if resolve_backend(backend) == "direct":
+        best, parents, rounds, messages = fragment_flood_direct(
+            topology, neighbors, values
+        )
+        if ledger is not None:
+            ledger.charge_phase(phase_name, rounds, messages)
+        return best, parents
     inputs = {
         v: {"fragment_neighbors": neighbors[v], "value": values.get(v)}
         for v in topology.nodes
@@ -182,6 +197,7 @@ def fragment_aggregate(
     ledger: Optional[RoundLedger] = None,
     phase_name: str = "fragment-aggregate",
     engine: EngineLike = None,
+    backend: Optional[str] = None,
 ) -> Dict[int, Optional[int]]:
     """Aggregate ``values`` within each fragment (no shortcuts).
 
@@ -189,17 +205,38 @@ def fragment_aggregate(
     fragment tree, then convergecasts + broadcasts ``combine`` over it.
     Every fragment member ends up knowing the fragment-wide result.
     Rounds scale with the largest fragment diameter.
+
+    ``backend="direct"`` computes both stages centrally with identical
+    results and ledger charges
+    (:mod:`repro.core.partwise_fast`).
     """
+    from repro.core.partwise_fast import (
+        fragment_tree_aggregate_direct,
+        resolve_backend,
+    )
+
+    resolved = resolve_backend(backend)
     ids = {v: v if labels.get(v) is not None else None for v in topology.nodes}
     _best, parents = fragment_flood_min(
         topology, labels, ids, seed=seed, ledger=ledger,
-        phase_name=phase_name + "/flood", engine=engine,
+        phase_name=phase_name + "/flood", engine=engine, backend=resolved,
     )
-    inputs = {
-        v: {
-            "agg_parent": parents[v],
-            "value": values.get(v) if labels.get(v) is not None else None,
+    masked = {
+        v: values.get(v) if labels.get(v) is not None else None
+        for v in topology.nodes
+    }
+    if resolved == "direct":
+        results, rounds, messages = fragment_tree_aggregate_direct(
+            topology, parents, masked, combine
+        )
+        if ledger is not None:
+            ledger.charge_phase(phase_name + "/tree", rounds, messages)
+        return {
+            v: (results[v] if labels.get(v) is not None else None)
+            for v in topology.nodes
         }
+    inputs = {
+        v: {"agg_parent": parents[v], "value": masked[v]}
         for v in topology.nodes
     }
     result = Simulator(

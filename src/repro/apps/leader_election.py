@@ -14,6 +14,7 @@ from repro.congest.engine import engine_parameter
 from repro.congest.topology import Topology
 from repro.congest.trace import RoundLedger
 from repro.core.partwise import PartwiseEngine
+from repro.core.partwise_fast import backend_parameter
 from repro.core.shortcut import TreeRestrictedShortcut
 
 
@@ -27,6 +28,7 @@ class LeaderElectionResult:
 
 
 @engine_parameter
+@backend_parameter
 def elect_leaders(
     topology: Topology,
     shortcut: TreeRestrictedShortcut,
@@ -38,7 +40,9 @@ def elect_leaders(
     """Elect a leader for every part in parallel.
 
     ``b_bound`` must upper-bound the number of block components of any
-    part (use ``3b`` for shortcuts built by FindShortcut).
+    part (use ``3b`` for shortcuts built by FindShortcut).  The
+    ``backend=`` keyword (``"simulate"`` / ``"direct"``) selects the
+    partwise backend the supersteps run on.
     """
     ledger = ledger if ledger is not None else RoundLedger()
     before = ledger.total_rounds

@@ -34,6 +34,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 from repro.congest.engine import engine_parameter
 from repro.congest.topology import Edge, Topology, canonical_edge
 from repro.congest.trace import RoundLedger
+from repro.core.partwise_fast import backend_parameter
 from repro.graphs.spanning_trees import SpanningTree
 
 
@@ -150,12 +151,14 @@ def _one_respecting_cuts(
 
 
 @engine_parameter
+@backend_parameter
 def approximate_min_cut(
     topology: Topology,
     *,
     trees: Optional[int] = None,
     seed: int = 0,
     use_distributed_mst: bool = False,
+    construct_mode: Optional[str] = None,
 ) -> MinCutResult:
     """Greedy-tree-packing min-cut approximation.
 
@@ -166,7 +169,9 @@ def approximate_min_cut(
     With ``use_distributed_mst`` each packing iteration runs the full
     distributed shortcut MST (slow; exercises the complete stack) and
     its rounds are charged to the ledger; otherwise only the per-tree
-    O(D) cut-evaluation convergecasts are charged.
+    O(D) cut-evaluation convergecasts are charged.  ``construct_mode``
+    and the injected ``backend=`` keyword select the construction
+    kernels and the partwise backend of those inner MSTs.
     """
     n = topology.n
     if trees is None:
@@ -186,7 +191,8 @@ def approximate_min_cut(
                 perturbed_weights(topology, loads)
             )
             result = minimum_spanning_tree(
-                weighted, mode="doubling", seed=seed + index
+                weighted, params="doubling", seed=seed + index,
+                construct_mode=construct_mode,
             )
             ledger.merge(result.ledger, prefix=f"pack#{index}/")
             tree_edges = result.edges

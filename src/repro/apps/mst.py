@@ -26,35 +26,51 @@ and tests compare against Kruskal.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.apps.aggregation import min_outgoing_edges
-from repro.congest.bfs import build_bfs_tree
 from repro.congest.engine import engine_parameter
-from repro.congest.randomness import coin, mix, share_randomness
+from repro.congest.randomness import coin, mix
 from repro.congest.topology import Edge, Topology, canonical_edge
 from repro.congest.trace import RoundLedger
 from repro.core.doubling import find_shortcut_doubling
 from repro.core.existence import best_certified, genus_bound
 from repro.core.find_shortcut import find_shortcut
 from repro.core.partwise import PartwiseEngine
+from repro.core.partwise_fast import (
+    backend_parameter,
+    bfs_and_shared_randomness,
+    get_default_backend,
+)
 from repro.errors import ReproError
 from repro.graphs.partitions import Partition
 from repro.graphs.spanning_trees import SpanningTree
 
 HEAD_COIN_SALT = 0x4EAD
 
+PARAM_MODES = ("doubling", "genus", "given", "certified")
+
 
 @dataclass(frozen=True)
 class PhaseRecord:
-    """Per-phase measurements of the Borůvka loop."""
+    """Per-phase measurements of the Borůvka loop.
+
+    ``construct_rounds`` and ``aggregate_rounds`` split the phase's
+    ledger delta: rounds spent building the per-phase shortcut
+    (FindShortcut / doubling, including barriers) vs rounds spent using
+    it (neighbor discovery, the Theorem 2 minimum-outgoing-edge
+    aggregation, the label broadcast, and the termination check).
+    """
 
     phase: int
     fragments: int
     shortcut_c: int
     shortcut_b: int
     merges: int
+    construct_rounds: int = 0
+    aggregate_rounds: int = 0
 
 
 @dataclass(frozen=True)
@@ -77,7 +93,7 @@ def _build_shortcut(
     topology: Topology,
     tree: SpanningTree,
     partition: Partition,
-    mode: str,
+    params: str,
     genus: Optional[int],
     c: Optional[int],
     b: Optional[int],
@@ -85,52 +101,68 @@ def _build_shortcut(
     seed: int,
     shared_seed: int,
     ledger: RoundLedger,
+    construct_mode: Optional[str] = None,
 ):
-    """Construct the per-phase shortcut; returns (shortcut, 3b bound)."""
-    if mode == "genus":
+    """Construct the per-phase shortcut; returns (shortcut, 3b bound).
+
+    ``construct_mode`` selects the construction kernels
+    (``"simulate"`` / ``"direct"``, see
+    :mod:`repro.core.construct_fast`); ``None`` uses the process
+    default.
+    """
+    if params == "genus":
         if genus is None:
-            raise ReproError("mode='genus' requires the genus argument")
+            raise ReproError("params='genus' requires the genus argument")
         c_g, b_g = genus_bound(genus, tree.height)
         result = find_shortcut(
             topology, tree, partition, c_g, b_g,
             use_fast=use_fast, seed=seed, shared_seed=shared_seed, ledger=ledger,
+            mode=construct_mode,
         )
         return result.shortcut, 3 * result.b
-    if mode == "given":
+    if params == "given":
         if c is None or b is None:
-            raise ReproError("mode='given' requires both c and b")
+            raise ReproError("params='given' requires both c and b")
         result = find_shortcut(
             topology, tree, partition, c, b,
             use_fast=use_fast, seed=seed, shared_seed=shared_seed, ledger=ledger,
+            mode=construct_mode,
         )
         return result.shortcut, 3 * result.b
-    if mode == "certified":
+    if params == "certified":
         point = best_certified(tree, partition)
         result = find_shortcut(
             topology, tree, partition, point.congestion, point.block,
             use_fast=use_fast, seed=seed, shared_seed=shared_seed, ledger=ledger,
+            mode=construct_mode,
         )
         return result.shortcut, 3 * result.b
-    if mode == "doubling":
+    if params == "doubling":
         outcome = find_shortcut_doubling(
             topology, tree, partition,
             use_fast=use_fast, seed=seed, shared_seed=shared_seed, ledger=ledger,
+            mode=construct_mode,
         )
         return outcome.result.shortcut, 3 * outcome.result.b
-    raise ReproError(f"unknown shortcut mode {mode!r}")
+    raise ReproError(
+        f"unknown shortcut params {params!r}; available: {PARAM_MODES}"
+    )
 
 
 @engine_parameter
+@backend_parameter
 def minimum_spanning_tree(
     topology: Topology,
     *,
-    mode: str = "doubling",
+    params: Optional[str] = None,
+    mode: Optional[str] = None,
     genus: Optional[int] = None,
     c: Optional[int] = None,
     b: Optional[int] = None,
     use_fast: bool = True,
     seed: int = 0,
     max_phases: Optional[int] = None,
+    construct_mode: Optional[str] = None,
 ) -> MSTResult:
     """Compute the exact MST with shortcut-accelerated Borůvka.
 
@@ -139,7 +171,7 @@ def minimum_spanning_tree(
     topology:
         A weighted topology (weights should be unique; use
         :func:`repro.graphs.weights.weighted`).
-    mode:
+    params:
         How per-phase shortcuts obtain their (c, b) promise:
 
         * ``"doubling"`` — Appendix A search, no knowledge needed
@@ -148,19 +180,39 @@ def minimum_spanning_tree(
         * ``"given"`` — explicit ``c``/``b``;
         * ``"certified"`` — per-phase offline certification (an oracle
           variant used in ablation experiments).
+    mode:
+        Deprecated alias for ``params`` (kept for one release; the name
+        now belongs to the construction-kernel axis, see
+        ``construct_mode``).
     use_fast:
         CoreFast vs CoreSlow inside FindShortcut.
     max_phases:
         Watchdog on Borůvka phases (default ``8 log2 n + 8``).
+    construct_mode:
+        Construction kernels for the per-phase FindShortcut
+        (``"simulate"`` / ``"direct"``; ``None`` = process default).
+    backend:
+        Partwise backend for every aggregation/broadcast superstep
+        (``"simulate"`` / ``"direct"``; injected by
+        :func:`~repro.core.partwise_fast.backend_parameter`).
     """
+    if mode is not None:
+        warnings.warn(
+            "minimum_spanning_tree(mode=...) is deprecated; use params= "
+            "(mode= now names the construct_mode axis elsewhere)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if params is None:
+            params = mode
+    if params is None:
+        params = "doubling"
+    backend = get_default_backend()
     n = topology.n
     if max_phases is None:
         max_phases = 8 * max(1, math.ceil(math.log2(n + 1))) + 8
     ledger = RoundLedger()
-    tree, _bfs_result = build_bfs_tree(topology, 0, seed=seed, ledger=ledger)
-    shared_seed, _rand_result = share_randomness(
-        topology, tree, seed=seed, ledger=ledger
-    )
+    tree, shared_seed = bfs_and_shared_randomness(topology, seed, ledger, backend)
 
     labels: Dict[int, int] = {v: v for v in topology.nodes}
     mst_edges: set = set()
@@ -177,10 +229,13 @@ def minimum_spanning_tree(
             phase -= 1
             break
 
+        phase_start = ledger.total_rounds
         shortcut, b_bound = _build_shortcut(
-            topology, tree, partition, mode, genus, c, b,
+            topology, tree, partition, params, genus, c, b,
             use_fast, mix(seed, phase), mix(shared_seed, phase), ledger,
+            construct_mode,
         )
+        construct_end = ledger.total_rounds
         engine = PartwiseEngine(
             topology, shortcut, seed=mix(seed, phase, 2), ledger=ledger
         )
@@ -211,6 +266,17 @@ def minimum_spanning_tree(
                 injections[u] = other_label
                 mst_edges.add(canonical_edge(u, v))
                 merges += 1
+
+        if not done:
+            # Broadcast the adopted label through the shortcut
+            # (Theorem 2 iii), then the global "any fragment still
+            # active?" check: one convergecast on T.
+            adopted = engine.broadcast_from_leaders(injections, b_bound)
+            for v in topology.nodes:
+                new_label = adopted.get(v)
+                if new_label is not None:
+                    labels[v] = new_label
+            ledger.charge_phase("mst/termination-check", 2 * tree.height + 1)
         phase_records.append(
             PhaseRecord(
                 phase=phase,
@@ -220,20 +286,13 @@ def minimum_spanning_tree(
                 ),
                 shortcut_b=b_bound,
                 merges=merges,
+                construct_rounds=construct_end - phase_start,
+                aggregate_rounds=ledger.total_rounds - construct_end,
             )
         )
         if done:
             phase -= 1
             break
-
-        # Broadcast the adopted label through the shortcut (Theorem 2 iii).
-        adopted = engine.broadcast_from_leaders(injections, b_bound)
-        for v in topology.nodes:
-            new_label = adopted.get(v)
-            if new_label is not None:
-                labels[v] = new_label
-        # Global "any fragment still active?" check: convergecast on T.
-        ledger.charge_phase("mst/termination-check", 2 * tree.height + 1)
 
     weight = sum(topology.weight(u, v) for u, v in mst_edges)
     return MSTResult(

@@ -85,3 +85,51 @@ def build_bfs_tree(
         ledger.barrier_depth = tree.height
         ledger.charge_phase("bfs-tree", result.rounds, result.messages)
     return tree, result
+
+
+def build_bfs_tree_direct(
+    topology: Topology,
+    root: int = 0,
+    *,
+    ledger: Optional[RoundLedger] = None,
+) -> SpanningTree:
+    """Simulation-free twin of :func:`build_bfs_tree`.
+
+    The flood adopts, at every node, the minimum-id neighbor among the
+    first round of token arrivals — i.e. the minimum-id neighbor in the
+    previous BFS layer (which is *not* always the parent
+    :meth:`~repro.graphs.spanning_trees.SpanningTree.bfs` picks, whose
+    discovery order follows the queue).  The cost is closed-form: the
+    deepest adopters send their child-claims at round ``height``, so
+    the run ends at ``height + 1`` rounds, and every node's token
+    fan-out plus one claim totals exactly ``2m`` messages.
+    """
+    from collections import deque
+
+    n = topology.n
+    dist = [-1] * n
+    dist[root] = 0
+    queue = deque([root])
+    while queue:
+        u = queue.popleft()
+        for w in topology.neighbors(u):
+            if dist[w] < 0:
+                dist[w] = dist[u] + 1
+                queue.append(w)
+    if min(dist) < 0:
+        from repro.errors import TopologyError
+
+        raise TopologyError("BFS tree of a disconnected topology")
+    parent: list = [None] * n
+    for v in topology.nodes:
+        if v == root:
+            continue
+        parent[v] = min(
+            w for w in topology.neighbors(v) if dist[w] == dist[v] - 1
+        )
+    tree = SpanningTree(root, parent)
+    if ledger is not None:
+        ledger.barrier_depth = tree.height
+        rounds = tree.height + 1 if n > 1 else 0
+        ledger.charge_phase("bfs-tree", rounds, 2 * topology.m if n > 1 else 0)
+    return tree

@@ -14,7 +14,9 @@ Layout mirrors the paper:
 * :mod:`repro.core.find_shortcut` — Theorem 3;
 * :mod:`repro.core.doubling` — Appendix A;
 * :mod:`repro.core.construct_fast` — the simulation-free direct
-  kernels for the whole construction stack (``mode="direct"``).
+  kernels for the whole construction stack (``mode="direct"``);
+* :mod:`repro.core.partwise_fast` — the simulation-free backend for
+  the Theorem 2 partwise engine (``backend="direct"``).
 """
 
 from repro.core.shortcut import GeneralShortcut, TreeRestrictedShortcut
@@ -52,6 +54,13 @@ from repro.core.tree_routing import (
     task_edge_congestion,
 )
 from repro.core.partwise import PartwiseEngine
+from repro.core.partwise_fast import (
+    BACKENDS,
+    backend_parameter,
+    get_default_backend,
+    set_default_backend,
+    using_backend,
+)
 from repro.core.core_slow import CoreOutcome, core_slow, core_slow_reference
 from repro.core.core_fast import (
     active_parts,
@@ -106,6 +115,11 @@ __all__ = [
     "make_task",
     "task_edge_congestion",
     "PartwiseEngine",
+    "BACKENDS",
+    "backend_parameter",
+    "get_default_backend",
+    "set_default_backend",
+    "using_backend",
     "CoreOutcome",
     "core_slow",
     "core_slow_reference",

@@ -206,29 +206,17 @@ def verification_cost(
 
 
 def part_internal_edges(topology: Topology, partition: Partition) -> int:
-    """Directed edges with both endpoints in the same part (cached).
+    """Directed edges with both endpoints in the same part.
 
     The per-instance constant feeding the exchange term of
-    :func:`verification_cost`; hung off the topology's kernel cache
-    keyed by the partition's label array.
+    :func:`verification_cost`; read off the same-part neighbor scan of
+    :func:`repro.core.partwise_fast.part_neighbors_cached` (one cached
+    scan per (topology, labels) serves both layers).
     """
-    cache = topology._kernels
-    key = ("part_edges", partition.labels)
-    count = cache.get(key)
-    if count is None:
-        csr = adjacency_csr(topology)
-        labels = partition.labels
-        indptr, indices = csr.indptr, csr.indices
-        count = 0
-        for v in range(topology.n):
-            label = labels[v]
-            if label < 0:
-                continue
-            for w in indices[indptr[v] : indptr[v + 1]]:
-                if labels[w] == label:
-                    count += 1
-        cache[key] = count
-    return count
+    from repro.core.partwise_fast import part_neighbors_cached
+
+    neighbors = part_neighbors_cached(topology, partition)
+    return sum(len(same_part) for same_part in neighbors.values())
 
 
 # ----------------------------------------------------------------------

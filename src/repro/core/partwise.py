@@ -19,6 +19,13 @@ purely node-local state updates between them, so the round accounting
 information flow stays faithful to the CONGEST model: a node only ever
 uses values it received through simulated messages or could derive
 locally.
+
+The engine runs on one of two *backends* (see
+:mod:`repro.core.partwise_fast`): ``backend="simulate"`` (default)
+executes every superstep as a node program on the CONGEST simulator,
+``backend="direct"`` replays the identical deterministic dynamics as
+centralized array passes — bit-for-bit equal results *and* ledger
+charges, at a fraction of the cost.
 """
 
 from __future__ import annotations
@@ -82,6 +89,13 @@ class PartwiseEngine:
     ledger:
         Optional ledger accumulating round costs (one entry per
         simulated phase).
+    backend:
+        ``"simulate"`` runs every superstep on the CONGEST simulator;
+        ``"direct"`` computes identical results (and identical ledger
+        charges) with the replay kernels of
+        :mod:`repro.core.partwise_fast`.  ``None`` uses the
+        process-wide default
+        (:func:`~repro.core.partwise_fast.using_backend`).
     """
 
     def __init__(
@@ -92,9 +106,13 @@ class PartwiseEngine:
         seed: int = 0,
         ledger: Optional[RoundLedger] = None,
         engine: EngineLike = None,
+        backend: Optional[str] = None,
     ) -> None:
+        from repro.core.partwise_fast import resolve_backend
+
         self.topology = topology
         self.sim_engine = engine
+        self.backend = resolve_backend(backend)
         self.tree: SpanningTree = shortcut.tree
         self.partition = shortcut.partition
         self.shortcut = shortcut
@@ -123,22 +141,15 @@ class PartwiseEngine:
         )
 
         # Part-internal neighborhood (one round of neighbor discovery,
-        # charged up front).  Computed from the cached CSR + label
-        # arrays rather than per-neighbor part_of() calls.
-        from repro.graphs.csr import adjacency_csr
+        # charged up front).  The scan depends only on (topology,
+        # labels), so it is computed once per fragment partition and
+        # shared by every engine over it — the round itself is still
+        # charged per engine, as each would pay it distributively.
+        from repro.core.partwise_fast import part_neighbors_cached
 
-        csr = adjacency_csr(topology)
-        labels = self.partition.labels
-        indptr, indices = csr.indptr, csr.indices
-        self.part_neighbors: Dict[int, Tuple[int, ...]] = {}
-        for v in topology.nodes:
-            part = labels[v]
-            if part < 0:
-                self.part_neighbors[v] = ()
-            else:
-                self.part_neighbors[v] = tuple(
-                    w for w in indices[indptr[v] : indptr[v + 1]] if labels[w] == part
-                )
+        self.part_neighbors: Dict[int, Tuple[int, ...]] = part_neighbors_cached(
+            topology, self.partition
+        )
         self.ledger.charge("partwise/neighbor-discovery", 1, 2 * topology.m)
 
     # ------------------------------------------------------------------
@@ -159,29 +170,49 @@ class PartwiseEngine:
             if value is not None:
                 task_values.setdefault((block.part, block.root), {})[v] = value
         self._step += 1
-        combined, cc_result = subtree_convergecast(
-            self.topology,
-            self.tree,
-            self.tasks.values(),
-            task_values,
-            combine,
-            seed=self.seed + self._step,
-            ledger=self.ledger,
-            phase_name=f"partwise/convergecast#{self._step}",
-            engine=self.sim_engine,
-        )
+        if self.backend == "direct":
+            from repro.core.partwise_fast import convergecast_direct
+
+            combined, rounds, messages = convergecast_direct(
+                self.tree, self.tasks.values(), task_values, combine
+            )
+            self.ledger.charge(
+                f"partwise/convergecast#{self._step}", rounds, messages
+            )
+        else:
+            combined, _cc_result = subtree_convergecast(
+                self.topology,
+                self.tree,
+                self.tasks.values(),
+                task_values,
+                combine,
+                seed=self.seed + self._step,
+                ledger=self.ledger,
+                phase_name=f"partwise/convergecast#{self._step}",
+                engine=self.sim_engine,
+            )
         root_values = {key: val for key, val in combined.items() if val is not None}
         self._step += 1
-        delivered, bc_result = subtree_broadcast(
-            self.topology,
-            self.tree,
-            [self.tasks[key] for key in root_values],
-            root_values,
-            seed=self.seed + self._step,
-            ledger=self.ledger,
-            phase_name=f"partwise/broadcast#{self._step}",
-            engine=self.sim_engine,
-        )
+        if self.backend == "direct":
+            from repro.core.partwise_fast import broadcast_direct
+
+            delivered, rounds, messages = broadcast_direct(
+                self.tree, [self.tasks[key] for key in root_values], root_values
+            )
+            self.ledger.charge(
+                f"partwise/broadcast#{self._step}", rounds, messages
+            )
+        else:
+            delivered, _bc_result = subtree_broadcast(
+                self.topology,
+                self.tree,
+                [self.tasks[key] for key in root_values],
+                root_values,
+                seed=self.seed + self._step,
+                ledger=self.ledger,
+                phase_name=f"partwise/broadcast#{self._step}",
+                engine=self.sim_engine,
+            )
         out: Values = {}
         for v, block in self.block_of.items():
             out[v] = delivered.get((block.part, block.root), {}).get(v)
@@ -189,6 +220,17 @@ class PartwiseEngine:
 
     def exchange(self, payloads: Dict[int, Optional[tuple]]) -> Dict[int, List[Tuple[int, tuple]]]:
         """One round of exchange over part-internal edges."""
+        self._step += 1
+        if self.backend == "direct":
+            from repro.core.partwise_fast import exchange_direct
+
+            received, rounds, messages = exchange_direct(
+                self.topology.nodes, self.part_neighbors, payloads
+            )
+            self.ledger.charge(
+                f"partwise/exchange#{self._step}", max(1, rounds), messages
+            )
+            return received
         inputs = {
             v: {
                 "part_neighbors": self.part_neighbors[v],
@@ -196,7 +238,6 @@ class PartwiseEngine:
             }
             for v in self.topology.nodes
         }
-        self._step += 1
         result = Simulator(
             self.topology,
             PartExchangeAlgorithm(inputs),

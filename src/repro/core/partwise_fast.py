@@ -1,0 +1,574 @@
+"""Simulation-free backend for the Theorem 2 partwise engine.
+
+The part-parallel primitives of :class:`repro.core.partwise.PartwiseEngine`
+(block aggregation, part-internal exchange, leader election, broadcast,
+Lemma 3 block counting) are deterministic functions of the instance: no
+node program in the stack ever consults its RNG.  This module mirrors —
+at the application layer — the engine split of
+:mod:`repro.congest.engine` and the construction split of
+:mod:`repro.core.construct_fast`:
+
+* ``backend="simulate"`` (default) runs every superstep as a node
+  program on the CONGEST simulator — the executable specification;
+* ``backend="direct"`` computes the same results as centralized passes
+  over the cached CSR/:class:`~repro.graphs.csr.TreeArrays` structures
+  and charges the :class:`~repro.congest.trace.RoundLedger` with the
+  *exact* rounds and messages the simulated program consumes.
+
+Selection mirrors ``engine=`` / ``kernel=`` / ``mode=``: a ``backend=``
+keyword per call site (``PartwiseEngine``, ``exchange_labels``,
+``fragment_aggregate``, every app entry point), a process-wide default
+(:func:`set_default_backend`), and a scoped override
+(:func:`using_backend` / :func:`backend_parameter`).
+
+Equivalence contract
+--------------------
+
+Unlike the construction kernels — whose Verification phase is charged
+from a Lemma 3 *upper bound* — the direct partwise backend is exact on
+the ledger too: every phase record (name, rounds, messages, barrier)
+matches the simulated run bit-for-bit, because the primitives replay
+the same deterministic dynamics without the engine machinery:
+
+``subtree convergecast / broadcast`` (Lemma 2)
+    The pipelined schedule (one send per node per round, root-depth
+    priority) has no closed form, so — exactly like the
+    ``core-fast/flood`` kernel of :mod:`repro.core.construct_fast` —
+    the replay is a centralized per-round event loop over int heaps:
+    identical forwarding order, identical rounds, identical messages.
+
+``part exchange`` / ``label exchange``
+    One round; messages are the closed form (``Σ deg_P(v)`` over
+    payload-carrying nodes, resp. ``2m``).
+
+``fragment flood / tree aggregate`` (the no-shortcut baselines)
+    The flood is replayed round by round (improvement-triggered
+    re-sends included); the claim/convergecast/broadcast tree pass has
+    a closed form: a node ``v`` sends up at round ``2 + height(v)``, so
+    one fragment finishes at ``2 + 2·height(root)`` and messages are
+    ``3·(covered − #fragments)``.
+
+``bfs-tree`` / ``share-randomness``
+    Closed forms (see :func:`repro.congest.bfs.build_bfs_tree_direct`
+    and :func:`repro.core.construct_fast.share_randomness_cost`).
+
+The differential suite in ``tests/apps/test_app_equivalence.py``
+asserts all of this — outputs *and* ledgers — across the grid, torus,
+hub, and Delaunay families; ``tests/properties/test_prop_apps.py``
+checks the end-to-end applications against centralized oracles over
+random instances in every backend × mode × engine combination.
+
+The Lemma 2/3 superstep cost model
+----------------------------------
+
+The replayed rounds always respect the paper's accounting, which the
+tests cross-check: one *block step* (intra-block convergecast +
+broadcast over all blocks at once) takes at most ``2 (D + c + 2)``
+rounds where ``c`` is the per-tree-edge task congestion (Lemma 2 plus
+constant start-up), and one *exchange* over part-internal edges takes
+exactly 1 round; a Theorem 2 operation with ``b`` supersteps therefore
+costs at most ``b (2 (D + c + 2) + 1)`` rounds — the
+:func:`superstep_cost_bound` below.
+"""
+
+from __future__ import annotations
+
+import functools
+import heapq
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.congest.topology import Topology
+from repro.core.tree_routing import SubtreeTask, TaskKey, _combine, _task_children
+from repro.errors import ShortcutError
+from repro.graphs.csr import adjacency_csr, tree_arrays
+from repro.graphs.partitions import Partition
+from repro.graphs.spanning_trees import SpanningTree
+
+# ----------------------------------------------------------------------
+# Backend registry (simulate vs direct), mirroring engines/kernels/modes
+# ----------------------------------------------------------------------
+
+BACKENDS: Tuple[str, ...] = ("simulate", "direct")
+
+DEFAULT_BACKEND = "simulate"
+
+_default_backend = DEFAULT_BACKEND
+
+
+def get_default_backend() -> str:
+    """Name of the partwise backend used when none is specified."""
+    return _default_backend
+
+
+def set_default_backend(backend: Optional[str]) -> str:
+    """Set the process-wide default backend; returns the previous name."""
+    global _default_backend
+    previous = _default_backend
+    _default_backend = resolve_backend(backend)
+    return previous
+
+
+@contextmanager
+def using_backend(backend: Optional[str]) -> Iterator[str]:
+    """Temporarily override the default backend (``None`` is a no-op)."""
+    if backend is None:
+        yield _default_backend
+        return
+    previous = set_default_backend(backend)
+    try:
+        yield _default_backend
+    finally:
+        set_default_backend(previous)
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Validate a backend name (``None`` means the current default)."""
+    if backend is None:
+        return _default_backend
+    if backend not in BACKENDS:
+        raise ShortcutError(
+            f"unknown partwise backend {backend!r}; available: {sorted(BACKENDS)}"
+        )
+    return backend
+
+
+def backend_parameter(func):
+    """Give an entry point a ``backend=`` keyword.
+
+    For the duration of the call the given backend becomes the process
+    default, so every partwise engine the function constructs — however
+    deeply nested (including the Verification runs inside FindShortcut)
+    — uses it.  The application-layer twin of
+    :func:`repro.congest.engine.engine_parameter` and
+    :func:`repro.core.construct_fast.construct_mode_parameter`.
+    """
+
+    @functools.wraps(func)
+    def wrapper(*args, backend: Optional[str] = None, **kwargs):
+        with using_backend(backend):
+            return func(*args, **kwargs)
+
+    return wrapper
+
+
+# ----------------------------------------------------------------------
+# Cost model
+# ----------------------------------------------------------------------
+
+
+def superstep_cost_bound(height: int, task_congestion: int, supersteps: int) -> int:
+    """Upper bound on the rounds of ``supersteps`` Theorem 2 supersteps.
+
+    One block step is a Lemma 2 convergecast plus broadcast —
+    ``<= 2 (D + c + 2)`` rounds with tree depth ``D`` and per-edge task
+    congestion ``c`` — and each superstep adds one exchange round.  The
+    replayed ledgers are exact; this bound is what the differential
+    suite checks them against.
+    """
+    return supersteps * (2 * (height + task_congestion + 2) + 1)
+
+
+def bfs_and_shared_randomness(
+    topology: Topology,
+    seed: int,
+    ledger,
+    backend: Optional[str] = None,
+) -> Tuple[SpanningTree, int]:
+    """The BFS-tree + shared-randomness preamble of every application.
+
+    Returns ``(tree, shared_seed)``.  In simulate mode both run as node
+    programs; in direct mode the closed-form twins
+    (:func:`repro.congest.bfs.build_bfs_tree_direct`,
+    :func:`repro.core.construct_fast.share_randomness_cost`) produce
+    the identical tree, seed, and ledger charges.  Shared by the MST
+    and connectivity drivers so the two backends' ledger-exactness
+    contract has a single implementation.
+    """
+    from repro.congest.bfs import build_bfs_tree, build_bfs_tree_direct
+    from repro.congest.randomness import draw_shared_seed, share_randomness
+    from repro.core.construct_fast import share_randomness_cost
+
+    if resolve_backend(backend) == "direct":
+        tree = build_bfs_tree_direct(topology, 0, ledger=ledger)
+        shared_seed = draw_shared_seed(topology.n, seed)
+        rounds, messages = share_randomness_cost(topology.n, tree.height)
+        ledger.charge_phase("share-randomness", rounds, messages)
+    else:
+        tree, _bfs_result = build_bfs_tree(topology, 0, seed=seed, ledger=ledger)
+        shared_seed, _rand_result = share_randomness(
+            topology, tree, seed=seed, ledger=ledger
+        )
+    return tree, shared_seed
+
+
+def part_neighbors_cached(
+    topology: Topology, partition: Partition
+) -> Dict[int, Tuple[int, ...]]:
+    """Per-node same-part neighbor tuples, cached per (topology, labels).
+
+    The neighbor-discovery scan of the partwise engine depends only on
+    the topology and the partition's label array — not on the shortcut
+    — so successive engines over the same fragment partition (every
+    Verification iteration inside one FindShortcut run, both engines of
+    one Borůvka phase) reuse one scan.  Only the most recent partition's
+    scan is retained: accesses are temporally clustered per phase, and
+    Borůvka produces a fresh label array every phase, so a per-labels
+    map would grow for the topology's lifetime.  The *ledger* charge
+    for the discovery round is unaffected: each engine still records it.
+    """
+    cache = topology._kernels
+    entry = cache.get("part_neighbors")
+    if entry is not None and entry[0] == partition.labels:
+        return entry[1]
+    csr = adjacency_csr(topology)
+    labels = partition.labels
+    indptr, indices = csr.indptr, csr.indices
+    neighbors: Dict[int, Tuple[int, ...]] = {}
+    for v in topology.nodes:
+        part = labels[v]
+        if part < 0:
+            neighbors[v] = ()
+        else:
+            neighbors[v] = tuple(
+                w for w in indices[indptr[v] : indptr[v + 1]] if labels[w] == part
+            )
+    cache["part_neighbors"] = (labels, neighbors)
+    return neighbors
+
+
+# ----------------------------------------------------------------------
+# Lemma 2 routing replays (exact rounds and messages)
+# ----------------------------------------------------------------------
+
+
+def convergecast_direct(
+    tree: SpanningTree,
+    tasks: Iterable[SubtreeTask],
+    values: Mapping[TaskKey, Mapping[int, int]],
+    combine: str = "min",
+) -> Tuple[Dict[TaskKey, Optional[int]], int, int]:
+    """Centralized replay of
+    :class:`~repro.core.tree_routing.SubtreeConvergecastAlgorithm`.
+
+    Returns ``(combined, rounds, messages)`` — the per-task values at
+    the task roots and the exact cost a simulated run reports: per
+    round every participating node forwards the highest-priority
+    (minimum root depth, then task id) completed task to its tree
+    parent and re-wakes while more remain.
+    """
+    parent = tree_arrays(tree).parent
+    task_list = list(tasks)
+    acc: Dict[Tuple[int, int, int], Optional[int]] = {}
+    pending: Dict[Tuple[int, int, int], int] = {}
+    root_depth: Dict[TaskKey, int] = {}
+    results: Dict[TaskKey, Optional[int]] = {}
+    heaps: Dict[int, List[Tuple[int, int, int]]] = {}
+    next_arrivals: Dict[int, List[Tuple[int, int, Optional[int]]]] = {}
+    next_woken: set = set()
+    messages = 0
+
+    for task in task_list:
+        tid, root = task.key
+        root_depth[task.key] = task.root_depth
+        task_values = values.get(task.key, {})
+        counts: Dict[int, int] = {}
+        for v in task.nodes:
+            if v != root:
+                counts[parent[v]] = counts.get(parent[v], 0) + 1
+        for v in task.nodes:
+            acc[(v, tid, root)] = task_values.get(v)
+            n_children = counts.get(v, 0)
+            pending[(v, tid, root)] = n_children
+            if n_children == 0:
+                if v == root:
+                    results[task.key] = acc[(v, tid, root)]
+                else:
+                    heapq.heappush(
+                        heaps.setdefault(v, []), (task.root_depth, tid, root)
+                    )
+    # Round 0: one pump per node with a ready task.
+    for v, heap in heaps.items():
+        if heap:
+            _depth, tid, root = heapq.heappop(heap)
+            next_arrivals.setdefault(parent[v], []).append(
+                (tid, root, acc[(v, tid, root)])
+            )
+            if heap:
+                next_woken.add(v)
+
+    rounds = 0
+    r = 0
+    while next_arrivals or next_woken:
+        r += 1
+        arrivals, next_arrivals = next_arrivals, {}
+        woken, next_woken = next_woken, set()
+        for v, incoming in arrivals.items():
+            messages += len(incoming)
+            for tid, root, value in incoming:
+                slot = (v, tid, root)
+                acc[slot] = _combine(combine, acc[slot], value)
+                pending[slot] -= 1
+                if pending[slot] == 0:
+                    if v == root:
+                        results[(tid, root)] = acc[slot]
+                    else:
+                        heapq.heappush(
+                            heaps.setdefault(v, []),
+                            (root_depth[(tid, root)], tid, root),
+                        )
+        for v in set(arrivals) | woken:
+            heap = heaps.get(v)
+            if heap:
+                _depth, tid, root = heapq.heappop(heap)
+                next_arrivals.setdefault(parent[v], []).append(
+                    (tid, root, acc[(v, tid, root)])
+                )
+                if heap:
+                    next_woken.add(v)
+        rounds = r
+
+    combined = {task.key: results[task.key] for task in task_list}
+    return combined, rounds, messages
+
+
+def broadcast_direct(
+    tree: SpanningTree,
+    tasks: Iterable[SubtreeTask],
+    root_values: Mapping[TaskKey, int],
+) -> Tuple[Dict[TaskKey, Dict[int, int]], int, int]:
+    """Centralized replay of
+    :class:`~repro.core.tree_routing.SubtreeBroadcastAlgorithm`.
+
+    Returns ``(delivered, rounds, messages)``: per round every node
+    forwards, per child edge, the highest-priority pending task value.
+    """
+    task_list = list(tasks)
+    received: Dict[Tuple[int, int, int], int] = {}
+    children_of: Dict[Tuple[int, int, int], Tuple[int, ...]] = {}
+    # node -> child -> heap of (root_depth, tid, root, value)
+    queues: Dict[int, Dict[int, List[Tuple[int, int, int, int]]]] = {}
+    next_arrivals: Dict[int, List[Tuple[int, int, int, int]]] = {}
+    next_woken: set = set()
+    messages = 0
+
+    def enqueue(v: int, tid: int, root: int, depth: int, value: int) -> None:
+        for child in children_of[(v, tid, root)]:
+            heapq.heappush(
+                queues.setdefault(v, {}).setdefault(child, []),
+                (depth, tid, root, value),
+            )
+
+    def pump(v: int) -> None:
+        node_queues = queues.get(v)
+        if not node_queues:
+            return
+        more = False
+        for child, queue in node_queues.items():
+            if queue:
+                depth, tid, root, value = heapq.heappop(queue)
+                next_arrivals.setdefault(child, []).append(
+                    (depth, tid, root, value)
+                )
+                if queue:
+                    more = True
+        if more:
+            next_woken.add(v)
+
+    depth_of: Dict[TaskKey, int] = {}
+    for task in task_list:
+        tid, root = task.key
+        depth_of[task.key] = task.root_depth
+        children = _task_children(tree, task)
+        for v in task.nodes:
+            children_of[(v, tid, root)] = children[v]
+        value = root_values.get(task.key)
+        if value is not None:
+            received[(root, tid, root)] = value
+            enqueue(root, tid, root, task.root_depth, value)
+    for v in list(queues):
+        pump(v)
+
+    rounds = 0
+    r = 0
+    while next_arrivals or next_woken:
+        r += 1
+        arrivals, next_arrivals = next_arrivals, {}
+        woken, next_woken = next_woken, set()
+        for v, incoming in arrivals.items():
+            messages += len(incoming)
+            for depth, tid, root, value in incoming:
+                slot = (v, tid, root)
+                if slot not in received:
+                    received[slot] = value
+                    enqueue(v, tid, root, depth, value)
+        for v in set(arrivals) | woken:
+            pump(v)
+        rounds = r
+
+    delivered = {
+        task.key: {
+            v: received[(v,) + task.key]
+            for v in task.nodes
+            if (v,) + task.key in received
+        }
+        for task in task_list
+    }
+    return delivered, rounds, messages
+
+
+# ----------------------------------------------------------------------
+# Single-round exchanges
+# ----------------------------------------------------------------------
+
+
+def exchange_direct(
+    nodes: Iterable[int],
+    part_neighbors: Mapping[int, Tuple[int, ...]],
+    payloads: Mapping[int, Optional[tuple]],
+) -> Tuple[Dict[int, List[Tuple[int, tuple]]], int, int]:
+    """Direct twin of one :class:`~repro.core.partwise.PartExchangeAlgorithm`
+    round: every payload-carrying node sends to all same-part neighbors.
+
+    Returns ``(received, rounds, messages)``; received lists are in
+    ascending sender order, exactly as the engine contract delivers.
+    """
+    received: Dict[int, List[Tuple[int, tuple]]] = {}
+    messages = 0
+    for v in nodes:
+        inbox: List[Tuple[int, tuple]] = []
+        for w in part_neighbors.get(v, ()):
+            payload = payloads.get(w)
+            if payload is not None:
+                inbox.append((w, payload))
+        messages += len(inbox)
+        received[v] = inbox
+    return received, (1 if messages else 0), messages
+
+
+def neighbor_labels_direct(
+    topology: Topology, labels: Mapping[int, Optional[int]]
+) -> Tuple[Dict[int, Dict[int, Optional[int]]], int, int]:
+    """Direct twin of
+    :class:`~repro.apps.aggregation.NeighborLabelExchangeAlgorithm`:
+    one broadcast round in which every node learns every neighbor's
+    label.  Exactly ``2m`` messages in one round.
+    """
+    csr = adjacency_csr(topology)
+    indptr, indices = csr.indptr, csr.indices
+    out: Dict[int, Dict[int, Optional[int]]] = {}
+    for v in topology.nodes:
+        out[v] = {w: labels.get(w) for w in indices[indptr[v] : indptr[v + 1]]}
+    messages = 2 * topology.m
+    return out, (1 if messages else 0), messages
+
+
+# ----------------------------------------------------------------------
+# Fragment (no-shortcut baseline) replays
+# ----------------------------------------------------------------------
+
+
+def fragment_flood_direct(
+    topology: Topology,
+    fragment_neighbors: Mapping[int, Tuple[int, ...]],
+    values: Mapping[int, Optional[int]],
+) -> Tuple[Dict[int, Optional[int]], Dict[int, Optional[int]], int, int]:
+    """Centralized replay of
+    :class:`~repro.apps.fragment_comm.FragmentFloodAlgorithm`.
+
+    Returns ``(best, parents, rounds, messages)`` with the exact
+    improvement-triggered re-send dynamics: a node whose best value
+    drops re-broadcasts to every fragment neighbor, and the parent
+    pointer is the smallest-id sender of the round's minimal improving
+    value — identical to processing arrivals in ascending sender order.
+    """
+    best: Dict[int, Optional[int]] = {}
+    parents: Dict[int, Optional[int]] = {}
+    next_arrivals: Dict[int, List[Tuple[int, int]]] = {}
+    messages = 0
+    for v in topology.nodes:
+        best[v] = values.get(v)
+        parents[v] = None
+        if best[v] is not None:
+            for w in fragment_neighbors.get(v, ()):
+                next_arrivals.setdefault(w, []).append((v, best[v]))
+
+    rounds = 0
+    r = 0
+    while next_arrivals:
+        r += 1
+        arrivals, next_arrivals = next_arrivals, {}
+        for v, incoming in arrivals.items():
+            messages += len(incoming)
+            minimum = min(value for _sender, value in incoming)
+            if best[v] is None or minimum < best[v]:
+                best[v] = minimum
+                parents[v] = min(
+                    sender for sender, value in incoming if value == minimum
+                )
+                for w in fragment_neighbors.get(v, ()):
+                    next_arrivals.setdefault(w, []).append((v, minimum))
+        rounds = r
+    return best, parents, rounds, messages
+
+
+def fragment_tree_aggregate_direct(
+    topology: Topology,
+    parents: Mapping[int, Optional[int]],
+    values: Mapping[int, Optional[int]],
+    combine: str = "min",
+) -> Tuple[Dict[int, Optional[int]], int, int]:
+    """Closed-form twin of
+    :class:`~repro.apps.fragment_comm.FragmentTreeAggregateAlgorithm`.
+
+    The timing is exact: children are claimed in round 1, every node
+    learns its child count at the round-2 wake-up, node ``v`` sends up
+    at round ``2 + height(v)`` (leaves at 2), the root's result floods
+    down one level per round — so one fragment finishes at
+    ``2 + 2·height(root)``, the whole phase at the maximum over
+    fragments (never below the round-2 wake-up every node takes), and
+    messages are exactly ``3·#non-root-members`` (claim + up + down).
+    """
+    children: Dict[int, List[int]] = {}
+    non_roots = 0
+    for v in topology.nodes:
+        p = parents.get(v)
+        if p is not None:
+            children.setdefault(p, []).append(v)
+            non_roots += 1
+
+    # Bottom-up heights and combines over the parent forest.
+    height: Dict[int, int] = {}
+    acc: Dict[int, Optional[int]] = {v: values.get(v) for v in topology.nodes}
+    order: List[int] = []
+    state: List[Tuple[int, bool]] = [
+        (v, False) for v in topology.nodes if parents.get(v) is None
+    ]
+    while state:
+        v, expanded = state.pop()
+        if expanded:
+            order.append(v)
+            continue
+        state.append((v, True))
+        for child in children.get(v, ()):
+            state.append((child, False))
+    for v in order:  # children before parents
+        kids = children.get(v, ())
+        height[v] = 1 + max((height[c] for c in kids), default=-1)
+        for child in kids:
+            acc[v] = _combine(combine, acc[v], acc[child])
+
+    results: Dict[int, Optional[int]] = {}
+    rounds = 2  # the unconditional round-2 wake-up of every node
+    stack: List[Tuple[int, Optional[int]]] = []
+    for v in topology.nodes:
+        if parents.get(v) is None:
+            if children.get(v):
+                rounds = max(rounds, 2 + 2 * height[v])
+            stack.append((v, acc[v]))
+    while stack:
+        v, value = stack.pop()
+        results[v] = value
+        for child in children.get(v, ()):
+            stack.append((child, value))
+    return results, rounds, 3 * non_roots

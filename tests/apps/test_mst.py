@@ -20,48 +20,48 @@ def _check_exact(topology, **kwargs):
 
 
 def test_exact_on_grid_doubling():
-    _check_exact(weighted(generators.grid(5, 5), seed=1), mode="doubling", seed=2)
+    _check_exact(weighted(generators.grid(5, 5), seed=1), params="doubling", seed=2)
 
 
 def test_exact_on_torus_genus_mode():
     _check_exact(
         weighted(generators.torus(5, 5), seed=2),
-        mode="genus", genus=1, seed=3,
+        params="genus", genus=1, seed=3,
     )
 
 
 def test_exact_on_planar_genus_zero():
     _check_exact(
         weighted(generators.grid(5, 5), seed=3),
-        mode="genus", genus=0, seed=4,
+        params="genus", genus=0, seed=4,
     )
 
 
 def test_exact_with_given_parameters():
     topology = weighted(generators.grid(5, 5), seed=4)
-    _check_exact(topology, mode="given", c=10, b=3, seed=5)
+    _check_exact(topology, params="given", c=10, b=3, seed=5)
 
 
 def test_exact_with_certified_mode():
-    _check_exact(weighted(generators.grid(5, 5), seed=5), mode="certified", seed=6)
+    _check_exact(weighted(generators.grid(5, 5), seed=5), params="certified", seed=6)
 
 
 def test_exact_with_core_slow():
     _check_exact(
         weighted(generators.grid(4, 4), seed=6),
-        mode="doubling", use_fast=False, seed=7,
+        params="doubling", use_fast=False, seed=7,
     )
 
 
 def test_phase_count_logarithmic():
     topology = weighted(generators.grid(6, 6), seed=7)
-    result = _check_exact(topology, mode="doubling", seed=8)
+    result = _check_exact(topology, params="doubling", seed=8)
     assert result.phases <= 8 * math.ceil(math.log2(topology.n)) + 8
 
 
 def test_phase_records_monotone_fragments():
     topology = weighted(generators.grid(5, 5), seed=8)
-    result = _check_exact(topology, mode="doubling", seed=9)
+    result = _check_exact(topology, params="doubling", seed=9)
     fragments = [record.fragments for record in result.phase_records]
     assert fragments[0] == topology.n
     assert all(a >= b for a, b in zip(fragments, fragments[1:]))
@@ -70,24 +70,33 @@ def test_phase_records_monotone_fragments():
 
 def test_merges_sum_to_n_minus_one():
     topology = weighted(generators.grid(5, 5), seed=9)
-    result = _check_exact(topology, mode="doubling", seed=10)
+    result = _check_exact(topology, params="doubling", seed=10)
     assert sum(record.merges for record in result.phase_records) == topology.n - 1
 
 
 def test_mode_validation():
     topology = weighted(generators.grid(4, 4), seed=10)
     with pytest.raises(ReproError):
-        minimum_spanning_tree(topology, mode="genus")  # missing genus
+        minimum_spanning_tree(topology, params="genus")  # missing genus
     with pytest.raises(ReproError):
-        minimum_spanning_tree(topology, mode="given", c=3)  # missing b
+        minimum_spanning_tree(topology, params="given", c=3)  # missing b
     with pytest.raises(ReproError):
-        minimum_spanning_tree(topology, mode="nonsense")
+        minimum_spanning_tree(topology, params="nonsense")
+
+
+def test_mode_kwarg_is_deprecated_alias_for_params():
+    topology = weighted(generators.grid(4, 4), seed=10)
+    with pytest.warns(DeprecationWarning):
+        via_alias = minimum_spanning_tree(topology, mode="doubling", seed=12)
+    via_params = minimum_spanning_tree(topology, params="doubling", seed=12)
+    assert via_alias.edges == via_params.edges
+    assert via_alias.rounds == via_params.rounds
 
 
 def test_reproducible_with_seed():
     topology = weighted(generators.grid(4, 4), seed=11)
-    a = minimum_spanning_tree(topology, mode="doubling", seed=12)
-    b = minimum_spanning_tree(topology, mode="doubling", seed=12)
+    a = minimum_spanning_tree(topology, params="doubling", seed=12)
+    b = minimum_spanning_tree(topology, params="doubling", seed=12)
     assert a.rounds == b.rounds
     assert a.edges == b.edges
 
@@ -106,7 +115,7 @@ def test_kruskal_reference_against_networkx():
 
 def test_ledger_contains_construction_phases():
     topology = weighted(generators.grid(4, 4), seed=14)
-    result = minimum_spanning_tree(topology, mode="doubling", seed=15)
+    result = minimum_spanning_tree(topology, params="doubling", seed=15)
     names = {record.name for record in result.ledger.records}
     assert any("core" in name for name in names)
     assert any("bfs" in name for name in names)

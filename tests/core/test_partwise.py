@@ -114,6 +114,19 @@ def test_ledger_records_costs(engine_setup):
     assert ledger.total_rounds > before
 
 
+def test_part_neighbor_scan_is_hoisted_across_engines(engine_setup):
+    """The label-dependent neighbor scan is computed once per
+    (topology, partition) and shared by every engine over it — while
+    each engine still charges its own discovery round."""
+    topology, _p, shortcut, engine, _b, _l = engine_setup
+    from repro.congest.trace import RoundLedger
+
+    ledger = RoundLedger()
+    second = PartwiseEngine(topology, shortcut, seed=99, ledger=ledger)
+    assert second.part_neighbors is engine.part_neighbors
+    assert [r.name for r in ledger.records] == ["partwise/neighbor-discovery"]
+
+
 def test_empty_shortcut_engine(grid6, grid6_tree, grid6_voronoi):
     """With H_i = empty, every node is a singleton block; the engine
     must still work (supergraph = the part itself)."""

@@ -36,9 +36,9 @@ def test_quickstart_pipeline():
 
 def test_mst_pipeline_on_three_topologies():
     for base, kwargs in [
-        (generators.grid(5, 5), dict(mode="genus", genus=0)),
-        (generators.torus(5, 5), dict(mode="genus", genus=1)),
-        (generators.k_tree(20, 2, seed=1), dict(mode="doubling")),
+        (generators.grid(5, 5), dict(params="genus", genus=0)),
+        (generators.torus(5, 5), dict(params="genus", genus=1)),
+        (generators.k_tree(20, 2, seed=1), dict(params="doubling")),
     ]:
         topology = weighted(base, seed=5)
         result = minimum_spanning_tree(topology, seed=6, **kwargs)
@@ -47,7 +47,7 @@ def test_mst_pipeline_on_three_topologies():
 
 def test_shortcut_and_baseline_agree_everywhere():
     topology = weighted(generators.delaunay(36, seed=7), seed=7)
-    a = minimum_spanning_tree(topology, mode="doubling", seed=8)
+    a = minimum_spanning_tree(topology, params="doubling", seed=8)
     b = mst_kutten_peleg(topology, seed=8)
     assert a.edges == b.edges
 
@@ -65,6 +65,6 @@ def test_connectivity_and_mincut_pipeline():
 
 def test_round_ledger_is_additive_across_pipeline():
     topology = weighted(generators.grid(4, 4), seed=11)
-    result = minimum_spanning_tree(topology, mode="doubling", seed=12)
+    result = minimum_spanning_tree(topology, params="doubling", seed=12)
     total = sum(r.rounds + r.barrier_rounds for r in result.ledger.records)
     assert total == result.rounds

@@ -39,5 +39,5 @@ def test_doubling_finds_good_shortcuts(name, make):
 @pytest.mark.parametrize("name,make", CLASSES[:2], ids=["k-tree(2)", "k-tree(4)"])
 def test_mst_exact_on_treewidth_classes(name, make):
     topology = weighted(make(), seed=11)
-    result = minimum_spanning_tree(topology, mode="doubling", seed=13)
+    result = minimum_spanning_tree(topology, params="doubling", seed=13)
     assert result.weight == kruskal_reference(topology)[1]

