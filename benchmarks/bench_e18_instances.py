@@ -1,0 +1,88 @@
+"""E18 — instance-pipeline throughput: array-native fast path vs reference.
+
+As a pytest benchmark this wraps :func:`repro.analysis.experiments.run_e18`
+like every other ``bench_eXX`` module.  Run directly as a script it
+also writes the machine-readable baseline::
+
+    python benchmarks/bench_e18_instances.py --scale small \
+        --out BENCH_instances.json
+
+so the perf trajectory of instance construction (wall time per family,
+reference vs cold vs cached fast path) is tracked alongside the
+simulator, quality, construction, and application baselines.  The JSON
+schema (``repro.bench_instances.v1``) is documented in
+``benchmarks/conftest.py``.
+"""
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+try:
+    from repro.analysis.experiments import run_e18
+except ImportError:  # direct script run without the package installed
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.analysis.experiments import run_e18
+
+# The headline acceptance bar: the end-to-end fast pipeline (cold build
+# + cache hits over one grid's reuse pattern) must beat the reference
+# constructors by at least this factor on the largest family.
+MIN_LARGEST_SCALE_SPEEDUP = 3.0
+
+
+def test_e18_instance_throughput(benchmark, scale):
+    # Deferred so the script path below works without pytest installed.
+    from conftest import run_experiment
+
+    result = run_experiment(benchmark, run_e18, scale)
+    assert result.data["largest_scale_speedup"] >= MIN_LARGEST_SCALE_SPEEDUP
+    # run_e18 itself raises if the pipelines built diverging structures;
+    # the smaller families must at least never regress beyond noise.
+    assert all(speedup > 0.8 for speedup in result.data["speedups"])
+
+
+def write_baseline(scale: str, out_path: Path) -> dict:
+    """Run E18 and write the ``BENCH_instances.json`` baseline file."""
+    result = run_e18(scale)
+    payload = dict(result.data)
+    payload["python"] = platform.python_version()
+    payload["machine"] = platform.machine()
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small", choices=["small", "paper"])
+    parser.add_argument(
+        "--out", default="BENCH_instances.json", type=Path,
+        help="where to write the baseline JSON",
+    )
+    parser.add_argument(
+        "--min-speedup", default=MIN_LARGEST_SCALE_SPEEDUP, type=float,
+        help="fail (exit 1) if the largest-scale speedup is below this; "
+        "pass 0 for record-only mode",
+    )
+    args = parser.parse_args(argv)
+    payload = write_baseline(args.scale, args.out)
+    for family in payload["families"]:
+        print(
+            f"{family['family']:<28} n={family['n']:<6} "
+            f"cold={family['cold_speedup']:.2f}x "
+            f"e2e={family['speedup']:.2f}x"
+        )
+    print(f"largest-scale speedup: {payload['largest_scale_speedup']:.2f}x")
+    print(f"wrote {args.out}")
+    if payload["largest_scale_speedup"] < args.min_speedup:
+        print(
+            f"FAIL: largest-scale speedup below {args.min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -145,6 +145,52 @@ direct construction kernels) over the family pool of
   and the same-scale E9 grid size it is measured against; the bench
   asserts ``extension_max_n >= 10 * e9_grid_n`` (>= 1000 nodes at
   paper scale).
+
+BENCH_instances.json schema
+---------------------------
+
+``python benchmarks/bench_e18_instances.py --out BENCH_instances.json``
+writes the instance-pipeline baseline (schema id
+``repro.bench_instances.v1``): wall time of one full (topology, BFS
+tree, partition) construction per pipeline — the validating
+**reference** constructors (``Topology(n, edges)`` canonicalisation,
+``SpanningTree.bfs``, list-of-parts ``Partition``, plus the derived
+CSR/tree arrays) vs the **array-native fast path**
+(:func:`repro.analysis.instances.hydrate`: pre-canonical edge arrays,
+seeded CSR, CSR BFS tree with cached ``TreeArrays``, dense-label
+partitions, content-addressed cache) — over the family pool of
+:func:`repro.analysis.experiments.instance_families`.  A JSON object
+with:
+
+* ``schema`` — the literal string ``"repro.bench_instances.v1"``.
+* ``scale`` — ``"small"`` or ``"paper"`` (the E18 instance sizes).
+* ``grid_reps`` — how many times the end-to-end model re-uses each
+  instance per process (the experiment-grid reuse pattern the cache
+  serves).
+* ``python`` / ``machine`` — interpreter version and architecture.
+* ``families`` — list ordered by reference-pipeline cost (last =
+  largest scale); each entry has:
+
+  - ``family`` — instance label, e.g. ``"grid-large/weighted-voronoi"``;
+  - ``n`` / ``m`` / ``parts`` — topology and partition sizes;
+  - ``reference`` — ``{"wall_s"}`` (best-of-N wall seconds of one
+    reference build);
+  - ``fast`` — ``{"cold_wall_s", "cached_wall_s"}`` (best-of-N wall
+    seconds of one hydrate with an empty / warm per-process cache);
+  - ``cold_speedup`` — reference wall / cold-fast wall (isolates the
+    array-native constructors);
+  - ``speedup`` — end-to-end: ``grid_reps`` reference rebuilds vs one
+    cold build plus ``grid_reps - 1`` cache hits.
+
+* ``speedups`` — the per-family end-to-end speedup column, same order.
+* ``largest_scale_speedup`` — ``speedups[-1]``; the tracked headline
+  number (CI gates it at >= 3).
+* ``cache`` — the per-process cache sizes at the end of the run.
+
+E18 additionally audits, on every family, that both pipelines built
+``==``-identical structures (edges, adjacency, weights, tree parents,
+partition labels) and raises on any divergence; the full differential
+suite lives in ``tests/graphs/test_fastpath_equivalence.py``.
 """
 
 import os

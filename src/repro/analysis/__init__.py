@@ -1,14 +1,24 @@
 """Analysis harness: metrics, tables, parallel fan-out, and per-claim
 experiment runners."""
 
+from repro.analysis.instances import (
+    Instance,
+    InstanceSpec,
+    clear_instance_cache,
+    hydrate,
+    instance_cache_info,
+    reference_instance,
+)
 from repro.analysis.metrics import bound_ratio, fraction, geometric_mean, loglog_slope
 from repro.analysis.parallel import parallel_map, resolve_jobs, task_seed
 from repro.analysis.tables import Table
 from repro.analysis.experiments import (
     ALL_EXPERIMENTS,
     ExperimentResult,
+    instance_families,
     quality_families,
     run_all,
+    standard_instance_specs,
     standard_instances,
 )
 
@@ -23,7 +33,15 @@ __all__ = [
     "Table",
     "ALL_EXPERIMENTS",
     "ExperimentResult",
+    "Instance",
+    "InstanceSpec",
+    "clear_instance_cache",
+    "hydrate",
+    "instance_cache_info",
+    "instance_families",
+    "reference_instance",
     "quality_families",
     "run_all",
+    "standard_instance_specs",
     "standard_instances",
 ]

@@ -29,6 +29,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.instances import (
+    InstanceSpec,
+    clear_instance_cache,
+    hydrate,
+    instance_cache_info,
+    reference_instance,
+)
 from repro.analysis.metrics import bound_ratio, fraction, loglog_slope
 from repro.analysis.parallel import parallel_map, resolve_jobs
 from repro.analysis.tables import Table
@@ -107,24 +114,55 @@ def _log2(x: float) -> float:
     return math.log2(max(2.0, x))
 
 
-def standard_instances(scale: str) -> List[Tuple[str, Topology, "partitions.Partition"]]:
-    """The shared instance pool: planar, genus-1, and hub worst case."""
+def standard_instance_specs(scale: str) -> List[Tuple[str, InstanceSpec]]:
+    """Content-addressed specs of the shared instance pool.
+
+    The pool itself (planar, genus-1, hub worst case, Delaunay) is
+    unchanged; specs are what parallel task payloads ship to workers —
+    see :mod:`repro.analysis.instances`.
+    """
     big = scale == "paper"
     side = 14 if big else 9
-    rows = []
-    grid = generators.grid(side, side)
-    rows.append(("grid/voronoi", grid, partitions.voronoi(grid, side, 1)))
-    rows.append(("grid/rows", grid, partitions.grid_rows(side, side)))
-    torus = generators.torus(side, side)
-    rows.append(("torus/voronoi", torus, partitions.voronoi(torus, side, 2)))
     hub_n = 16 * side
-    hub = generators.cycle_with_hub(hub_n, 8)
-    rows.append(
-        ("hub/arcs", hub, partitions.cycle_arcs(hub_n, 8, extra_nodes=1))
-    )
-    tri = generators.delaunay(side * side, 3)
-    rows.append(("delaunay/voronoi", tri, partitions.voronoi(tri, side, 3)))
-    return rows
+    return [
+        (
+            "grid/voronoi",
+            InstanceSpec("grid", (side, side), partition=("voronoi", side, 1)),
+        ),
+        (
+            "grid/rows",
+            InstanceSpec("grid", (side, side), partition=("rows", side, side)),
+        ),
+        (
+            "torus/voronoi",
+            InstanceSpec("torus", (side, side), partition=("voronoi", side, 2)),
+        ),
+        (
+            "hub/arcs",
+            InstanceSpec("hub", (hub_n, 8), partition=("arcs", hub_n, 8, 1)),
+        ),
+        (
+            "delaunay/voronoi",
+            InstanceSpec(
+                "delaunay", (side * side, 3), partition=("voronoi", side, 3)
+            ),
+        ),
+    ]
+
+
+def standard_instances(scale: str) -> List[Tuple[str, Topology, "partitions.Partition"]]:
+    """The shared instance pool: planar, genus-1, and hub worst case.
+
+    Hydrated through the per-process instance cache, so repeated
+    callers (and every experiment in a ``run_all``) share one set of
+    built structures.
+    """
+    return [
+        (name, instance.topology, instance.partition)
+        for name, instance in (
+            (name, hydrate(spec)) for name, spec in standard_instance_specs(scale)
+        )
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -133,9 +171,10 @@ def standard_instances(scale: str) -> List[Tuple[str, Topology, "partitions.Part
 
 
 def _e01_task(task):
-    name, topology, partition, engine = task
+    name, spec, engine = task
+    instance = hydrate(spec)
+    topology, tree, partition = instance.topology, instance.tree, instance.partition
     with using_engine(engine):
-        tree = SpanningTree.bfs(topology, 0)
         point = best_certified(tree, partition)
         result = find_shortcut(
             topology, tree, partition, point.congestion, point.block, seed=11
@@ -156,8 +195,8 @@ def run_e01(scale: str = "small") -> ExperimentResult:
     rows = parallel_map(
         _e01_task,
         [
-            (name, topology, partition, engine)
-            for name, topology, partition in standard_instances(scale)
+            (name, spec, engine)
+            for name, spec in standard_instance_specs(scale)
         ],
     )
     ratios = []
@@ -267,12 +306,13 @@ def run_e03(scale: str = "small") -> ExperimentResult:
 
 
 def _e04_task(task):
-    name, topology, partition, engine = task
+    name, spec, engine = task
+    instance = hydrate(spec)
+    topology, tree, partition = instance.topology, instance.tree, instance.partition
     rows = []
     ratios = []
     all_exact = True
     with using_engine(engine):
-        tree = SpanningTree.bfs(topology, 0)
         point = best_certified(tree, partition)
         outcome = core_slow(topology, tree, partition, point.congestion, seed=17)
         report = quality.measure(outcome.shortcut, topology, with_dilation=False)
@@ -305,8 +345,8 @@ def run_e04(scale: str = "small") -> ExperimentResult:
     outcomes = parallel_map(
         _e04_task,
         [
-            (name, topology, partition, engine)
-            for name, topology, partition in standard_instances(scale)
+            (name, spec, engine)
+            for name, spec in standard_instance_specs(scale)
         ],
     )
     ratios = []
@@ -332,9 +372,10 @@ def run_e04(scale: str = "small") -> ExperimentResult:
 
 
 def _e05_task(task):
-    name, topology, partition, engine = task
+    name, spec, engine = task
+    instance = hydrate(spec)
+    topology, tree, partition = instance.topology, instance.tree, instance.partition
     with using_engine(engine):
-        tree = SpanningTree.bfs(topology, 0)
         point = best_certified(tree, partition)
         c, b = point.congestion, point.block
         outcome = core_slow(topology, tree, partition, c, seed=23)
@@ -362,8 +403,8 @@ def run_e05(scale: str = "small") -> ExperimentResult:
     outcomes = parallel_map(
         _e05_task,
         [
-            (name, topology, partition, engine)
-            for name, topology, partition in standard_instances(scale)
+            (name, spec, engine)
+            for name, spec in standard_instance_specs(scale)
         ],
     )
     ratios = []
@@ -386,9 +427,15 @@ def run_e05(scale: str = "small") -> ExperimentResult:
 
 
 def _e06_task(task):
-    """One instance × one seed chunk (the instance payload is shipped
-    once per chunk, not once per seed)."""
-    topology, tree, partition, c, b, seed_chunk, engine = task
+    """One instance × one seed chunk.
+
+    The payload carries only the compact :class:`InstanceSpec`; each
+    worker hydrates it through its per-process cache, so the instance
+    is built (via the array fast paths) once per worker rather than
+    pickled once per chunk."""
+    spec, c, b, seed_chunk, engine = task
+    instance = hydrate(spec)
+    topology, tree, partition = instance.topology, instance.tree, instance.partition
     triples = []
     with using_engine(engine):
         for seed in seed_chunk:
@@ -422,16 +469,13 @@ def run_e06(scale: str = "small", seeds: Optional[Sequence[int]] = None) -> Expe
     ]
     instance_info = []
     tasks = []
-    for name, topology, partition in standard_instances(scale):
-        tree = SpanningTree.bfs(topology, 0)
-        point = best_certified(tree, partition)
+    for name, spec in standard_instance_specs(scale):
+        instance = hydrate(spec)
+        point = best_certified(instance.tree, instance.partition)
         c, b = point.congestion, point.block
-        _p, tau = sampling_parameters(topology.n, c)
-        instance_info.append((name, c, tau, partition.size))
-        tasks.extend(
-            (topology, tree, partition, c, b, chunk, engine)
-            for chunk in seed_chunks
-        )
+        _p, tau = sampling_parameters(instance.topology.n, c)
+        instance_info.append((name, c, tau, instance.partition.size))
+        tasks.extend((spec, c, b, chunk, engine) for chunk in seed_chunks)
     results = parallel_map(_e06_task, tasks)
     per_seed = [triple for task_triples in results for triple in task_triples]
     rates = []
@@ -461,10 +505,10 @@ def run_e06(scale: str = "small", seeds: Optional[Sequence[int]] = None) -> Expe
 
 def _e07_task(task):
     side, engine, mode = task
+    spec = InstanceSpec("grid", (side, side), partition=("voronoi", side, 4))
+    instance = hydrate(spec)
+    topology, tree, partition = instance.topology, instance.tree, instance.partition
     with using_engine(engine):
-        topology = generators.grid(side, side)
-        partition = partitions.voronoi(topology, side, 4)
-        tree = SpanningTree.bfs(topology, 0)
         point = best_certified(tree, partition)
         result = find_shortcut(
             topology, tree, partition, point.congestion, point.block,
@@ -1439,6 +1483,201 @@ def run_e17(scale: str = "small", repeats: int = 2) -> ExperimentResult:
     )
 
 
+# ----------------------------------------------------------------------
+# E18 — instance throughput: array-native pipeline + cache vs reference
+# ----------------------------------------------------------------------
+
+
+def instance_families(scale: str) -> List[Tuple[str, InstanceSpec]]:
+    """Benchmark families for the instance pipeline, small→large.
+
+    Each entry is ``(name, spec)``; E18 builds the full (topology,
+    BFS tree, partition) triple through both construction pipelines.
+    Ordered by reference-pipeline cost; the last entry (largest grid,
+    with unique weights attached) anchors the headline speedup in
+    ``BENCH_instances.json``.  Every family has a reference twin
+    (``fast=False`` generators), so the run doubles as a differential
+    audit at benchmark scale.
+    """
+    big = scale == "paper"
+    side_t = 32 if big else 14
+    hub_n = 4096 if big else 1024
+    genus = (6, 12, 12) if big else (3, 8, 8)
+    kt_n = 4096 if big else 512
+    pr_side = 64 if big else 24
+    side_g = 96 if big else 40
+    genus_n = genus[0] * genus[1] * genus[2]
+    return [
+        (
+            "hub/arcs",
+            InstanceSpec("hub", (hub_n, 8), partition=("arcs", hub_n, 8, 1)),
+        ),
+        (
+            "torus/voronoi",
+            InstanceSpec("torus", (side_t, side_t), partition=("voronoi", side_t, 2)),
+        ),
+        (
+            "genus_chain/voronoi",
+            InstanceSpec(
+                "genus_chain", genus, partition=("voronoi", max(2, genus_n // 24), 5)
+            ),
+        ),
+        (
+            "k_tree/voronoi",
+            InstanceSpec("k_tree", (kt_n, 3, 5), partition=("voronoi", kt_n // 64, 7)),
+        ),
+        (
+            "peleg_rubinovich/voronoi",
+            InstanceSpec(
+                "peleg_rubinovich", (pr_side, pr_side), partition=("voronoi", pr_side, 11)
+            ),
+        ),
+        (
+            "grid-large/weighted-voronoi",
+            InstanceSpec(
+                "grid",
+                (side_g, side_g),
+                weights=("unique", 41),
+                partition=("voronoi", side_g, 3),
+            ),
+        ),
+    ]
+
+
+# How often one instance is rebuilt across an experiment grid: the eXX
+# runners hydrate each pool instance from several experiments (and every
+# worker process re-ships it per task without the cache), so 3 rebuilds
+# per process is a conservative lower bound.
+E18_GRID_REPS = 3
+
+
+def _audit_instance_equality(name, fast, reference) -> None:
+    """Raise unless the two pipelines built ``==``-identical structures."""
+    ft, rt = fast.topology, reference.topology
+    diverged = []
+    if ft.n != rt.n or ft.edges != rt.edges:
+        diverged.append("edges")
+    elif any(ft.neighbors(v) != rt.neighbors(v) for v in range(ft.n)):
+        diverged.append("adjacency")
+    if ft.is_weighted != rt.is_weighted or (
+        ft.is_weighted
+        and any(ft.weight(u, v) != rt.weight(u, v) for u, v in rt.edges)
+    ):
+        diverged.append("weights")
+    if (
+        fast.tree.root != reference.tree.root
+        or [fast.tree.parent(v) for v in range(ft.n)]
+        != [reference.tree.parent(v) for v in range(rt.n)]
+    ):
+        diverged.append("tree parents")
+    if (fast.partition is None) != (reference.partition is None) or (
+        fast.partition is not None
+        and fast.partition.labels != reference.partition.labels
+    ):
+        diverged.append("partition labels")
+    if diverged:
+        raise AssertionError(
+            f"instance pipelines disagree on {name}: {', '.join(diverged)}"
+        )
+
+
+def run_e18(scale: str = "small", repeats: int = 3) -> ExperimentResult:
+    """Throughput of instance construction on both pipelines.
+
+    The **reference** pipeline is what every grid cell paid before the
+    array-native fast paths: the validating ``Topology`` constructor,
+    ``SpanningTree.bfs`` plus ``tree_arrays``, ``adjacency_csr`` built
+    from the finished topology, and the list-of-parts ``Partition``.
+    The **fast** pipeline is one :func:`hydrate` call — array-emitting
+    generators, pre-seeded CSR, CSR BFS tree with cached
+    ``TreeArrays``, dense-label partitions — measured both cold (empty
+    cache) and cached.  The end-to-end speedup models one experiment
+    grid re-using each instance ``E18_GRID_REPS`` times, the pattern
+    the per-process cache serves.  Structures from the two pipelines
+    are audited ``==``-identical on every family (the full suite lives
+    in ``tests/graphs/test_fastpath_equivalence.py``).  The ``data``
+    dict carries the ``BENCH_instances.json`` payload; see
+    ``benchmarks/conftest.py`` for the schema.
+    """
+    from repro.graphs.csr import adjacency_csr, tree_arrays
+
+    table = Table(
+        "E18: instance-pipeline throughput (best-of-%d wall time)" % repeats,
+        ["family", "n", "m", "N", "ref s", "cold s", "cached s", "cold x", "e2e x"],
+    )
+    families = []
+    speedups = []
+    for name, spec in instance_families(scale):
+        reference = None
+        ref_best = math.inf
+        for _ in range(repeats):
+            start = time.perf_counter()
+            reference = reference_instance(spec)
+            adjacency_csr(reference.topology)
+            tree_arrays(reference.tree)
+            _labels = reference.partition.labels
+            ref_best = min(ref_best, time.perf_counter() - start)
+        cold_best = math.inf
+        for _ in range(repeats):
+            clear_instance_cache()
+            start = time.perf_counter()
+            hydrate(spec)
+            cold_best = min(cold_best, time.perf_counter() - start)
+        fast = hydrate(spec)  # warm (cache already holds the last build)
+        cached_best = math.inf
+        for _ in range(repeats):
+            start = time.perf_counter()
+            hydrate(spec)
+            cached_best = min(cached_best, time.perf_counter() - start)
+        _audit_instance_equality(name, fast, reference)
+        cold_speedup = ref_best / cold_best if cold_best > 0 else math.inf
+        fast_total = cold_best + (E18_GRID_REPS - 1) * cached_best
+        speedup = (
+            E18_GRID_REPS * ref_best / fast_total if fast_total > 0 else math.inf
+        )
+        speedups.append(speedup)
+        topology = fast.topology
+        families.append(
+            {
+                "family": name,
+                "n": topology.n,
+                "m": topology.m,
+                "parts": fast.partition.size,
+                "reference": {"wall_s": ref_best},
+                "fast": {
+                    "cold_wall_s": cold_best,
+                    "cached_wall_s": cached_best,
+                },
+                "cold_speedup": cold_speedup,
+                "speedup": speedup,
+            }
+        )
+        table.add_row(
+            name, topology.n, topology.m, fast.partition.size,
+            round(ref_best, 5), round(cold_best, 5), round(cached_best, 6),
+            round(cold_speedup, 2), round(speedup, 2),
+        )
+    return ExperimentResult(
+        "E18",
+        "the array-native instance pipeline outpaces the reference constructors",
+        table,
+        data={
+            "schema": "repro.bench_instances.v1",
+            "scale": scale,
+            "grid_reps": E18_GRID_REPS,
+            "families": families,
+            "speedups": speedups,
+            "largest_scale_speedup": speedups[-1],
+            "cache": instance_cache_info(),
+        },
+        notes="The e2e column models one experiment grid re-using each "
+        "instance %d times per process (cold build + cache hits) "
+        "against %d reference rebuilds; the cold column isolates the "
+        "array-native constructors.  The last family (largest grid, "
+        "unique weights) anchors the tracked speedup." % (E18_GRID_REPS, E18_GRID_REPS),
+    )
+
+
 ALL_EXPERIMENTS: Dict[str, Callable[[str], ExperimentResult]] = {
     "E1": run_e01,
     "E2": run_e02,
@@ -1457,6 +1696,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[[str], ExperimentResult]] = {
     "E15": run_e15,
     "E16": run_e16,
     "E17": run_e17,
+    "E18": run_e18,
 }
 
 

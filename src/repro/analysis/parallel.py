@@ -17,6 +17,12 @@ Workers are separate processes, so task functions must be module-level
 pass the engine name in the task payload and re-enter
 ``using_engine(...)`` inside the worker (see the ``_eXX_task`` workers
 in :mod:`repro.analysis.experiments`).
+
+Task payloads should stay **compact**: ship an
+:class:`~repro.analysis.instances.InstanceSpec` and hydrate it inside
+the worker instead of pickling whole ``Topology`` objects — the
+per-process instance cache makes every task after the first a
+dictionary hit.
 """
 
 from __future__ import annotations

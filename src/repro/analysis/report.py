@@ -4,7 +4,7 @@ Usage::
 
     python -m repro.analysis.report [small|paper] [output-path]
 
-Runs every experiment E1–E17 and writes the paper-claim-vs-measured
+Runs every experiment E1–E18 and writes the paper-claim-vs-measured
 record.  The same tables print during ``pytest benchmarks/``.  Set
 ``REPRO_JOBS`` to fan the parallel-friendly runners out over worker
 processes (the output is identical at any worker count).
@@ -40,9 +40,10 @@ quantitative content is the set of theorems and lemmas below; each
 experiment regenerates one of them on the CONGEST simulator and reports
 the measured quantity against the claimed bound.  The experiment index
 lives in ``repro.analysis.experiments`` (one ``run_eXX`` per claim,
-wrapped by ``benchmarks/bench_eXX_*.py``); E14–E17 track the
-simulator-engine, quality-kernel, construction-kernel, and
-application-backend throughput rather than a paper claim.
+wrapped by ``benchmarks/bench_eXX_*.py``); E14–E18 track the
+simulator-engine, quality-kernel, construction-kernel,
+application-backend, and instance-pipeline throughput rather than a
+paper claim.
 
 **Summary of reproduction status** (scale = ``{scale}``): every bound
 holds on every instance tested; the w.h.p. guarantees hold on every

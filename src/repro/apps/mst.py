@@ -26,7 +26,6 @@ and tests compare against Kruskal.
 from __future__ import annotations
 
 import math
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
@@ -155,7 +154,6 @@ def minimum_spanning_tree(
     topology: Topology,
     *,
     params: Optional[str] = None,
-    mode: Optional[str] = None,
     genus: Optional[int] = None,
     c: Optional[int] = None,
     b: Optional[int] = None,
@@ -180,10 +178,10 @@ def minimum_spanning_tree(
         * ``"given"`` — explicit ``c``/``b``;
         * ``"certified"`` — per-phase offline certification (an oracle
           variant used in ablation experiments).
-    mode:
-        Deprecated alias for ``params`` (kept for one release; the name
-        now belongs to the construction-kernel axis, see
-        ``construct_mode``).
+
+        (The former ``mode=`` alias was removed after its one-release
+        deprecation window; ``mode`` names the construction-kernel
+        axis elsewhere, see ``construct_mode``.)
     use_fast:
         CoreFast vs CoreSlow inside FindShortcut.
     max_phases:
@@ -196,15 +194,6 @@ def minimum_spanning_tree(
         (``"simulate"`` / ``"direct"``; injected by
         :func:`~repro.core.partwise_fast.backend_parameter`).
     """
-    if mode is not None:
-        warnings.warn(
-            "minimum_spanning_tree(mode=...) is deprecated; use params= "
-            "(mode= now names the construct_mode axis elsewhere)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if params is None:
-            params = mode
     if params is None:
         params = "doubling"
     backend = get_default_backend()

@@ -8,6 +8,22 @@ and the applications.  Edges are always stored in canonical
 
 The class is deliberately small and read-only: generators build a
 topology once, and everything downstream treats it as a value.
+
+Two construction paths exist, mirroring the ``engine=`` / ``kernel=``
+split of the compute layers:
+
+* the **reference** constructor (``Topology(n, edges, ...)``)
+  canonicalises, deduplicates, and sorts arbitrary edge iterables —
+  the validating front door for untrusted input;
+* the **fast path** (:meth:`Topology.from_arrays` /
+  :meth:`Topology.from_csr`) accepts pre-canonical sorted edge arrays
+  from trusted generators and skips the sort/dedup work entirely.
+
+Either way, the hash-based derived structures (the edge
+``frozenset`` behind :meth:`has_edge` and the tuple-of-tuples
+adjacency behind :meth:`neighbors`) are built lazily on first use, so
+consumers that only ever touch the flat CSR arrays
+(:mod:`repro.graphs.csr`) never pay for them.
 """
 
 from __future__ import annotations
@@ -25,6 +41,27 @@ def canonical_edge(u: int, v: int) -> Edge:
     if u == v:
         raise TopologyError(f"self-loop at node {u} is not a valid edge")
     return (u, v) if u < v else (v, u)
+
+
+def _connected_union_find(n: int, edges: Sequence[Edge]) -> bool:
+    """Whether the edge set spans one component (no adjacency needed)."""
+    if n <= 1:
+        return True
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    components = n
+    for u, v in edges:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            components -= 1
+    return components == 1
 
 
 class Topology:
@@ -66,19 +103,14 @@ class Topology:
         # The topology itself is immutable, so entries never invalidate.
         self._kernels: Dict[str, object] = {}
         self._edges: Tuple[Edge, ...] = tuple(sorted(canon))
-        self._edge_set = frozenset(self._edges)
-        adj: List[List[int]] = [[] for _ in range(n)]
-        for u, v in self._edges:
-            adj[u].append(v)
-            adj[v].append(u)
-        self._adj: Tuple[Tuple[int, ...], ...] = tuple(
-            tuple(sorted(neighbors)) for neighbors in adj
-        )
+        # Hash-based derived structures are built on demand only.
+        self._edge_set: Optional[frozenset] = None
+        self._adj: Optional[Tuple[Tuple[int, ...], ...]] = None
         if weights is not None:
             normalised = {}
             for (u, v), w in weights.items():
                 e = canonical_edge(u, v)
-                if e not in self._edge_set:
+                if e not in canon:
                     raise TopologyError(f"weight given for non-edge {e}")
                 normalised[e] = int(w)
             self._weights: Optional[Dict[Edge, int]] = normalised
@@ -86,6 +118,127 @@ class Topology:
             self._weights = None
         if require_connected and not self._check_connected():
             raise TopologyError("topology is not connected")
+
+    # ------------------------------------------------------------------
+    # Fast-path constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_arrays(
+        cls,
+        n: int,
+        edges: Sequence[Edge],
+        weights: Optional[Dict[Edge, int]] = None,
+        require_connected: bool = True,
+    ) -> "Topology":
+        """Build from a **pre-canonical** edge array in one O(m) pass.
+
+        ``edges`` must already be what the reference constructor would
+        have produced: canonical ``(u, v)`` pairs with ``u < v``, in
+        strictly increasing lexicographic order (hence deduplicated).
+        A single linear validation scan enforces exactly that and
+        raises :class:`TopologyError` otherwise, so a fast-path
+        topology can never silently diverge from a reference one — but
+        the sort, the dedup set, and the eager adjacency/frozenset
+        builds are all skipped.
+
+        ``weights`` keys are trusted to be canonical edges of the graph
+        (generators derive them from the edge array itself); use the
+        reference constructor or :meth:`with_weights` for unvalidated
+        weight dicts.
+        """
+        if n <= 0:
+            raise TopologyError("a topology needs at least one node")
+        edge_tuple: Tuple[Edge, ...] = tuple(edges)
+        prev_u, prev_v = -1, -1
+        for u, v in edge_tuple:
+            if not 0 <= u < v < n:
+                raise TopologyError(
+                    f"edge ({u}, {v}) is not canonical / in range for n={n}"
+                )
+            if (u, v) <= (prev_u, prev_v):
+                raise TopologyError(
+                    f"edge array not strictly sorted at ({u}, {v})"
+                )
+            prev_u, prev_v = u, v
+        self = cls.__new__(cls)
+        self._n = n
+        self._kernels = {}
+        self._edges = edge_tuple
+        self._edge_set = None
+        self._adj = None
+        self._weights = (
+            {e: int(w) for e, w in weights.items()} if weights is not None else None
+        )
+        if require_connected and not _connected_union_find(n, edge_tuple):
+            raise TopologyError("topology is not connected")
+        return self
+
+    @classmethod
+    def from_csr(
+        cls,
+        csr,
+        weights: Optional[Dict[Edge, int]] = None,
+        require_connected: bool = True,
+    ) -> "Topology":
+        """Build from an :class:`~repro.graphs.csr.AdjacencyCSR`.
+
+        The canonical edge array is reconstructed from the ``u < v``
+        adjacency slots (positions given by ``csr.edge_ids``), run
+        through the :meth:`from_arrays` validation, and the CSR itself
+        is seeded into the kernel cache so downstream consumers reuse
+        it as-is.
+        """
+        recovered: List[Optional[Edge]] = [None] * csr.m
+        indptr, indices, ids = csr.indptr, csr.indices, csr.edge_ids
+        for v in range(csr.n):
+            for k in range(indptr[v], indptr[v + 1]):
+                w = indices[k]
+                if v < w:
+                    eid = ids[k]
+                    if not 0 <= eid < csr.m:
+                        raise TopologyError(
+                            f"CSR edge id {eid} out of range for m={csr.m}"
+                        )
+                    recovered[eid] = (v, w)
+        if any(edge is None for edge in recovered):
+            raise TopologyError("CSR does not describe a canonical edge set")
+        topology = cls.from_arrays(
+            csr.n, recovered, weights=weights, require_connected=require_connected
+        )
+        topology._kernels["csr"] = csr
+        return topology
+
+    # ------------------------------------------------------------------
+    # Lazy derived structures
+    # ------------------------------------------------------------------
+
+    def _edge_lookup(self) -> frozenset:
+        """The edge frozenset, built on first membership query."""
+        edge_set = self._edge_set
+        if edge_set is None:
+            edge_set = frozenset(self._edges)
+            self._edge_set = edge_set
+        return edge_set
+
+    def _adjacency(self) -> Tuple[Tuple[int, ...], ...]:
+        """The tuple-of-tuples adjacency, built on first neighbor query.
+
+        One append pass over the sorted canonical edge array yields
+        each node's neighbors already in ascending order: a node's
+        smaller neighbors arrive first (edges where it is the ``max``
+        endpoint, ascending by the other end), then its larger
+        neighbors (edges where it is the ``min`` endpoint, ascending).
+        """
+        adj = self._adj
+        if adj is None:
+            lists: List[List[int]] = [[] for _ in range(self._n)]
+            for u, v in self._edges:
+                lists[u].append(v)
+                lists[v].append(u)
+            adj = tuple(tuple(neighbors) for neighbors in lists)
+            self._adj = adj
+        return adj
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -113,17 +266,23 @@ class Topology:
 
     def neighbors(self, v: int) -> Tuple[int, ...]:
         """Sorted neighbors of node ``v``."""
-        return self._adj[v]
+        adj = self._adj
+        if adj is None:
+            adj = self._adjacency()
+        return adj[v]
 
     def degree(self, v: int) -> int:
         """Degree of node ``v``."""
-        return len(self._adj[v])
+        adj = self._adj
+        if adj is None:
+            adj = self._adjacency()
+        return len(adj[v])
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether ``{u, v}`` is an edge."""
         if u == v:
             return False
-        return canonical_edge(u, v) in self._edge_set
+        return canonical_edge(u, v) in self._edge_lookup()
 
     @property
     def is_weighted(self) -> bool:
@@ -133,15 +292,37 @@ class Topology:
     def weight(self, u: int, v: int) -> int:
         """Weight of the edge ``{u, v}`` (default 1)."""
         e = canonical_edge(u, v)
-        if e not in self._edge_set:
+        if e not in self._edge_lookup():
             raise TopologyError(f"no edge {e}")
         if self._weights is None:
             return 1
         return self._weights.get(e, 1)
 
     def with_weights(self, weights: Dict[Edge, int]) -> "Topology":
-        """Return a copy of this topology carrying the given weights."""
-        return Topology(self._n, self._edges, weights=weights)
+        """Return a copy of this topology carrying the given weights.
+
+        The twin shares this topology's canonical edge array *and* its
+        kernel cache (CSR structures depend only on the edge array), so
+        attaching weights costs one pass over the weight dict instead
+        of a full re-canonicalisation.
+        """
+        edge_set = self._edge_lookup()
+        normalised: Dict[Edge, int] = {}
+        for (u, v), w in weights.items():
+            e = canonical_edge(u, v)
+            if e not in edge_set:
+                raise TopologyError(f"weight given for non-edge {e}")
+            normalised[e] = int(w)
+        twin = Topology.__new__(Topology)
+        twin._n = self._n
+        twin._edges = self._edges
+        twin._edge_set = self._edge_set
+        twin._adj = self._adj
+        twin._weights = normalised
+        # Shared on purpose: every cached kernel is a function of
+        # (n, edges) only, so the weighted twin may reuse them all.
+        twin._kernels = self._kernels
+        return twin
 
     # ------------------------------------------------------------------
     # Distances
@@ -149,13 +330,14 @@ class Topology:
 
     def bfs_distances(self, source: int) -> List[int]:
         """Unweighted distances from ``source``; ``-1`` for unreachable."""
+        adj = self._adjacency()
         dist = [-1] * self._n
         dist[source] = 0
         queue = deque([source])
         while queue:
             u = queue.popleft()
             du = dist[u]
-            for w in self._adj[u]:
+            for w in adj[u]:
                 if dist[w] < 0:
                     dist[w] = du + 1
                     queue.append(w)
@@ -184,7 +366,7 @@ class Topology:
         return self.eccentricity(far)
 
     def _check_connected(self) -> bool:
-        return min(self.bfs_distances(0)) >= 0 if self._n > 1 else True
+        return _connected_union_find(self._n, self._edges)
 
     # ------------------------------------------------------------------
     # Interop

@@ -1,6 +1,7 @@
 """Graph, partition, tree, and weight generators (the workload layer)."""
 
 from repro.graphs.spanning_trees import SpanningTree
+from repro.graphs.csr import adjacency_csr, bfs_spanning_tree, tree_arrays
 from repro.graphs.partitions import (
     Partition,
     cycle_arcs,
@@ -20,6 +21,9 @@ from repro.graphs import weights
 __all__ = [
     "SpanningTree",
     "Partition",
+    "adjacency_csr",
+    "bfs_spanning_tree",
+    "tree_arrays",
     "cycle_arcs",
     "grid_bands",
     "grid_columns",

@@ -27,9 +27,10 @@ containers by a large constant factor without any new dependency.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.congest.topology import Edge, Topology, canonical_edge
+from repro.errors import TopologyError
 from repro.graphs.spanning_trees import SpanningTree
 
 
@@ -54,20 +55,53 @@ class AdjacencyCSR:
     __slots__ = ("n", "m", "indptr", "indices", "edge_ids")
 
     def __init__(self, topology: Topology) -> None:
-        self.n = topology.n
-        self.m = topology.m
-        index = edge_ids(topology)
-        indptr: List[int] = [0]
-        indices: List[int] = []
-        ids: List[int] = []
-        for v in topology.nodes:
-            for w in topology.neighbors(v):
-                indices.append(w)
-                ids.append(index[canonical_edge(v, w)])
-            indptr.append(len(indices))
+        built = AdjacencyCSR.from_edges(topology.n, topology.edges)
+        self.n = built.n
+        self.m = built.m
+        self.indptr = built.indptr
+        self.indices = built.indices
+        self.edge_ids = built.edge_ids
+
+    @classmethod
+    def from_edges(cls, n: int, edges: Sequence[Edge]) -> "AdjacencyCSR":
+        """Build directly from a canonical sorted edge array.
+
+        Two counting passes over the edge array — no adjacency dicts,
+        no per-edge hash lookups, and crucially no need for the owning
+        topology's lazy ``neighbors()`` tuples to exist at all.  Edge
+        ids fall out for free: the array position *is* the dense id.
+        The per-node slices come out ascending because the edge array
+        is sorted: a node's smaller neighbors arrive first (edges where
+        it is the ``max`` endpoint, ascending by the other end), then
+        its larger neighbors (edges where it is the ``min`` endpoint).
+        """
+        self = cls.__new__(cls)
+        self.n = n
+        self.m = len(edges)
+        degree = [0] * n
+        for u, v in edges:
+            degree[u] += 1
+            degree[v] += 1
+        indptr: List[int] = [0] * (n + 1)
+        total = 0
+        for v in range(n):
+            indptr[v + 1] = total = total + degree[v]
+        cursor = indptr[:-1].copy()
+        indices: List[int] = [0] * (2 * self.m)
+        ids: List[int] = [0] * (2 * self.m)
+        for eid, (u, v) in enumerate(edges):
+            k = cursor[u]
+            indices[k] = v
+            ids[k] = eid
+            cursor[u] = k + 1
+            k = cursor[v]
+            indices[k] = u
+            ids[k] = eid
+            cursor[v] = k + 1
         self.indptr = indptr
         self.indices = indices
         self.edge_ids = ids
+        return self
 
     def neighbors(self, v: int) -> List[int]:
         """Neighbors of ``v`` as a list slice (ascending)."""
@@ -261,13 +295,63 @@ def edge_ids(topology: Topology) -> Dict[Edge, int]:
 
 
 def adjacency_csr(topology: Topology) -> AdjacencyCSR:
-    """The cached :class:`AdjacencyCSR` of a topology."""
+    """The cached :class:`AdjacencyCSR` of a topology.
+
+    Built straight from the canonical edge array, so CSR-only
+    consumers never force the topology's lazy tuple adjacency or edge
+    frozenset into existence.
+    """
     cache = topology._kernels
     csr = cache.get("csr")
     if csr is None:
-        csr = AdjacencyCSR(topology)
+        csr = AdjacencyCSR.from_edges(topology.n, topology.edges)
         cache["csr"] = csr
     return csr
+
+
+def bfs_spanning_tree(topology: Topology, root: int = 0) -> SpanningTree:
+    """CSR-based BFS spanning tree, with :class:`TreeArrays` pre-cached.
+
+    The array twin of :meth:`SpanningTree.bfs
+    <repro.graphs.spanning_trees.SpanningTree.bfs>`: identical output
+    (every node's parent is its smallest-id neighbor in the previous
+    BFS layer) but driven off the flat CSR slices, skipping the
+    parent-array re-validation and re-derivation the reference
+    constructor performs, and leaving the resulting tree with its
+    ``TreeArrays`` already in the kernel cache.  The differential suite
+    (``tests/graphs/test_fastpath_equivalence.py``) pins the
+    equivalence.
+    """
+    csr = adjacency_csr(topology)
+    n = csr.n
+    indptr, indices = csr.indptr, csr.indices
+    parent = [-1] * n
+    depth = [0] * n
+    seen = [False] * n
+    seen[root] = True
+    children: List[List[int]] = [[] for _ in range(n)]
+    order = [root]
+    head = 0
+    height = 0
+    while head < len(order):
+        u = order[head]
+        head += 1
+        du1 = depth[u] + 1
+        for k in range(indptr[u], indptr[u + 1]):
+            w = indices[k]
+            if not seen[w]:
+                seen[w] = True
+                parent[w] = u
+                depth[w] = du1
+                if du1 > height:
+                    height = du1
+                children[u].append(w)
+                order.append(w)
+    if len(order) != n:
+        raise TopologyError("BFS tree of a disconnected topology")
+    tree = SpanningTree._from_validated(root, parent, depth, children, height)
+    tree._kernels["arrays"] = TreeArrays(tree)
+    return tree
 
 
 def tree_arrays(tree: SpanningTree) -> TreeArrays:

@@ -30,6 +30,33 @@ def grid_node(r: int, c: int, cols: int) -> int:
     return r * cols + c
 
 
+def geometry_available() -> bool:
+    """Whether the optional ``geometry`` extra (numpy + scipy) is
+    importable — the dependency gate for :func:`delaunay`."""
+    try:
+        import numpy  # noqa: F401
+        import scipy.spatial  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def fast_topology(n: int, edges: List[Tuple[int, int]]) -> Topology:
+    """Array-native assembly shared by the fast-path generators.
+
+    ``edges`` must be canonical and strictly sorted (each generator's
+    emission order guarantees it; :meth:`Topology.from_arrays`
+    re-validates in O(m)).  The adjacency CSR is seeded immediately
+    from the same array, so the returned topology reaches every
+    downstream kernel without ever materialising dict/set adjacency.
+    """
+    from repro.graphs.csr import adjacency_csr
+
+    topology = Topology.from_arrays(n, edges)
+    adjacency_csr(topology)
+    return topology
+
+
 # ----------------------------------------------------------------------
 # Elementary topologies
 # ----------------------------------------------------------------------
@@ -68,16 +95,26 @@ def binary_tree(depth: int) -> Topology:
 # ----------------------------------------------------------------------
 
 
-def grid(rows: int, cols: int) -> Topology:
-    """Planar rows x cols grid (diameter rows + cols - 2)."""
+def grid(rows: int, cols: int, fast: bool = True) -> Topology:
+    """Planar rows x cols grid (diameter rows + cols - 2).
+
+    The row-major emission (per node: right edge, then down edge) is
+    already canonical and sorted, so the fast path hands the array
+    straight to :func:`fast_topology`; ``fast=False`` keeps the
+    reference constructor for the differential suite.
+    """
     edges = []
     for r in range(rows):
+        base = r * cols
         for c in range(cols):
+            u = base + c
             if c + 1 < cols:
-                edges.append((grid_node(r, c, cols), grid_node(r, c + 1, cols)))
+                edges.append((u, u + 1))
             if r + 1 < rows:
-                edges.append((grid_node(r, c, cols), grid_node(r + 1, c, cols)))
-    return Topology(rows * cols, edges)
+                edges.append((u, u + cols))
+    if not fast:
+        return Topology(rows * cols, edges)
+    return fast_topology(rows * cols, edges)
 
 
 def triangulated_grid(rows: int, cols: int) -> Topology:
@@ -89,7 +126,7 @@ def triangulated_grid(rows: int, cols: int) -> Topology:
     return Topology(rows * cols, edges)
 
 
-def cycle_with_hub(n_cycle: int, spoke_every: int) -> Topology:
+def cycle_with_hub(n_cycle: int, spoke_every: int, fast: bool = True) -> Topology:
     """A cycle plus a hub node adjacent to every ``spoke_every``-th node.
 
     Planar (a subdivided wheel), with diameter O(spoke_every) while a
@@ -101,16 +138,40 @@ def cycle_with_hub(n_cycle: int, spoke_every: int) -> Topology:
     """
     if spoke_every < 1 or spoke_every > n_cycle:
         raise TopologyError("spoke_every must be in [1, n_cycle]")
-    edges = [(i, (i + 1) % n_cycle) for i in range(n_cycle)]
+    if not fast or n_cycle < 3:
+        # Degenerate cycles (n_cycle < 3) duplicate the wrap edge; let
+        # the reference constructor normalise them.
+        edges = [(i, (i + 1) % n_cycle) for i in range(n_cycle)]
+        hub = n_cycle
+        edges.extend((hub, i) for i in range(0, n_cycle, spoke_every))
+        return Topology(n_cycle + 1, edges)
     hub = n_cycle
-    edges.extend((hub, i) for i in range(0, n_cycle, spoke_every))
-    return Topology(n_cycle + 1, edges)
+    edges = []
+    for u in range(n_cycle):
+        if u + 1 < n_cycle:
+            edges.append((u, u + 1))
+        if u == 0:
+            edges.append((0, n_cycle - 1))
+        if u % spoke_every == 0:
+            edges.append((u, hub))
+    return fast_topology(n_cycle + 1, edges)
 
 
 def delaunay(n: int, seed: int = 0) -> Topology:
-    """Delaunay triangulation of ``n`` random points (planar, D ~ sqrt(n))."""
-    import numpy as np
-    from scipy.spatial import Delaunay
+    """Delaunay triangulation of ``n`` random points (planar, D ~ sqrt(n)).
+
+    Needs the optional ``geometry`` extra (numpy + scipy); install with
+    ``pip install repro-lowcongestion-shortcuts[geometry]``.
+    """
+    try:
+        import numpy as np
+        from scipy.spatial import Delaunay
+    except ImportError as error:
+        raise TopologyError(
+            "the delaunay generator needs numpy and scipy; install the "
+            "'geometry' extra: pip install "
+            "repro-lowcongestion-shortcuts[geometry]"
+        ) from error
 
     rng = np.random.default_rng(seed)
     points = rng.random((n, 2))
@@ -127,19 +188,52 @@ def delaunay(n: int, seed: int = 0) -> Topology:
 # ----------------------------------------------------------------------
 
 
-def torus(rows: int, cols: int) -> Topology:
+def _torus_edge_array(rows: int, cols: int) -> List[Tuple[int, int]]:
+    """Canonical sorted edge array of C_rows x C_cols (rows, cols >= 3).
+
+    Per node ``u = (r, c)`` the edges with ``u`` as the smaller
+    endpoint, ascending by the other end: the right edge ``u + 1``,
+    the right wrap ``u + cols - 1`` (emitted at ``c == 0``), the down
+    edge ``u + cols``, and the down wrap ``u + (rows - 1) * cols``
+    (emitted at ``r == 0``).  With ``rows, cols >= 3`` those offsets
+    are strictly increasing, so the whole array comes out sorted.
+    """
+    edges: List[Tuple[int, int]] = []
+    wrap_down = (rows - 1) * cols
+    for r in range(rows):
+        base = r * cols
+        for c in range(cols):
+            u = base + c
+            if c + 1 < cols:
+                edges.append((u, u + 1))
+            if c == 0:
+                edges.append((u, u + cols - 1))
+            if r + 1 < rows:
+                edges.append((u, u + cols))
+            if r == 0:
+                edges.append((u, u + wrap_down))
+    return edges
+
+
+def torus(rows: int, cols: int, fast: bool = True) -> Topology:
     """Toroidal grid C_rows x C_cols (genus 1 for rows, cols >= 3)."""
     if rows < 3 or cols < 3:
         raise TopologyError("a toroidal grid needs rows, cols >= 3")
-    edges = []
-    for r in range(rows):
-        for c in range(cols):
-            edges.append((grid_node(r, c, cols), grid_node(r, (c + 1) % cols, cols)))
-            edges.append((grid_node(r, c, cols), grid_node((r + 1) % rows, c, cols)))
-    return Topology(rows * cols, edges)
+    if not fast:
+        edges = []
+        for r in range(rows):
+            for c in range(cols):
+                edges.append(
+                    (grid_node(r, c, cols), grid_node(r, (c + 1) % cols, cols))
+                )
+                edges.append(
+                    (grid_node(r, c, cols), grid_node((r + 1) % rows, c, cols))
+                )
+        return Topology(rows * cols, edges)
+    return fast_topology(rows * cols, _torus_edge_array(rows, cols))
 
 
-def genus_chain(g: int, rows: int, cols: int) -> Topology:
+def genus_chain(g: int, rows: int, cols: int, fast: bool = True) -> Topology:
     """A chain of ``g`` toroidal grids joined by bridge edges.
 
     Genus is additive over biconnected components, so this graph has
@@ -147,17 +241,29 @@ def genus_chain(g: int, rows: int, cols: int) -> Topology:
     With ``g = 0`` this degenerates to a single planar grid.
     """
     if g <= 0:
-        return grid(rows, cols)
-    block = torus(rows, cols)
-    size = block.n
-    edges: List[Tuple[int, int]] = []
+        return grid(rows, cols, fast=fast)
+    size = rows * cols
+    if not fast:
+        block = torus(rows, cols, fast=False)
+        edges: List[Tuple[int, int]] = []
+        for i in range(g):
+            offset = i * size
+            edges.extend((u + offset, v + offset) for u, v in block.edges)
+            if i > 0:
+                # Bridge from the previous block's last node to this block's first.
+                edges.append((offset - 1, offset))
+        return Topology(g * size, edges)
+    # The last node of a block ((rows-1, cols-1)) emits no in-block
+    # edges as the smaller endpoint, so placing each bridge between the
+    # previous block's edges and the next block's keeps the array sorted.
+    block_edges = _torus_edge_array(rows, cols)
+    edges = []
     for i in range(g):
         offset = i * size
-        edges.extend((u + offset, v + offset) for u, v in block.edges)
         if i > 0:
-            # Bridge from the previous block's last node to this block's first.
             edges.append((offset - 1, offset))
-    return Topology(g * size, edges)
+        edges.extend((u + offset, v + offset) for u, v in block_edges)
+    return fast_topology(g * size, edges)
 
 
 # ----------------------------------------------------------------------
@@ -165,20 +271,40 @@ def genus_chain(g: int, rows: int, cols: int) -> Topology:
 # ----------------------------------------------------------------------
 
 
-def k_tree(n: int, k: int, seed: int = 0) -> Topology:
-    """A random k-tree on ``n`` nodes (treewidth exactly k)."""
+def k_tree(n: int, k: int, seed: int = 0, fast: bool = True) -> Topology:
+    """A random k-tree on ``n`` nodes (treewidth exactly k).
+
+    The fast path buckets edges by their smaller endpoint as they are
+    drawn (new nodes arrive in increasing id, so every bucket stays
+    ascending) and flattens the buckets into the canonical sorted
+    array — same RNG stream, same edge set, no sort.
+    """
     if n < k + 1:
         raise TopologyError(f"a {k}-tree needs at least {k + 1} nodes")
     rng = random.Random(seed)
-    edges = [(i, j) for i in range(k + 1) for j in range(i + 1, k + 1)]
+    if not fast:
+        edges = [(i, j) for i in range(k + 1) for j in range(i + 1, k + 1)]
+        cliques = [tuple(range(k + 1))]
+        for v in range(k + 1, n):
+            base = rng.choice(cliques)
+            drop = rng.randrange(len(base))
+            face = tuple(u for i, u in enumerate(base) if i != drop)
+            edges.extend((u, v) for u in face)
+            cliques.append(face + (v,))
+        return Topology(n, edges)
+    buckets: List[List[int]] = [[] for _ in range(n)]
+    for i in range(k + 1):
+        buckets[i].extend(range(i + 1, k + 1))
     cliques = [tuple(range(k + 1))]
     for v in range(k + 1, n):
         base = rng.choice(cliques)
         drop = rng.randrange(len(base))
         face = tuple(u for i, u in enumerate(base) if i != drop)
-        edges.extend((u, v) for u in face)
+        for u in face:
+            buckets[u].append(v)
         cliques.append(face + (v,))
-    return Topology(n, edges)
+    edges = [(u, v) for u in range(n) for v in buckets[u]]
+    return fast_topology(n, edges)
 
 
 def clique_caterpillar(length: int, width: int) -> Topology:

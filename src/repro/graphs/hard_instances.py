@@ -21,6 +21,7 @@ from typing import List, Tuple
 
 from repro.congest.topology import Topology
 from repro.errors import TopologyError
+from repro.graphs.generators import fast_topology
 
 
 @dataclass(frozen=True)
@@ -53,7 +54,9 @@ class LowerBoundInstance:
         return len(self.paths[0]) - 1
 
 
-def peleg_rubinovich(n_paths: int, path_length: int) -> LowerBoundInstance:
+def peleg_rubinovich(
+    n_paths: int, path_length: int, fast: bool = True
+) -> LowerBoundInstance:
     """Build the lower-bound family Γ(p, ℓ).
 
     Structure:
@@ -65,17 +68,19 @@ def peleg_rubinovich(n_paths: int, path_length: int) -> LowerBoundInstance:
 
     The diameter is ``O(log ℓ)`` (via the tree), and with
     ``p = ℓ = √n`` this is the canonical Ω̃(√n + D) witness.
+
+    The fast path emits the canonical sorted edge array directly: path
+    nodes come before tree nodes, so per path node the successor edge
+    precedes its (larger) spoke endpoint, and the heap-ordered tree
+    edges follow with both endpoints above ``tree_base``.
     """
     if n_paths < 1 or path_length < 1:
         raise TopologyError("need n_paths >= 1 and path_length >= 1")
     columns = path_length + 1
-    edges: List[Tuple[int, int]] = []
 
-    paths: List[Tuple[int, ...]] = []
-    for i in range(n_paths):
-        base = i * columns
-        paths.append(tuple(base + j for j in range(columns)))
-        edges.extend((base + j, base + j + 1) for j in range(columns - 1))
+    paths: List[Tuple[int, ...]] = [
+        tuple(i * columns + j for j in range(columns)) for i in range(n_paths)
+    ]
 
     # Balanced binary tree with `columns` leaves, stored heap-style.
     n_leaves = 1
@@ -83,19 +88,36 @@ def peleg_rubinovich(n_paths: int, path_length: int) -> LowerBoundInstance:
         n_leaves *= 2
     tree_size = 2 * n_leaves - 1
     tree_base = n_paths * columns
-    edges.extend(
-        (tree_base + v, tree_base + (v - 1) // 2) for v in range(1, tree_size)
-    )
     leaves = [tree_base + (n_leaves - 1) + j for j in range(n_leaves)]
-
-    # Spokes: leaf j touches column j of every path.
-    for j in range(columns):
-        for i in range(n_paths):
-            edges.append((leaves[j], paths[i][j]))
     # Surplus leaves (when columns is not a power of two) hang unused on
     # the tree; they are still connected through their tree parent.
 
-    topology = Topology(tree_base + tree_size, edges)
+    edges: List[Tuple[int, int]] = []
+    if not fast:
+        for i in range(n_paths):
+            base = i * columns
+            edges.extend((base + j, base + j + 1) for j in range(columns - 1))
+        edges.extend(
+            (tree_base + v, tree_base + (v - 1) // 2) for v in range(1, tree_size)
+        )
+        # Spokes: leaf j touches column j of every path.
+        for j in range(columns):
+            for i in range(n_paths):
+                edges.append((leaves[j], paths[i][j]))
+        topology = Topology(tree_base + tree_size, edges)
+    else:
+        for i in range(n_paths):
+            base = i * columns
+            for j in range(columns):
+                u = base + j
+                if j + 1 < columns:
+                    edges.append((u, u + 1))
+                # Spoke: column j's leaf (every tree node id > u).
+                edges.append((u, leaves[j]))
+        for p in range(n_leaves - 1):  # internal heap nodes
+            edges.append((tree_base + p, tree_base + 2 * p + 1))
+            edges.append((tree_base + p, tree_base + 2 * p + 2))
+        topology = fast_topology(tree_base + tree_size, edges)
     return LowerBoundInstance(
         topology=topology,
         paths=tuple(paths),
@@ -104,6 +126,6 @@ def peleg_rubinovich(n_paths: int, path_length: int) -> LowerBoundInstance:
     )
 
 
-def square_instance(side: int) -> LowerBoundInstance:
+def square_instance(side: int, fast: bool = True) -> LowerBoundInstance:
     """The balanced p = ℓ = ``side`` instance (n ≈ side² + 2·side)."""
-    return peleg_rubinovich(side, side)
+    return peleg_rubinovich(side, side, fast=fast)

@@ -26,6 +26,12 @@ from repro.graphs.generators import grid_node
 class Partition:
     """Disjoint node subsets ``P_1 .. P_N`` of a topology.
 
+    The dense per-node ``labels`` array is the primary storage; the
+    per-part frozensets behind :attr:`parts` / :meth:`members` are
+    grouped from it lazily on first access, so label-driven consumers
+    (the kernel fast paths, the direct application backend) never pay
+    for hash-set materialisation.
+
     Parameters
     ----------
     n:
@@ -36,27 +42,72 @@ class Partition:
         check it with :meth:`validate_connected`.
     """
 
-    __slots__ = ("_n", "_parts", "_part_of")
+    __slots__ = ("_n", "_size", "_covered", "_parts", "_part_of")
 
     def __init__(self, n: int, parts: Sequence[Iterable[int]]) -> None:
         part_of = [-1] * n
-        frozen: List[FrozenSet[int]] = []
+        covered = 0
+        size = 0
         for index, members in enumerate(parts):
-            fs = frozenset(members)
-            if not fs:
-                raise TopologyError(f"part {index} is empty")
-            for v in fs:
+            count = 0
+            for v in members:
                 if not 0 <= v < n:
                     raise TopologyError(f"part {index} contains invalid node {v}")
-                if part_of[v] != -1:
+                current = part_of[v]
+                if current == index:
+                    continue  # duplicate listing within the same part
+                if current != -1:
                     raise TopologyError(
-                        f"node {v} is in both part {part_of[v]} and part {index}"
+                        f"node {v} is in both part {current} and part {index}"
                     )
                 part_of[v] = index
-            frozen.append(fs)
+                count += 1
+            if count == 0:
+                raise TopologyError(f"part {index} is empty")
+            covered += count
+            size += 1
         self._n = n
-        self._parts: Tuple[FrozenSet[int], ...] = tuple(frozen)
+        self._size = size
+        self._covered = covered
         self._part_of: Tuple[int, ...] = tuple(part_of)
+        self._parts: Optional[Tuple[FrozenSet[int], ...]] = None
+
+    @classmethod
+    def from_dense_labels(
+        cls, labels: Sequence[int], n_parts: Optional[int] = None
+    ) -> "Partition":
+        """Trusted fast path from an already-compact labels array.
+
+        ``labels[v]`` must be the part index of ``v`` (``-1`` for
+        uncovered), with part indices filling ``0 .. n_parts - 1``
+        contiguously — exactly what the array-native partition
+        generators produce.  One O(n) counting pass validates that
+        every part is nonempty and every label in range; the grouping
+        work of :meth:`from_labels` (and the per-member scan of the
+        reference constructor) is skipped.
+        """
+        label_tuple = tuple(labels)
+        if n_parts is None:
+            n_parts = max(label_tuple, default=-1) + 1
+        counts = [0] * n_parts
+        for v, label in enumerate(label_tuple):
+            if label == -1:
+                continue
+            if not 0 <= label < n_parts:
+                raise TopologyError(
+                    f"node {v} carries label {label}, outside 0..{n_parts - 1}"
+                )
+            counts[label] += 1
+        for index, count in enumerate(counts):
+            if count == 0:
+                raise TopologyError(f"part {index} is empty")
+        self = cls.__new__(cls)
+        self._n = len(label_tuple)
+        self._size = n_parts
+        self._covered = sum(counts)
+        self._part_of = label_tuple
+        self._parts = None
+        return self
 
     @property
     def n(self) -> int:
@@ -66,12 +117,20 @@ class Partition:
     @property
     def size(self) -> int:
         """Number of parts (the paper's ``N``)."""
-        return len(self._parts)
+        return self._size
 
     @property
     def parts(self) -> Tuple[FrozenSet[int], ...]:
-        """The parts, in index order."""
-        return self._parts
+        """The parts, in index order (grouped lazily from the labels)."""
+        parts = self._parts
+        if parts is None:
+            buckets: List[List[int]] = [[] for _ in range(self._size)]
+            for v, index in enumerate(self._part_of):
+                if index != -1:
+                    buckets[index].append(v)
+            parts = tuple(frozenset(members) for members in buckets)
+            self._parts = parts
+        return parts
 
     def part_of(self, v: int) -> Optional[int]:
         """Index of the part containing ``v`` (``None`` if uncovered)."""
@@ -82,32 +141,32 @@ class Partition:
     def labels(self) -> Tuple[int, ...]:
         """Per-node part index, ``-1`` for uncovered nodes.
 
-        The flat-array twin of :meth:`part_of`, used by the kernel
-        fast paths (:mod:`repro.core.quality_fast`) for O(1) membership
-        tests without per-node method calls.
+        The flat-array primary storage, used by the kernel fast paths
+        (:mod:`repro.core.quality_fast`) for O(1) membership tests
+        without per-node method calls.
         """
         return self._part_of
 
     def members(self, index: int) -> FrozenSet[int]:
         """Nodes of part ``index``."""
-        return self._parts[index]
+        return self.parts[index]
 
     @property
     def covered(self) -> int:
         """Number of nodes belonging to some part."""
-        return sum(len(p) for p in self._parts)
+        return self._covered
 
     def validate_connected(self, topology: Topology) -> None:
         """Raise unless every part induces a connected subgraph."""
         if topology.n != self._n:
             raise TopologyError("partition and topology node counts differ")
-        for index, part in enumerate(self._parts):
+        for index, part in enumerate(self.parts):
             if not _is_connected_subset(topology, part):
                 raise TopologyError(f"part {index} is not connected")
 
     def part_diameters(self, topology: Topology) -> List[int]:
         """Diameter of each ``G[P_i]`` (the quantity shortcuts fight)."""
-        return [_induced_diameter(topology, part) for part in self._parts]
+        return [_induced_diameter(topology, part) for part in self.parts]
 
     @classmethod
     def from_labels(cls, labels: Sequence[Optional[int]]) -> "Partition":
@@ -168,41 +227,65 @@ def _induced_diameter(topology: Topology, part: FrozenSet[int]) -> int:
 
 def singletons(topology: Topology) -> Partition:
     """Each node its own part — Borůvka's initial partition."""
-    return Partition(topology.n, [[v] for v in topology.nodes])
+    return Partition.from_dense_labels(range(topology.n), topology.n)
 
 
 def whole(topology: Topology) -> Partition:
     """One part containing every node."""
-    return Partition(topology.n, [list(topology.nodes)])
+    return Partition.from_dense_labels([0] * topology.n, 1)
 
 
-def grid_bands(rows: int, cols: int, band_height: int) -> Partition:
-    """Horizontal bands of a rows x cols grid, ``band_height`` rows each."""
+def grid_bands(
+    rows: int, cols: int, band_height: int, fast: bool = True
+) -> Partition:
+    """Horizontal bands of a rows x cols grid, ``band_height`` rows each.
+
+    ``fast=True`` (the default) assigns the dense labels array
+    directly; ``fast=False`` keeps the reference list-of-parts path
+    (the differential suite pins the two identical).
+    """
     if band_height < 1:
         raise TopologyError("band_height must be positive")
-    parts = []
-    r = 0
-    while r < rows:
-        top = min(r + band_height, rows)
-        parts.append(
-            [grid_node(rr, c, cols) for rr in range(r, top) for c in range(cols)]
-        )
-        r = top
-    return Partition(rows * cols, parts)
+    if not fast:
+        parts = []
+        r = 0
+        while r < rows:
+            top = min(r + band_height, rows)
+            parts.append(
+                [grid_node(rr, c, cols) for rr in range(r, top) for c in range(cols)]
+            )
+            r = top
+        return Partition(rows * cols, parts)
+    labels = [0] * (rows * cols)
+    for r in range(rows):
+        band = r // band_height
+        base = r * cols
+        for c in range(cols):
+            labels[base + c] = band
+    return Partition.from_dense_labels(labels, (rows + band_height - 1) // band_height)
 
 
-def grid_rows(rows: int, cols: int) -> Partition:
+def grid_rows(rows: int, cols: int, fast: bool = True) -> Partition:
     """One part per grid row (N = rows parts crossing every column)."""
-    return grid_bands(rows, cols, 1)
+    return grid_bands(rows, cols, 1, fast=fast)
 
 
-def grid_columns(rows: int, cols: int) -> Partition:
+def grid_columns(rows: int, cols: int, fast: bool = True) -> Partition:
     """One part per grid column."""
-    parts = [[grid_node(r, c, cols) for r in range(rows)] for c in range(cols)]
-    return Partition(rows * cols, parts)
+    if not fast:
+        parts = [[grid_node(r, c, cols) for r in range(rows)] for c in range(cols)]
+        return Partition(rows * cols, parts)
+    labels = [0] * (rows * cols)
+    for r in range(rows):
+        base = r * cols
+        for c in range(cols):
+            labels[base + c] = c
+    return Partition.from_dense_labels(labels, cols)
 
 
-def cycle_arcs(n: int, n_parts: int, extra_nodes: int = 0) -> Partition:
+def cycle_arcs(
+    n: int, n_parts: int, extra_nodes: int = 0, fast: bool = True
+) -> Partition:
     """Contiguous arcs of a cycle ``0 .. n-1`` (hub nodes uncovered).
 
     Used with :func:`repro.graphs.generators.cycle_with_hub`: each arc
@@ -212,16 +295,32 @@ def cycle_arcs(n: int, n_parts: int, extra_nodes: int = 0) -> Partition:
     if n_parts < 1 or n_parts > n:
         raise TopologyError("need 1 <= n_parts <= n")
     bounds = [round(i * n / n_parts) for i in range(n_parts + 1)]
-    parts = [list(range(bounds[i], bounds[i + 1])) for i in range(n_parts)]
-    return Partition(n + extra_nodes, [p for p in parts if p])
+    if not fast:
+        parts = [list(range(bounds[i], bounds[i + 1])) for i in range(n_parts)]
+        return Partition(n + extra_nodes, [p for p in parts if p])
+    labels = [-1] * (n + extra_nodes)
+    index = 0
+    for i in range(n_parts):
+        lo, hi = bounds[i], bounds[i + 1]
+        if lo >= hi:
+            continue  # rounding produced an empty arc; compact it away
+        for v in range(lo, hi):
+            labels[v] = index
+        index += 1
+    return Partition.from_dense_labels(labels, index)
 
 
-def voronoi(topology: Topology, n_parts: int, seed: int = 0) -> Partition:
+def voronoi(
+    topology: Topology, n_parts: int, seed: int = 0, fast: bool = True
+) -> Partition:
     """Multi-source BFS cells around random centers.
 
     Every node joins the cell of the closest center (ties broken by
     center order), so each cell is connected — the generic "random
-    connected parts" workload.
+    connected parts" workload.  The fast path runs the multi-source
+    BFS over the cached CSR slices and hands the dense labels array
+    straight to :meth:`Partition.from_dense_labels` (cell ``i`` grows
+    from center ``i``, so the labels are compact by construction).
     """
     if not 1 <= n_parts <= topology.n:
         raise TopologyError("need 1 <= n_parts <= n")
@@ -232,13 +331,25 @@ def voronoi(topology: Topology, n_parts: int, seed: int = 0) -> Partition:
     for index, center in enumerate(centers):
         label[center] = index
         queue.append(center)
+    if not fast:
+        while queue:
+            u = queue.popleft()
+            for w in topology.neighbors(u):
+                if label[w] == -1:
+                    label[w] = label[u]
+                    queue.append(w)
+        return Partition.from_labels(label)
+    csr = adjacency_csr(topology)
+    indptr, indices = csr.indptr, csr.indices
     while queue:
         u = queue.popleft()
-        for w in topology.neighbors(u):
+        lu = label[u]
+        for k in range(indptr[u], indptr[u + 1]):
+            w = indices[k]
             if label[w] == -1:
-                label[w] = label[u]
+                label[w] = lu
                 queue.append(w)
-    return Partition.from_labels(label)
+    return Partition.from_dense_labels(label, n_parts)
 
 
 def random_arcs(topology: Topology, n_parts: int, seed: int = 0) -> Partition:

@@ -79,9 +79,35 @@ class SpanningTree:
             raise TopologyError("parent array does not describe a spanning tree")
         self._depth: Tuple[int, ...] = tuple(depth)
         self._height = max(depth)
-        self._edges: FrozenSet[Edge] = frozenset(
-            canonical_edge(v, p) for v, p in enumerate(self._parent) if p != -1
-        )
+        # The edge frozenset is derived on first use (see `edges`).
+        self._edges: Optional[FrozenSet[Edge]] = None
+
+    @classmethod
+    def _from_validated(
+        cls,
+        root: int,
+        parent: Sequence[int],
+        depth: Sequence[int],
+        children: Sequence[Sequence[int]],
+        height: int,
+    ) -> "SpanningTree":
+        """Trusted fast path for builders that already hold consistent
+        parent/depth/children arrays (children ascending per node).
+
+        Used by :func:`repro.graphs.csr.bfs_spanning_tree`, whose BFS
+        produces exactly the structures ``__init__`` would re-derive;
+        the reference constructor stays the validating front door for
+        untrusted parent arrays.
+        """
+        self = cls.__new__(cls)
+        self._root = root
+        self._kernels = {}
+        self._parent = tuple(parent)
+        self._children = tuple(tuple(c) for c in children)
+        self._depth = tuple(depth)
+        self._height = height
+        self._edges = None
+        return self
 
     # ------------------------------------------------------------------
     # Accessors
@@ -104,8 +130,16 @@ class SpanningTree:
 
     @property
     def edges(self) -> FrozenSet[Edge]:
-        """All tree edges in canonical form."""
-        return self._edges
+        """All tree edges in canonical form (built lazily)."""
+        edges = self._edges
+        if edges is None:
+            edges = frozenset(
+                (v, p) if v < p else (p, v)
+                for v, p in enumerate(self._parent)
+                if p != -1
+            )
+            self._edges = edges
+        return edges
 
     def parent(self, v: int) -> Optional[int]:
         """Tree parent of ``v`` (``None`` for the root)."""
@@ -127,7 +161,7 @@ class SpanningTree:
 
     def is_tree_edge(self, u: int, v: int) -> bool:
         """Whether ``{u, v}`` is an edge of the tree."""
-        return canonical_edge(u, v) in self._edges
+        return canonical_edge(u, v) in self.edges
 
     # ------------------------------------------------------------------
     # Traversal
@@ -183,7 +217,7 @@ class SpanningTree:
             raise TopologyError(
                 f"tree has {self.n} nodes but topology has {topology.n}"
             )
-        for u, v in self._edges:
+        for u, v in self.edges:
             if not topology.has_edge(u, v):
                 raise TopologyError(f"tree edge ({u}, {v}) missing from topology")
 

@@ -1,0 +1,136 @@
+"""Tests for the content-addressed instance cache."""
+
+import pytest
+
+from repro.analysis.experiments import instance_families, standard_instance_specs
+from repro.analysis.instances import (
+    InstanceSpec,
+    build_topology,
+    clear_instance_cache,
+    hydrate,
+    instance_cache_info,
+    reference_instance,
+)
+from repro.analysis.parallel import parallel_map
+from repro.errors import ReproError
+from repro.graphs import generators, partitions
+from repro.graphs.csr import tree_arrays
+from repro.graphs.spanning_trees import SpanningTree
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_instance_cache()
+    yield
+    clear_instance_cache()
+
+
+GRID_SPEC = InstanceSpec("grid", (6, 6), partition=("voronoi", 6, 3))
+
+
+def test_hydrate_builds_expected_structures():
+    instance = hydrate(GRID_SPEC)
+    expected_topology = generators.grid(6, 6)
+    expected_partition = partitions.voronoi(expected_topology, 6, 3)
+    expected_tree = SpanningTree.bfs(expected_topology, 0)
+    assert instance.topology.edges == expected_topology.edges
+    assert instance.partition.labels == expected_partition.labels
+    assert [instance.tree.parent(v) for v in range(36)] == [
+        expected_tree.parent(v) for v in range(36)
+    ]
+    # The hydrated tree arrives with its TreeArrays pre-cached.
+    assert "arrays" in instance.tree._kernels
+    assert tree_arrays(instance.tree) is instance.tree._kernels["arrays"]
+
+
+def test_hydrate_is_content_addressed():
+    first = hydrate(GRID_SPEC)
+    # A structurally equal spec must hit the cache (identity, not copy).
+    again = hydrate(InstanceSpec("grid", (6, 6), partition=("voronoi", 6, 3)))
+    assert again is first
+    other = hydrate(InstanceSpec("grid", (6, 6), partition=("voronoi", 6, 4)))
+    assert other is not first
+
+
+def test_specs_sharing_topology_share_the_object():
+    a = hydrate(InstanceSpec("grid", (6, 6), partition=("voronoi", 6, 3)))
+    b = hydrate(InstanceSpec("grid", (6, 6), partition=("rows", 6, 6)))
+    assert a.topology is b.topology
+    assert a.tree is b.tree
+    info = instance_cache_info()
+    assert info["topologies"] == 1
+    assert info["trees"] == 1
+    assert info["instances"] == 2
+
+
+def test_weighted_spec_differs_from_unweighted():
+    plain = build_topology(InstanceSpec("grid", (5, 5)))
+    heavy = build_topology(InstanceSpec("grid", (5, 5), weights=("unique", 7)))
+    assert plain is not heavy
+    assert not plain.is_weighted
+    assert heavy.is_weighted
+
+
+def test_clear_instance_cache():
+    hydrate(GRID_SPEC)
+    assert instance_cache_info()["instances"] == 1
+    clear_instance_cache()
+    assert instance_cache_info() == {
+        "topologies": 0, "trees": 0, "instances": 0,
+    }
+
+
+def test_tree_root_respected():
+    spec = InstanceSpec("hub", (32, 8), tree_root=32)
+    instance = hydrate(spec)
+    assert instance.tree.root == 32
+    assert instance.partition is None
+
+
+def test_unknown_names_raise():
+    with pytest.raises(ReproError):
+        hydrate(InstanceSpec("nonsense", (3,)))
+    with pytest.raises(ReproError):
+        hydrate(InstanceSpec("grid", (4, 4), partition=("nonsense",)))
+    with pytest.raises(ReproError):
+        hydrate(InstanceSpec("grid", (4, 4), weights=("nonsense", 1)))
+
+
+def test_reference_instance_matches_hydrate():
+    for name, spec in instance_families("small"):
+        fast = hydrate(spec)
+        reference = reference_instance(spec)
+        assert fast.topology.edges == reference.topology.edges, name
+        assert fast.partition.labels == reference.partition.labels, name
+        n = fast.topology.n
+        assert [fast.tree.parent(v) for v in range(n)] == [
+            reference.tree.parent(v) for v in range(n)
+        ], name
+        if reference.topology.is_weighted:
+            assert all(
+                fast.topology.weight(u, v) == reference.topology.weight(u, v)
+                for u, v in reference.topology.edges
+            ), name
+
+
+def test_standard_pool_round_trips_through_specs():
+    # Skip the delaunay entry when the geometry extra is missing.
+    for name, spec in standard_instance_specs("small"):
+        if spec.family == "delaunay" and not generators.geometry_available():
+            continue
+        instance = hydrate(spec)
+        assert instance.topology.n > 0, name
+        assert instance.partition.size >= 1, name
+
+
+def _hydrate_task(task):
+    spec, salt = task
+    instance = hydrate(spec)
+    return (instance.topology.m, instance.partition.size, salt)
+
+
+def test_specs_hydrate_inside_worker_processes():
+    tasks = [(GRID_SPEC, i) for i in range(6)]
+    serial = parallel_map(_hydrate_task, tasks, jobs=1)
+    parallel = parallel_map(_hydrate_task, tasks, jobs=2)
+    assert parallel == serial

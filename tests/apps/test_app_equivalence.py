@@ -43,13 +43,20 @@ def _instances():
     grid = generators.grid(6, 6)
     torus = generators.torus(5, 5)
     hub = generators.cycle_with_hub(48, 8)
-    delaunay = generators.delaunay(40, 3)
-    return {
+    instances = {
         "grid": (weighted(grid, seed=1), partitions.voronoi(grid, 6, seed=3)),
         "torus": (weighted(torus, seed=2), partitions.voronoi(torus, 5, seed=2)),
         "hub": (weighted(hub, seed=3), partitions.cycle_arcs(48, 8, extra_nodes=1)),
-        "delaunay": (weighted(delaunay, seed=4), partitions.voronoi(delaunay, 6, seed=5)),
     }
+    if generators.geometry_available():
+        # The delaunay family needs the optional geometry extra; the
+        # pool (and its parametrized tests) shrinks without it.
+        delaunay = generators.delaunay(40, 3)
+        instances["delaunay"] = (
+            weighted(delaunay, seed=4),
+            partitions.voronoi(delaunay, 6, seed=5),
+        )
+    return instances
 
 
 INSTANCES = _instances()

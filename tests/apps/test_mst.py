@@ -84,13 +84,13 @@ def test_mode_validation():
         minimum_spanning_tree(topology, params="nonsense")
 
 
-def test_mode_kwarg_is_deprecated_alias_for_params():
+def test_mode_kwarg_removed_after_deprecation():
+    # The one-release deprecation window for the mode= alias is over:
+    # mode names the construction-kernel axis elsewhere, and the MST
+    # entry point only accepts params= now.
     topology = weighted(generators.grid(4, 4), seed=10)
-    with pytest.warns(DeprecationWarning):
-        via_alias = minimum_spanning_tree(topology, mode="doubling", seed=12)
-    via_params = minimum_spanning_tree(topology, params="doubling", seed=12)
-    assert via_alias.edges == via_params.edges
-    assert via_alias.rounds == via_params.rounds
+    with pytest.raises(TypeError):
+        minimum_spanning_tree(topology, mode="doubling", seed=12)
 
 
 def test_reproducible_with_seed():
@@ -101,6 +101,10 @@ def test_reproducible_with_seed():
     assert a.edges == b.edges
 
 
+@pytest.mark.skipif(
+    not generators.geometry_available(),
+    reason="delaunay needs the geometry extra (numpy + scipy)",
+)
 def test_kruskal_reference_against_networkx():
     import networkx as nx
 

@@ -27,6 +27,10 @@ def test_exact_on_grid(grid_instance, algorithm):
     assert result.edges == edges
 
 
+@pytest.mark.skipif(
+    not generators.geometry_available(),
+    reason="delaunay needs the geometry extra (numpy + scipy)",
+)
 @pytest.mark.parametrize(
     "algorithm", [mst_no_shortcut, mst_kutten_peleg, mst_collect_at_root]
 )

@@ -56,8 +56,20 @@ TOPOLOGIES = {
     "delaunay": lambda: generators.delaunay(40, 3),
 }
 
+needs_geometry = pytest.mark.skipif(
+    not generators.geometry_available(),
+    reason="delaunay needs the geometry extra (numpy + scipy)",
+)
 
-@pytest.mark.parametrize("topo_name", sorted(TOPOLOGIES))
+
+def _family_params(families):
+    return [
+        pytest.param(name, marks=needs_geometry) if name == "delaunay" else name
+        for name in sorted(families)
+    ]
+
+
+@pytest.mark.parametrize("topo_name", _family_params(TOPOLOGIES))
 @pytest.mark.parametrize("seed", [0, 1, 2])
 def test_bfs_identical(topo_name, seed):
     topology = TOPOLOGIES[topo_name]()
@@ -67,7 +79,7 @@ def test_bfs_identical(topo_name, seed):
     _assert_identical(reference, batched)
 
 
-@pytest.mark.parametrize("topo_name", sorted(TOPOLOGIES))
+@pytest.mark.parametrize("topo_name", _family_params(TOPOLOGIES))
 @pytest.mark.parametrize(
     "workload",
     [
@@ -104,7 +116,7 @@ def test_core_slow_identical(topo_name, seed):
     assert batched.shortcut.edge_map == reference.shortcut.edge_map
 
 
-@pytest.mark.parametrize("topo_name", sorted(TOPOLOGIES))
+@pytest.mark.parametrize("topo_name", _family_params(TOPOLOGIES))
 @pytest.mark.parametrize("seed", [0, 4])
 def test_flood_up_identical(topo_name, seed):
     """The heap-pumped FloodUpAlgorithm on its own: both engines must

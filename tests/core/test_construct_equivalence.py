@@ -33,13 +33,17 @@ def _instances():
     grid = generators.grid(6, 6)
     torus = generators.torus(5, 5)
     hub = generators.cycle_with_hub(48, 8)
-    delaunay = generators.delaunay(40, 3)
-    return {
+    instances = {
         "grid": (grid, partitions.voronoi(grid, 6, seed=3)),
         "torus": (torus, partitions.voronoi(torus, 5, seed=2)),
         "hub": (hub, partitions.cycle_arcs(48, 8, extra_nodes=1)),
-        "delaunay": (delaunay, partitions.voronoi(delaunay, 6, seed=5)),
     }
+    if generators.geometry_available():
+        # The delaunay family needs the optional geometry extra; the
+        # pool (and its parametrized tests) shrinks without it.
+        delaunay = generators.delaunay(40, 3)
+        instances["delaunay"] = (delaunay, partitions.voronoi(delaunay, 6, seed=5))
+    return instances
 
 
 INSTANCES = _instances()

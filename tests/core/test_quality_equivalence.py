@@ -30,6 +30,11 @@ from repro.graphs import generators, partitions
 from repro.graphs.spanning_trees import SpanningTree
 from repro.graphs.weights import weighted
 
+needs_geometry = pytest.mark.skipif(
+    not generators.geometry_available(),
+    reason="delaunay needs the geometry extra (numpy + scipy)",
+)
+
 FAMILIES = {
     # planar
     "grid": lambda: generators.grid(7, 7),
@@ -91,7 +96,13 @@ def _assert_all_identical(shortcut, topology):
     assert fast == reference
 
 
-@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize(
+    "family",
+    [
+        pytest.param(name, marks=needs_geometry) if name == "delaunay" else name
+        for name in sorted(FAMILIES)
+    ],
+)
 def test_measures_identical_across_families(family):
     topology = FAMILIES[family]()
     tree = SpanningTree.bfs(topology, 0)

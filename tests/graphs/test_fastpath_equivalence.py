@@ -1,0 +1,273 @@
+"""Differential conformance: array-native instance pipeline vs reference.
+
+Every fast path introduced by the instance pipeline — the
+``Topology.from_arrays`` / ``from_csr`` constructors, the array-twin
+generators, the CSR BFS spanning tree, and the dense-label partitions —
+is pinned here ``==``-identical to its reference twin: same edges, same
+adjacency, same weights, same tree parents/children/depths, same
+partition labels.  This suite is what licenses the fast paths as the
+generator defaults — any divergence from the validating constructors is
+a bug here before it is a wrong instance in an experiment table.
+"""
+
+import pytest
+
+from repro.congest.topology import Topology
+from repro.errors import TopologyError
+from repro.graphs import generators, partitions
+from repro.graphs.csr import adjacency_csr, bfs_spanning_tree, tree_arrays
+from repro.graphs.hard_instances import peleg_rubinovich
+from repro.graphs.spanning_trees import SpanningTree
+from repro.graphs.weights import weighted
+
+# (name, builder) — builder(fast) returns the topology.
+GENERATORS = {
+    "grid": lambda fast: generators.grid(7, 9, fast=fast),
+    "grid-row": lambda fast: generators.grid(1, 6, fast=fast),
+    "grid-col": lambda fast: generators.grid(6, 1, fast=fast),
+    "torus-min": lambda fast: generators.torus(3, 3, fast=fast),
+    "torus": lambda fast: generators.torus(5, 7, fast=fast),
+    "genus0": lambda fast: generators.genus_chain(0, 4, 5, fast=fast),
+    "genus3": lambda fast: generators.genus_chain(3, 3, 4, fast=fast),
+    "hub": lambda fast: generators.cycle_with_hub(40, 8, fast=fast),
+    "hub-dense": lambda fast: generators.cycle_with_hub(9, 1, fast=fast),
+    "k_tree": lambda fast: generators.k_tree(40, 4, seed=3, fast=fast),
+    "peleg_rubinovich": lambda fast: peleg_rubinovich(5, 7, fast=fast).topology,
+    "peleg-min": lambda fast: peleg_rubinovich(1, 1, fast=fast).topology,
+}
+
+
+def assert_topologies_identical(fast, reference):
+    assert fast.n == reference.n
+    assert fast.m == reference.m
+    assert fast.edges == reference.edges
+    for v in range(fast.n):
+        assert fast.neighbors(v) == reference.neighbors(v)
+        assert fast.degree(v) == reference.degree(v)
+    assert fast.is_weighted == reference.is_weighted
+    if fast.is_weighted:
+        for u, v in reference.edges:
+            assert fast.weight(u, v) == reference.weight(u, v)
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_generator_fast_path_identical(name):
+    build = GENERATORS[name]
+    assert_topologies_identical(build(True), build(False))
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_generator_fast_path_seeds_csr(name):
+    topology = GENERATORS[name](True)
+    assert "csr" in topology._kernels
+    csr = adjacency_csr(topology)
+    for v in range(topology.n):
+        assert tuple(csr.neighbors(v)) == topology.neighbors(v)
+    # Edge ids are the canonical dense positions.
+    for v in range(topology.n):
+        for k in range(csr.indptr[v], csr.indptr[v + 1]):
+            w = csr.indices[k]
+            edge = (v, w) if v < w else (w, v)
+            assert topology.edges[csr.edge_ids[k]] == edge
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_csr_matches_reference_topology_csr(name):
+    build = GENERATORS[name]
+    fast_csr = adjacency_csr(build(True))
+    ref_csr = adjacency_csr(build(False))
+    assert fast_csr.indptr == ref_csr.indptr
+    assert fast_csr.indices == ref_csr.indices
+    assert fast_csr.edge_ids == ref_csr.edge_ids
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+@pytest.mark.parametrize("root", [0, 1])
+def test_bfs_spanning_tree_identical(name, root):
+    topology = GENERATORS[name](True)
+    fast = bfs_spanning_tree(topology, root)
+    reference = SpanningTree.bfs(GENERATORS[name](False), root)
+    assert fast.root == reference.root
+    assert fast.height == reference.height
+    assert [fast.parent(v) for v in range(topology.n)] == [
+        reference.parent(v) for v in range(topology.n)
+    ]
+    for v in range(topology.n):
+        assert fast.children(v) == reference.children(v)
+        assert fast.depth(v) == reference.depth(v)
+    assert fast.edges == reference.edges
+
+
+def test_bfs_spanning_tree_precaches_tree_arrays():
+    topology = generators.grid(6, 6)
+    tree = bfs_spanning_tree(topology, 0)
+    assert "arrays" in tree._kernels
+    arrays = tree_arrays(tree)
+    assert arrays is tree._kernels["arrays"]
+    reference = tree_arrays(SpanningTree.bfs(topology, 0))
+    assert arrays.parent == reference.parent
+    assert arrays.preorder == reference.preorder
+    assert arrays.tour_in == reference.tour_in
+    assert arrays.tour_out == reference.tour_out
+
+
+def test_bfs_spanning_tree_disconnected_raises():
+    topology = Topology(4, [(0, 1), (2, 3)], require_connected=False)
+    with pytest.raises(TopologyError):
+        bfs_spanning_tree(topology, 0)
+
+
+# ----------------------------------------------------------------------
+# Topology.from_arrays / from_csr validation
+# ----------------------------------------------------------------------
+
+
+def test_from_arrays_matches_reference_constructor():
+    edges = [(0, 1), (0, 2), (1, 2), (2, 3)]
+    assert_topologies_identical(
+        Topology.from_arrays(4, edges), Topology(4, edges)
+    )
+
+
+def test_from_arrays_rejects_unsorted():
+    with pytest.raises(TopologyError):
+        Topology.from_arrays(4, [(1, 2), (0, 1), (2, 3)])
+
+
+def test_from_arrays_rejects_duplicates():
+    with pytest.raises(TopologyError):
+        Topology.from_arrays(4, [(0, 1), (0, 1), (1, 2), (2, 3)])
+
+
+def test_from_arrays_rejects_non_canonical():
+    with pytest.raises(TopologyError):
+        Topology.from_arrays(3, [(1, 0), (1, 2)])
+
+
+def test_from_arrays_rejects_self_loop_and_range():
+    with pytest.raises(TopologyError):
+        Topology.from_arrays(3, [(1, 1)])
+    with pytest.raises(TopologyError):
+        Topology.from_arrays(3, [(0, 3)])
+
+
+def test_from_arrays_rejects_disconnected_by_default():
+    with pytest.raises(TopologyError):
+        Topology.from_arrays(4, [(0, 1), (2, 3)])
+    t = Topology.from_arrays(4, [(0, 1), (2, 3)], require_connected=False)
+    assert t.m == 2
+
+
+def test_from_arrays_single_node():
+    t = Topology.from_arrays(1, [])
+    assert t.n == 1 and t.m == 0
+
+
+def test_from_arrays_weights_trusted():
+    t = Topology.from_arrays(3, [(0, 1), (1, 2)], weights={(0, 1): 5})
+    assert t.is_weighted
+    assert t.weight(0, 1) == 5
+    assert t.weight(1, 2) == 1
+
+
+def test_from_csr_rejects_malformed_edge_ids():
+    csr = adjacency_csr(generators.grid(3, 3))
+    broken = type(csr).from_edges(csr.n, generators.grid(3, 3).edges)
+    broken.edge_ids = [eid + csr.m for eid in broken.edge_ids]
+    with pytest.raises(TopologyError):
+        Topology.from_csr(broken)
+
+
+def test_from_csr_round_trip():
+    base = generators.grid(5, 6)
+    csr = adjacency_csr(base)
+    rebuilt = Topology.from_csr(csr)
+    assert_topologies_identical(rebuilt, base)
+    # The CSR object itself is seeded into the new topology's cache.
+    assert adjacency_csr(rebuilt) is csr
+
+
+def test_with_weights_shares_structure_and_validates():
+    base = generators.grid(5, 5)
+    csr = adjacency_csr(base)
+    heavy = weighted(base, seed=9)
+    assert heavy.edges is base.edges
+    assert adjacency_csr(heavy) is csr
+    reference = Topology(
+        base.n, base.edges, weights={e: heavy.weight(*e) for e in base.edges}
+    )
+    assert_topologies_identical(heavy, reference)
+    with pytest.raises(TopologyError):
+        base.with_weights({(0, 24): 3})  # not an edge
+
+
+# ----------------------------------------------------------------------
+# Partition fast paths
+# ----------------------------------------------------------------------
+
+
+def assert_partitions_identical(fast, reference):
+    assert fast.n == reference.n
+    assert fast.size == reference.size
+    assert fast.covered == reference.covered
+    assert fast.labels == reference.labels
+    assert fast.parts == reference.parts
+
+
+PARTITION_CASES = {
+    "voronoi": lambda fast: partitions.voronoi(
+        generators.grid(7, 9), 6, seed=2, fast=fast
+    ),
+    "voronoi-full": lambda fast: partitions.voronoi(
+        generators.torus(5, 5), 25, seed=1, fast=fast
+    ),
+    "rows": lambda fast: partitions.grid_rows(7, 9, fast=fast),
+    "bands": lambda fast: partitions.grid_bands(7, 9, 3, fast=fast),
+    "columns": lambda fast: partitions.grid_columns(7, 9, fast=fast),
+    "arcs": lambda fast: partitions.cycle_arcs(64, 8, 1, fast=fast),
+    "arcs-rounding": lambda fast: partitions.cycle_arcs(10, 7, fast=fast),
+}
+
+
+@pytest.mark.parametrize("name", sorted(PARTITION_CASES))
+def test_partition_fast_path_identical(name):
+    build = PARTITION_CASES[name]
+    assert_partitions_identical(build(True), build(False))
+
+
+def test_from_dense_labels_matches_from_labels():
+    labels = [0, 0, 1, -1, 2, 1, 2]
+    fast = partitions.Partition.from_dense_labels(labels, 3)
+    reference = partitions.Partition.from_labels(
+        [None if x == -1 else x for x in labels]
+    )
+    assert_partitions_identical(fast, reference)
+
+
+def test_from_dense_labels_infers_part_count():
+    p = partitions.Partition.from_dense_labels([0, 1, 1, -1])
+    assert p.size == 2
+    assert p.covered == 3
+
+
+def test_from_dense_labels_rejects_empty_part():
+    with pytest.raises(TopologyError):
+        partitions.Partition.from_dense_labels([0, 0, 2], 3)
+
+
+def test_from_dense_labels_rejects_out_of_range_label():
+    with pytest.raises(TopologyError):
+        partitions.Partition.from_dense_labels([0, 5], 2)
+
+
+def test_reference_constructor_still_validates():
+    with pytest.raises(TopologyError):
+        partitions.Partition(4, [[0, 1], [1, 2]])  # overlap
+    with pytest.raises(TopologyError):
+        partitions.Partition(4, [[0], []])  # empty part
+    with pytest.raises(TopologyError):
+        partitions.Partition(3, [[0, 7]])  # out of range
+    # Duplicates within one part collapse (frozenset semantics).
+    p = partitions.Partition(4, [[0, 0, 1], [2]])
+    assert p.members(0) == frozenset({0, 1})
+    assert p.covered == 3

@@ -74,11 +74,26 @@ def test_cycle_with_hub_bad_spokes():
         generators.cycle_with_hub(10, 0)
 
 
+@pytest.mark.skipif(
+    not generators.geometry_available(),
+    reason="delaunay needs the geometry extra (numpy + scipy)",
+)
 def test_delaunay_planar_connected():
     t = generators.delaunay(80, seed=1)
     assert t.n == 80
     planar, _ = nx.check_planarity(t.to_networkx())
     assert planar
+
+
+def test_delaunay_missing_geometry_extra_hint(monkeypatch):
+    # Simulate the geometry extra being absent: a None entry makes
+    # `import numpy` raise ImportError, and the generator must convert
+    # that into a TopologyError carrying the install hint.
+    import sys
+
+    monkeypatch.setitem(sys.modules, "numpy", None)
+    with pytest.raises(TopologyError, match="geometry"):
+        generators.delaunay(10, seed=1)
 
 
 def test_torus_regular_degree_four():

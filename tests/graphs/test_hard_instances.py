@@ -4,6 +4,7 @@ import math
 
 import networkx as nx
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import TopologyError
 from repro.graphs.hard_instances import peleg_rubinovich, square_instance
@@ -61,3 +62,92 @@ def test_invalid_parameters():
         peleg_rubinovich(0, 5)
     with pytest.raises(TopologyError):
         peleg_rubinovich(5, 0)
+
+
+# ----------------------------------------------------------------------
+# Property tests over sizes + fast-path/reference equivalence
+# ----------------------------------------------------------------------
+
+sizes = st.tuples(st.integers(1, 8), st.integers(1, 12))
+
+
+@settings(max_examples=40, deadline=None)
+@given(sizes)
+def test_structure_counts_formula(size):
+    """Node and edge counts follow the closed form at every size."""
+    n_paths, path_length = size
+    inst = peleg_rubinovich(n_paths, path_length)
+    columns = path_length + 1
+    n_leaves = 1
+    while n_leaves < columns:
+        n_leaves *= 2
+    tree_size = 2 * n_leaves - 1
+    assert inst.topology.n == n_paths * columns + tree_size
+    # Path edges + tree edges + one spoke per (path, column).
+    expected_m = (
+        n_paths * path_length + (tree_size - 1) + n_paths * columns
+    )
+    assert inst.topology.m == expected_m
+    assert inst.n_paths == n_paths
+    assert inst.path_length == path_length
+    assert len(inst.tree_nodes) == tree_size
+    assert inst.tree_root == n_paths * columns
+
+
+@settings(max_examples=40, deadline=None)
+@given(sizes)
+def test_connected_and_small_diameter(size):
+    """Connected at every size, with diameter O(log l) via the tree."""
+    n_paths, path_length = size
+    inst = peleg_rubinovich(n_paths, path_length)
+    distances = inst.topology.bfs_distances(inst.tree_root)
+    assert min(distances) >= 0  # connected (surplus leaves included)
+    depth = math.ceil(math.log2(path_length + 1)) + 1
+    # Root -> leaf -> path node; plus the same back up.
+    assert max(distances) <= depth + 1
+    assert inst.topology.diameter() <= 2 * (depth + 1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sizes)
+def test_spokes_touch_every_path(size):
+    """Column j's leaf is adjacent to column j of every path."""
+    n_paths, path_length = size
+    inst = peleg_rubinovich(n_paths, path_length)
+    for j in range(path_length + 1):
+        leaves = {
+            w
+            for w in inst.topology.neighbors(inst.paths[0][j])
+            if w in inst.tree_nodes
+        }
+        assert len(leaves) == 1
+        leaf = leaves.pop()
+        for i in range(n_paths):
+            assert inst.topology.has_edge(leaf, inst.paths[i][j])
+
+
+@settings(max_examples=40, deadline=None)
+@given(sizes)
+def test_fast_path_identical_to_reference(size):
+    """The array-native emission equals the reference constructor."""
+    n_paths, path_length = size
+    fast = peleg_rubinovich(n_paths, path_length, fast=True)
+    reference = peleg_rubinovich(n_paths, path_length, fast=False)
+    assert fast.paths == reference.paths
+    assert fast.tree_nodes == reference.tree_nodes
+    assert fast.tree_root == reference.tree_root
+    assert fast.topology.n == reference.topology.n
+    assert fast.topology.edges == reference.topology.edges
+    assert all(
+        fast.topology.neighbors(v) == reference.topology.neighbors(v)
+        for v in range(fast.topology.n)
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 10))
+def test_square_instance_equivalence(side):
+    fast = square_instance(side)
+    reference = square_instance(side, fast=False)
+    assert fast.topology.edges == reference.topology.edges
+    assert fast.topology.n >= side * (side + 1)

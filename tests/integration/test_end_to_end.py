@@ -1,6 +1,7 @@
 """End-to-end pipelines exercising the full public API."""
 
 import networkx as nx
+import pytest
 
 from repro.apps import (
     approximate_min_cut,
@@ -45,6 +46,10 @@ def test_mst_pipeline_on_three_topologies():
         assert result.weight == kruskal_reference(topology)[1]
 
 
+@pytest.mark.skipif(
+    not generators.geometry_available(),
+    reason="delaunay needs the geometry extra (numpy + scipy)",
+)
 def test_shortcut_and_baseline_agree_everywhere():
     topology = weighted(generators.delaunay(36, seed=7), seed=7)
     a = minimum_spanning_tree(topology, params="doubling", seed=8)

@@ -19,6 +19,11 @@ from repro.graphs import generators, partitions
 from repro.graphs.spanning_trees import SpanningTree
 
 
+needs_geometry = pytest.mark.skipif(
+    not generators.geometry_available(),
+    reason="delaunay needs the geometry extra (numpy + scipy)",
+)
+
 CASES = [
     ("grid", lambda: generators.grid(8, 8), 8),
     ("torus", lambda: generators.torus(6, 6), 6),
@@ -27,7 +32,16 @@ CASES = [
 ]
 
 
-@pytest.mark.parametrize("name,make,n_parts", CASES, ids=[c[0] for c in CASES])
+@pytest.mark.parametrize(
+    "name,make,n_parts",
+    [
+        pytest.param(*case, marks=needs_geometry)
+        if case[0] == "delaunay"
+        else case
+        for case in CASES
+    ],
+    ids=[c[0] for c in CASES],
+)
 def test_theorem3_quality_guarantees(name, make, n_parts):
     topology = make()
     tree = SpanningTree.bfs(topology, 0)

@@ -34,9 +34,15 @@ AXES = st.tuples(
 )
 
 
+# The delaunay family needs the optional geometry extra (numpy + scipy).
+_KINDS = ["grid", "er", "hub"] + (
+    ["delaunay"] if generators.geometry_available() else []
+)
+
+
 @st.composite
 def graphs(draw):
-    kind = draw(st.sampled_from(["grid", "er", "delaunay", "hub"]))
+    kind = draw(st.sampled_from(_KINDS))
     seed = draw(st.integers(0, 200))
     if kind == "grid":
         topology = generators.grid(draw(st.integers(3, 5)), draw(st.integers(3, 5)))

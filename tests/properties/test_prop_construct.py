@@ -28,10 +28,16 @@ settings.register_profile(
 settings.load_profile("repro-construct")
 
 
+# The delaunay family needs the optional geometry extra (numpy + scipy).
+_FAMILIES = ["grid", "ktree", "genus"] + (
+    ["delaunay"] if generators.geometry_available() else []
+)
+
+
 @st.composite
 def instances(draw):
     """One random instance from the planar/treewidth/genus families."""
-    family = draw(st.sampled_from(["grid", "delaunay", "ktree", "genus"]))
+    family = draw(st.sampled_from(_FAMILIES))
     seed = draw(st.integers(0, 400))
     if family == "grid":
         side = draw(st.integers(3, 6))
