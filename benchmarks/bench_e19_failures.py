@@ -1,0 +1,107 @@
+"""E19 — failure injection: incremental repair vs full rebuild.
+
+As a pytest benchmark this wraps :func:`repro.analysis.experiments.run_e19`
+like every other ``bench_eXX`` module.  Run directly as a script it
+also writes the machine-readable baseline::
+
+    python benchmarks/bench_e19_failures.py --scale paper \
+        --out BENCH_failures.json
+
+so the repair-vs-rebuild trajectory (rounds and wall time per family,
+degradation deltas, frozen fractions) is tracked alongside the
+simulator, quality, construction, application, and instance baselines.
+The JSON schema (``repro.bench_failures.v1``) is documented in
+``benchmarks/conftest.py``.
+
+The acceptance gate lives at **paper** scale: small-scale instances
+mostly converge in one or two CoreFast iterations, leaving a rebuild
+nothing to waste and repair nothing to skip, so the suite ratio there
+is only sanity-checked against regressions.
+"""
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+try:
+    from repro.analysis.experiments import run_e19
+except ImportError:  # direct script run without the package installed
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.analysis.experiments import run_e19
+
+# The headline acceptance bar (paper scale): the suite-pooled median
+# rebuild/repair round ratio AND the pooled wall-time ratio must both
+# show repair at least twice as fast as a full rebuild.
+MIN_LARGEST_SCALE_SPEEDUP = 2.0
+
+# Small-scale sanity floor: repair must never be meaningfully *slower*
+# than rebuilding, even where there is nothing to skip.
+MIN_SANITY_SPEEDUP = 0.8
+
+
+def test_e19_failure_repair(benchmark, scale):
+    # Deferred so the script path below works without pytest installed.
+    from conftest import run_experiment
+
+    result = run_experiment(benchmark, run_e19, scale)
+    # run_e19 itself ==-verifies every repaired and rebuilt shortcut in
+    # its survivor (assert_valid) and raises on any divergence.
+    if scale == "paper":
+        assert result.data["largest_scale_speedup"] >= MIN_LARGEST_SCALE_SPEEDUP
+    else:
+        assert result.data["suite_rounds_speedup"] >= MIN_SANITY_SPEEDUP
+    for family in result.data["families"]:
+        assert family["scenarios"], family["family"]
+
+
+def write_baseline(scale: str, out_path: Path) -> dict:
+    """Run E19 and write the ``BENCH_failures.json`` baseline file."""
+    result = run_e19(scale)
+    payload = dict(result.data)
+    payload["python"] = platform.python_version()
+    payload["machine"] = platform.machine()
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="paper", choices=["small", "paper"])
+    parser.add_argument(
+        "--out", default="BENCH_failures.json", type=Path,
+        help="where to write the baseline JSON",
+    )
+    parser.add_argument(
+        "--min-speedup", default=MIN_LARGEST_SCALE_SPEEDUP, type=float,
+        help="fail (exit 1) if min(suite rounds, suite wall) speedup is "
+        "below this; pass 0 for record-only mode",
+    )
+    args = parser.parse_args(argv)
+    payload = write_baseline(args.scale, args.out)
+    for family in payload["families"]:
+        print(
+            f"{family['family']:<20} n={family['n']:<5} "
+            f"disc={family['disconnected']} "
+            f"frozen={100 * family['mean_frozen_fraction']:.0f}% "
+            f"median={family['median_rounds_speedup']:.2f}x "
+            f"wall={family['wall_speedup']:.2f}x"
+        )
+    print(
+        f"suite: rounds {payload['suite_rounds_speedup']:.2f}x, "
+        f"wall {payload['suite_wall_speedup']:.2f}x "
+        f"(gate takes the min: {payload['largest_scale_speedup']:.2f}x)"
+    )
+    print(f"wrote {args.out}")
+    if payload["largest_scale_speedup"] < args.min_speedup:
+        print(
+            f"FAIL: repair-vs-rebuild speedup below {args.min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

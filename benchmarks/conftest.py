@@ -191,6 +191,56 @@ E18 additionally audits, on every family, that both pipelines built
 ``==``-identical structures (edges, adjacency, weights, tree parents,
 partition labels) and raises on any divergence; the full differential
 suite lives in ``tests/graphs/test_fastpath_equivalence.py``.
+
+BENCH_failures.json schema
+--------------------------
+
+``python benchmarks/bench_e19_failures.py --scale paper --out
+BENCH_failures.json`` writes the failure/repair baseline (schema id
+``repro.bench_failures.v1``): per failure scenario, the degradation of
+the survivor against the intact instance and the ledger/wall cost of
+:func:`repro.failures.repair.repair_shortcut` against its
+:func:`~repro.failures.repair.rebuild_shortcut` twin (both
+``==``-verified in the survivor by ``assert_valid``; the run raises on
+any invalid shortcut).  A JSON object with:
+
+* ``schema`` — the literal string ``"repro.bench_failures.v1"``.
+* ``scale`` — ``"small"`` or ``"paper"`` (the E19 instance sizes; the
+  acceptance gate lives at paper scale).
+* ``python`` / ``machine`` — interpreter version and architecture.
+* ``families`` — one entry per failure family (grid/torus/hub/
+  delaunay); each has:
+
+  - ``family`` / ``n`` / ``m`` / ``parts`` — instance label and sizes;
+  - ``baseline`` — intact congestion, block parameter, construction
+    rounds, MST weight and rounds;
+  - ``scenarios`` — one row per failure scenario: the scenario label /
+    kind / size, whether the survivor stayed connected (plus component
+    and components-aware MST/connectivity numbers when it did not),
+    quality deltas vs the baseline, and — on connected survivors —
+    ``repair_rounds`` / ``rebuild_rounds`` / ``rounds_speedup``,
+    wall seconds for both, ``frozen_fraction``, ``tree_rebuilt``, and
+    the resulting ``(c, b)`` pairs;
+  - ``disconnected`` — how many scenarios disconnected the survivor;
+  - ``rounds_speedups`` / ``median_rounds_speedup`` — the per-family
+    speedup sample and its median;
+  - ``repair_wall_s`` / ``rebuild_wall_s`` / ``wall_speedup`` —
+    aggregated wall time of all repairs vs all rebuilds;
+  - ``mean_frozen_fraction`` — average fraction of parts repair kept
+    frozen.
+
+* ``suite_rounds_speedup`` — median rebuild/repair round ratio pooled
+  over every connected scenario of every family (deterministic at any
+  ``REPRO_JOBS``).
+* ``suite_wall_speedup`` — pooled rebuild wall seconds / repair wall
+  seconds.
+* ``largest_scale_speedup`` — ``min`` of the two suite ratios; the
+  tracked headline number (CI gates it at >= 2 at paper scale).
+
+Wall-clock fields vary run to run; every other field — including each
+scenario's rounds and the suite rounds ratio — is deterministic and is
+what ``tests/properties/test_prop_failures.py`` pins across worker
+counts.
 """
 
 import os

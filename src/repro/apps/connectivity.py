@@ -40,12 +40,22 @@ MERGE_COIN_SALT = 0xC0C0
 
 @dataclass(frozen=True)
 class ConnectivityResult:
-    """Per-node component labels plus round accounting."""
+    """Per-node component labels plus round accounting.
+
+    ``components`` counts the *alive* components (the answer);
+    ``graph_components`` counts the connected components of the
+    underlying topology itself — ``1`` for the ordinary connected case.
+    On a disconnected topology the algorithm runs independently inside
+    every graph component (disjoint CONGEST networks execute
+    concurrently), so the ledger and phase count are the slowest
+    component's — the makespan.
+    """
 
     labels: Dict[int, int]
     components: int
     phases: int
     ledger: RoundLedger
+    graph_components: int = 1
 
     @property
     def rounds(self) -> int:
@@ -97,10 +107,23 @@ def connected_components(
     doubling searches; the ``backend=`` keyword (injected by
     :func:`~repro.core.partwise_fast.backend_parameter`) selects the
     simulate/direct partwise backend for every aggregation.
+
+    A disconnected topology is first-class: the labelling runs per
+    graph component and the result carries ``graph_components`` (see
+    :class:`ConnectivityResult`).
     """
     n = topology.n
     backend = get_default_backend()
     alive = _alive_set(alive_edges)
+    if not topology.is_connected:
+        return _components_per_piece(
+            topology,
+            alive,
+            use_shortcuts=use_shortcuts,
+            seed=seed,
+            max_phases=max_phases,
+            construct_mode=construct_mode,
+        )
     if max_phases is None:
         max_phases = 8 * max(1, math.ceil(math.log2(n + 1))) + 8
     ledger = RoundLedger()
@@ -204,4 +227,60 @@ def connected_components(
         components=len(set(canonical.values())),
         phases=phase,
         ledger=ledger,
+    )
+
+
+def _components_per_piece(
+    topology: Topology,
+    alive: FrozenSet[Edge],
+    *,
+    use_shortcuts: bool,
+    seed: int,
+    max_phases: Optional[int],
+    construct_mode: Optional[str],
+) -> ConnectivityResult:
+    """Components labelling on a disconnected topology.
+
+    Each graph component is a disjoint CONGEST network; the labelling
+    runs independently (and conceptually concurrently) inside each one,
+    with alive edges and the resulting minimum-id labels mapped through
+    the component's local-to-global node table.  The mapping preserves
+    label semantics because it is monotone: a component's local minimum
+    maps to the global minimum of the same alive-component.  The merged
+    ledger/phase count is the slowest component's — the makespan.
+    """
+    from repro.congest.topology import component_subtopologies
+
+    labels: Dict[int, int] = {}
+    total = 0
+    slowest: Optional[ConnectivityResult] = None
+    pieces = component_subtopologies(topology)
+    for index, (sub, nodes) in enumerate(pieces):
+        if sub.n <= 1:
+            labels[nodes[0]] = nodes[0]
+            total += 1
+            continue
+        local = {v: i for i, v in enumerate(nodes)}
+        sub_alive = [
+            (local[u], local[v]) for u, v in alive if u in local
+        ]
+        result = connected_components(
+            sub,
+            sub_alive,
+            use_shortcuts=use_shortcuts,
+            seed=mix(seed, index),
+            max_phases=max_phases,
+            construct_mode=construct_mode,
+        )
+        for v, label in result.labels.items():
+            labels[nodes[v]] = nodes[label]
+        total += result.components
+        if slowest is None or result.rounds > slowest.rounds:
+            slowest = result
+    return ConnectivityResult(
+        labels=labels,
+        components=total,
+        phases=slowest.phases if slowest is not None else 0,
+        ledger=slowest.ledger if slowest is not None else RoundLedger(),
+        graph_components=len(pieces),
     )

@@ -40,13 +40,20 @@ from repro.graphs.spanning_trees import SpanningTree
 
 @dataclass(frozen=True)
 class MinCutResult:
-    """An upper-bound cut found by the packing."""
+    """An upper-bound cut found by the packing.
+
+    On a disconnected topology the minimum cut is exactly ``0``: the
+    result reports it explicitly (``value=0``, ``cut_edges`` empty,
+    ``side`` = the first connected component as the certificate, and
+    ``components`` > 1) instead of failing inside the packing loop.
+    """
 
     value: int
     cut_edges: FrozenSet[Edge]
     side: FrozenSet[int]
     trees_packed: int
     ledger: RoundLedger
+    components: int = 1
 
     @property
     def rounds(self) -> int:
@@ -174,6 +181,18 @@ def approximate_min_cut(
     kernels and the partwise backend of those inner MSTs.
     """
     n = topology.n
+    components = topology.components()
+    if len(components) > 1:
+        # The cut value is 0, certified by any single component; no
+        # packing (and no rounds) needed.
+        return MinCutResult(
+            value=0,
+            cut_edges=frozenset(),
+            side=frozenset(components[0]),
+            trees_packed=0,
+            ledger=RoundLedger(),
+            components=len(components),
+        )
     if trees is None:
         trees = max(3, math.ceil(3 * math.log2(n + 1)))
     ledger = RoundLedger()

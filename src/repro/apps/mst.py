@@ -74,13 +74,23 @@ class PhaseRecord:
 
 @dataclass(frozen=True)
 class MSTResult:
-    """Output of a distributed MST computation."""
+    """Output of a distributed MST computation.
+
+    On a disconnected topology the result is the minimum spanning
+    *forest*: ``edges``/``weight`` aggregate the per-component MSTs and
+    ``components`` reports the explicit component count (``1`` for the
+    ordinary connected case).  Components are disjoint networks that
+    run concurrently in the CONGEST model, so ``ledger`` (and hence
+    ``rounds``) is the slowest component's — the makespan — and
+    ``phases`` / ``phase_records`` describe that same component.
+    """
 
     edges: FrozenSet[Edge]
     weight: int
     phases: int
     ledger: RoundLedger
     phase_records: Tuple[PhaseRecord, ...]
+    components: int = 1
 
     @property
     def rounds(self) -> int:
@@ -168,7 +178,10 @@ def minimum_spanning_tree(
     ----------
     topology:
         A weighted topology (weights should be unique; use
-        :func:`repro.graphs.weights.weighted`).
+        :func:`repro.graphs.weights.weighted`).  A disconnected
+        topology is first-class: the result is the minimum spanning
+        forest with ``components`` set to the component count (see
+        :class:`MSTResult`).
     params:
         How per-phase shortcuts obtain their (c, b) promise:
 
@@ -196,6 +209,18 @@ def minimum_spanning_tree(
     """
     if params is None:
         params = "doubling"
+    if not topology.is_connected:
+        return _mst_forest(
+            topology,
+            params=params,
+            genus=genus,
+            c=c,
+            b=b,
+            use_fast=use_fast,
+            seed=seed,
+            max_phases=max_phases,
+            construct_mode=construct_mode,
+        )
     backend = get_default_backend()
     n = topology.n
     if max_phases is None:
@@ -293,8 +318,78 @@ def minimum_spanning_tree(
     )
 
 
+def _mst_forest(
+    topology: Topology,
+    *,
+    params: str,
+    genus: Optional[int],
+    c: Optional[int],
+    b: Optional[int],
+    use_fast: bool,
+    seed: int,
+    max_phases: Optional[int],
+    construct_mode: Optional[str],
+) -> MSTResult:
+    """Minimum spanning forest of a disconnected topology.
+
+    Runs the shortcut MST independently on every connected component
+    (components are disjoint CONGEST networks, so they genuinely run in
+    parallel) and aggregates: edges and weight are the union/sum, while
+    the ledger and phase records are the slowest component's — the
+    makespan of the parallel composition.  Singleton components
+    contribute nothing.
+    """
+    from repro.congest.topology import component_subtopologies
+
+    forest: set = set()
+    weight = 0
+    slowest: Optional[MSTResult] = None
+    pieces = component_subtopologies(topology)
+    for index, (sub, nodes) in enumerate(pieces):
+        if sub.n <= 1:
+            continue
+        result = minimum_spanning_tree(
+            sub,
+            params=params,
+            genus=genus,
+            c=c,
+            b=b,
+            use_fast=use_fast,
+            seed=mix(seed, index),
+            max_phases=max_phases,
+            construct_mode=construct_mode,
+        )
+        forest.update(
+            canonical_edge(nodes[u], nodes[v]) for u, v in result.edges
+        )
+        weight += result.weight
+        if slowest is None or result.rounds > slowest.rounds:
+            slowest = result
+    if slowest is None:
+        # Every component is a singleton: the forest is empty and no
+        # rounds are spent.
+        return MSTResult(
+            edges=frozenset(),
+            weight=0,
+            phases=0,
+            ledger=RoundLedger(),
+            phase_records=(),
+            components=len(pieces),
+        )
+    return MSTResult(
+        edges=frozenset(forest),
+        weight=weight,
+        phases=slowest.phases,
+        ledger=slowest.ledger,
+        phase_records=slowest.phase_records,
+        components=len(pieces),
+    )
+
+
 def kruskal_reference(topology: Topology) -> Tuple[FrozenSet[Edge], int]:
-    """Centralized exact MST (validation oracle for the distributed one)."""
+    """Centralized exact MST — or minimum spanning *forest* on a
+    disconnected topology (validation oracle for the distributed one,
+    components-aware in the same way)."""
     parent = list(range(topology.n))
 
     def find(x: int) -> int:

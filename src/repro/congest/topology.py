@@ -324,6 +324,106 @@ class Topology:
         twin._kernels = self._kernels
         return twin
 
+    def delete_edges(
+        self,
+        failed: Iterable[Tuple[int, int]],
+        *,
+        require_connected: bool = False,
+    ) -> "Topology":
+        """Derive the surviving topology after an edge-failure set.
+
+        The failure layer's fast path: one filter pass over the sorted
+        canonical edge array (which therefore *stays* canonical and
+        sorted — no re-validation scan, no re-sort), weights restricted
+        to the survivors, and a **fresh** kernel cache.  Unlike
+        :meth:`with_weights`, the survivor must not share this
+        topology's ``_kernels`` / ``_edge_set`` / ``_adj``: every one of
+        those is a function of the edge array, and the edge array just
+        changed.
+
+        Deleting an edge that is not in the graph raises
+        :class:`TopologyError` (a failure scenario naming a non-edge is
+        a bug in the scenario, not a no-op).
+
+        ``require_connected`` defaults to **False** — failure scenarios
+        that disconnect the graph are first-class; inspect the result
+        via :meth:`components` / :attr:`is_connected` instead of
+        catching an error.
+        """
+        edge_set = self._edge_lookup()
+        doomed = set()
+        for u, v in failed:
+            e = canonical_edge(u, v)
+            if e not in edge_set:
+                raise TopologyError(f"cannot delete non-edge {e}")
+            doomed.add(e)
+        survivors: Tuple[Edge, ...] = tuple(
+            e for e in self._edges if e not in doomed
+        )
+        twin = Topology.__new__(Topology)
+        twin._n = self._n
+        twin._edges = survivors
+        # NOT shared (unlike with_weights): the edge array differs, so
+        # every derived structure must be rebuilt on demand.
+        twin._edge_set = None
+        twin._adj = None
+        twin._kernels = {}
+        if self._weights is None:
+            twin._weights = None
+        else:
+            twin._weights = {
+                e: w for e, w in self._weights.items() if e not in doomed
+            }
+        if require_connected and not twin._check_connected():
+            raise TopologyError(
+                f"deleting {len(doomed)} edges disconnects the topology"
+            )
+        return twin
+
+    # ------------------------------------------------------------------
+    # Connectivity structure
+    # ------------------------------------------------------------------
+
+    def components(self) -> Tuple[Tuple[int, ...], ...]:
+        """The connected components as sorted node tuples (cached).
+
+        Components are ordered by their minimum node id; a connected
+        topology has exactly one.  This is the explicit,
+        non-exceptional way to observe disconnection (e.g. after
+        :meth:`delete_edges`): layers that need a connected graph check
+        :attr:`is_connected` and report the components instead of
+        failing deep inside a BFS.
+        """
+        cached = self._kernels.get("components")
+        if cached is None:
+            n = self._n
+            parent = list(range(n))
+
+            def find(x: int) -> int:
+                while parent[x] != x:
+                    parent[x] = parent[parent[x]]
+                    x = parent[x]
+                return x
+
+            for u, v in self._edges:
+                ru, rv = find(u), find(v)
+                if ru != rv:
+                    parent[ru] = rv
+            groups: Dict[int, List[int]] = {}
+            for v in range(n):
+                groups.setdefault(find(v), []).append(v)
+            cached = tuple(
+                tuple(members)
+                for members in sorted(groups.values(), key=lambda ms: ms[0])
+            )
+            self._kernels["components"] = cached
+        return cached
+
+    @property
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (component count is one)."""
+        return len(self.components()) == 1
+
     # ------------------------------------------------------------------
     # Distances
     # ------------------------------------------------------------------
@@ -419,3 +519,56 @@ class Topology:
     def __repr__(self) -> str:
         tag = "weighted" if self.is_weighted else "unweighted"
         return f"Topology(n={self._n}, m={self.m}, {tag})"
+
+
+def component_subtopologies(
+    topology: Topology,
+) -> List[Tuple[Topology, Tuple[int, ...]]]:
+    """Split a (possibly disconnected) topology into standalone pieces.
+
+    Returns one ``(subtopology, nodes)`` pair per connected component,
+    in :meth:`Topology.components` order; ``nodes[local]`` is the global
+    id of the component's local node ``local``.  Each piece is built
+    array-natively: the global canonical edge array is dispatched in a
+    single pass, and because the per-component node tuples are ascending
+    the relabelling is monotone — each piece's edge list comes out
+    already canonical and sorted, so :meth:`Topology.from_arrays` gets a
+    trusted input (connectivity of each piece holds by construction and
+    is not re-checked).  Weights are carried over per surviving edge.
+
+    This is the shared substrate of the components-aware application
+    results (MST forest, per-component connectivity): run the connected
+    algorithm on each piece, then map node ids back through ``nodes``.
+    """
+    components = topology.components()
+    if len(components) == 1:
+        return [(topology, tuple(range(topology.n)))]
+    local = [-1] * topology.n
+    comp_of = [-1] * topology.n
+    for index, members in enumerate(components):
+        for i, v in enumerate(members):
+            local[v] = i
+            comp_of[v] = index
+    edge_lists: List[List[Edge]] = [[] for _ in components]
+    weight_dicts: List[Optional[Dict[Edge, int]]] = [
+        {} if topology.is_weighted else None for _ in components
+    ]
+    for u, v in topology.edges:
+        index = comp_of[u]
+        e = (local[u], local[v])
+        edge_lists[index].append(e)
+        weights = weight_dicts[index]
+        if weights is not None:
+            weights[e] = topology.weight(u, v)
+    return [
+        (
+            Topology.from_arrays(
+                len(members),
+                edge_lists[index],
+                weights=weight_dicts[index],
+                require_connected=False,
+            ),
+            members,
+        )
+        for index, members in enumerate(components)
+    ]

@@ -88,6 +88,7 @@ def find_shortcut_doubling(
     ledger: Optional[RoundLedger] = None,
     mode: Optional[str] = None,
     warm_start: bool = True,
+    initial_state: Optional[ConstructionState] = None,
 ) -> DoublingResult:
     """Construct a shortcut with no prior knowledge of (c, b).
 
@@ -102,6 +103,13 @@ def find_shortcut_doubling(
     restart-from-scratch behaviour for comparisons.  ``mode`` selects
     simulate vs direct execution exactly as in
     :func:`~repro.core.find_shortcut.find_shortcut`.
+
+    ``initial_state`` seeds the *first* trial with an externally built
+    :class:`~repro.core.find_shortcut.ConstructionState` — the
+    incremental-repair entry point (:mod:`repro.failures.repair`): parts
+    untouched by an edge-failure set stay frozen and only the broken
+    ones are constructed for.  Like every warm start it is revalidated
+    against the actual topology/tree/partition before use.
     """
     mode = resolve_mode(mode)
     if ledger is None:
@@ -116,7 +124,7 @@ def find_shortcut_doubling(
                 topology, tree, seed=seed, ledger=ledger
             )
     trials: List[Trial] = []
-    carried: Optional[ConstructionState] = None
+    carried: Optional[ConstructionState] = initial_state
     c, b = max(1, c_start), max(1, b_start)
     # A tight per-trial budget: the halving argument needs ~log2 N
     # iterations when the estimates are adequate, so a trial that

@@ -34,7 +34,7 @@ from repro.congest.randomness import (
     mix,
     share_randomness,
 )
-from repro.congest.topology import Topology
+from repro.congest.topology import Edge, Topology
 from repro.congest.trace import RoundLedger
 from repro.core.construct_fast import (
     resolve_mode,
@@ -62,6 +62,73 @@ class ConstructionState:
     remaining: FrozenSet[int]
     shortcut: TreeRestrictedShortcut
     good_history: Tuple[FrozenSet[int], ...]
+
+    def revalidated_for(
+        self,
+        topology: Topology,
+        tree: SpanningTree,
+        partition: Partition,
+    ) -> "ConstructionState":
+        """Re-anchor this state on the given topology/tree/partition.
+
+        A frozen good part is only reusable if its guarantees still
+        hold where the warm start is about to run: its members must be
+        unchanged and still induce a connected subgraph of
+        ``topology``, and every edge of its frozen ``H_i`` must exist
+        both in ``topology`` and in ``tree``.  Parts failing any check
+        are demoted back into ``remaining`` with an empty subgraph —
+        silently reusing them would smuggle invalid shortcuts (e.g.
+        over failed edges) past Verification, which only ever re-checks
+        *remaining* parts.
+
+        The returned state's shortcut is rebuilt over the *given* tree
+        and partition objects so the construction's ``merged_with``
+        identity checks hold.  The unchanged-instance case (the
+        Appendix A doubling loop) passes every check and degrades to a
+        pure re-wrap.  Incompatible partition shapes raise
+        :class:`~repro.errors.ShortcutError` — the caller must re-derive
+        a state aligned with its partition (see
+        :func:`repro.failures.repair.repair_shortcut`).
+        """
+        from repro.errors import ShortcutError
+        from repro.graphs.partitions import _is_connected_subset
+
+        old = self.shortcut
+        if old.partition.n != partition.n or old.partition.size != partition.size:
+            raise ShortcutError(
+                f"warm-start state is over {old.partition.size} parts / "
+                f"{old.partition.n} nodes, construction over "
+                f"{partition.size} parts / {partition.n} nodes; re-derive "
+                f"the state for the new partition instead of reusing it"
+            )
+        tree_edges = tree.edges
+        remaining = set(self.remaining)
+        subgraphs: List[FrozenSet[Edge]] = []
+        for index in range(partition.size):
+            if index in remaining:
+                subgraphs.append(frozenset())
+                continue
+            subgraph = old.subgraph(index)
+            valid = all(
+                edge in tree_edges and topology.has_edge(*edge)
+                for edge in subgraph
+            )
+            if valid and old.partition.members(index) != partition.members(index):
+                valid = False
+            if valid and not _is_connected_subset(
+                topology, partition.members(index)
+            ):
+                valid = False
+            if valid:
+                subgraphs.append(subgraph)
+            else:
+                remaining.add(index)
+                subgraphs.append(frozenset())
+        return ConstructionState(
+            remaining=frozenset(remaining),
+            shortcut=TreeRestrictedShortcut(tree, partition, subgraphs),
+            good_history=self.good_history,
+        )
 
 
 @dataclass(frozen=True)
@@ -134,7 +201,12 @@ def find_shortcut(
         A :class:`ConstructionState` from a previous failed run: only
         its ``remaining`` parts are constructed for, on top of its
         already-frozen subgraphs.  Used by the doubling driver so a
-        doubled-parameter retry does not redo finished parts.
+        doubled-parameter retry does not redo finished parts, and by
+        incremental repair (:mod:`repro.failures.repair`).  The state
+        is always revalidated against the given topology/tree/partition
+        first (:meth:`ConstructionState.revalidated_for`), so frozen
+        parts invalidated by topology changes are reconstructed rather
+        than reused.
 
     Ledger cost model
     -----------------
@@ -177,6 +249,10 @@ def find_shortcut(
             )
 
     if warm_start is not None:
+        # Never trust a carried state blindly: the topology may have
+        # changed under it (edge failures, repair).  Revalidation
+        # demotes any frozen part whose guarantees no longer hold.
+        warm_start = warm_start.revalidated_for(topology, tree, partition)
         remaining = set(warm_start.remaining)
         accumulated = warm_start.shortcut
     else:

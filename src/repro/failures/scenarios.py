@@ -1,0 +1,325 @@
+"""Failure-scenario generation.
+
+The paper's shortcut framework is stated for static graphs; this module
+supplies the edge-failure sets under which the rest of
+:mod:`repro.failures` stresses it.  Three generators are provided,
+mirroring how the networking literature enumerates failures:
+
+* :func:`enumerate_kwise` — exhaustive ``k``-wise enumeration (every
+  set of exactly ``k`` edges), with deterministic subsampling when the
+  binomial explodes;
+* :func:`sample_bernoulli` — seeded probabilistic sampling with
+  independent per-edge failure probabilities;
+* :func:`srlg_groups` / :func:`sample_srlg` — shared-risk link groups
+  keyed on generator structure (a grid row fails as one trench cut, all
+  hub spokes fail with the hub), with a node-incidence fallback for
+  families without registered structure.
+
+Every generator is deterministic under a fixed seed: scenario ``s``
+draws from ``random.Random(mix(seed, s))``, so regenerating a suite —
+in any order, from any worker — yields identical scenarios.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.congest.randomness import mix
+from repro.congest.topology import Edge, Topology, canonical_edge
+from repro.errors import ReproError, TopologyError
+from repro.graphs.csr import adjacency_csr
+from repro.graphs.generators import grid_node
+
+SCENARIO_SALT = 0xFA11
+
+
+@dataclass(frozen=True)
+class FailureScenario:
+    """One edge-failure set.
+
+    ``edges`` is canonical and sorted; ``kind`` records the generator
+    (``"kwise"`` / ``"bernoulli"`` / ``"srlg"``) and ``label`` is a
+    stable human-readable tag for tables and logs.
+    """
+
+    edges: Tuple[Edge, ...]
+    kind: str
+    label: str
+
+    @property
+    def size(self) -> int:
+        """Number of failed edges."""
+        return len(self.edges)
+
+
+def _scenario(
+    topology: Topology, edges: Iterable[Edge], kind: str, label: str
+) -> FailureScenario:
+    canon = sorted({canonical_edge(u, v) for u, v in edges})
+    for edge in canon:
+        if not topology.has_edge(*edge):
+            raise TopologyError(f"failure scenario names non-edge {edge}")
+    return FailureScenario(edges=tuple(canon), kind=kind, label=label)
+
+
+# ----------------------------------------------------------------------
+# Exhaustive k-wise enumeration
+# ----------------------------------------------------------------------
+
+
+def enumerate_kwise(
+    topology: Topology,
+    k: int,
+    *,
+    limit: Optional[int] = None,
+    seed: int = 0,
+) -> Tuple[FailureScenario, ...]:
+    """All (or a deterministic sample of) exactly-``k``-edge failures.
+
+    With ``limit=None`` this is the full ``C(m, k)`` enumeration in
+    lexicographic edge order.  When ``limit`` is smaller than the
+    binomial, ``limit`` distinct ``k``-subsets are rejection-sampled
+    from ``random.Random(mix(seed, SCENARIO_SALT))`` and emitted in
+    sorted order — the suite is identical for a fixed seed regardless
+    of where or how often it is generated.
+    """
+    if k < 1:
+        raise ReproError("k-wise enumeration needs k >= 1")
+    m = topology.m
+    if k > m:
+        raise ReproError(f"cannot fail k={k} of m={m} edges")
+    edges = topology.edges
+    total = 1
+    for i in range(k):
+        total = total * (m - i) // (i + 1)
+    if limit is None or total <= limit:
+        chosen: List[Tuple[int, ...]] = [
+            ids for ids in itertools.combinations(range(m), k)
+        ]
+    else:
+        rng = random.Random(mix(seed, SCENARIO_SALT))
+        picked = set()
+        while len(picked) < limit:
+            picked.add(tuple(sorted(rng.sample(range(m), k))))
+        chosen = sorted(picked)
+    return tuple(
+        _scenario(
+            topology,
+            [edges[i] for i in ids],
+            "kwise",
+            f"k{k}#{index}",
+        )
+        for index, ids in enumerate(chosen)
+    )
+
+
+# ----------------------------------------------------------------------
+# Seeded probabilistic sampling
+# ----------------------------------------------------------------------
+
+
+def sample_bernoulli(
+    topology: Topology,
+    n_scenarios: int,
+    probability: float = 0.05,
+    *,
+    probabilities: Optional[Dict[Edge, float]] = None,
+    seed: int = 0,
+) -> Tuple[FailureScenario, ...]:
+    """``n_scenarios`` independent per-edge Bernoulli failure draws.
+
+    Every edge fails independently with ``probability`` (or its
+    override in the ``probabilities`` map, keyed by canonical edge).
+    Scenarios that fail no edge are re-drawn with a fresh salt so every
+    returned scenario is non-trivial; the retry chain is part of the
+    deterministic seed schedule.
+    """
+    if probabilities is not None:
+        edge_set = frozenset(topology.edges)
+        for raw in probabilities:
+            if canonical_edge(*raw) not in edge_set:
+                raise TopologyError(f"failure probability for non-edge {raw}")
+    p_of = {}
+    if probabilities is not None:
+        p_of = {canonical_edge(*e): p for e, p in probabilities.items()}
+    scenarios: List[FailureScenario] = []
+    for index in range(n_scenarios):
+        failed: List[Edge] = []
+        for attempt in range(64):
+            rng = random.Random(mix(seed, index, SCENARIO_SALT + attempt))
+            failed = [
+                edge
+                for edge in topology.edges
+                if rng.random() < p_of.get(edge, probability)
+            ]
+            if failed:
+                break
+        if not failed:
+            raise ReproError(
+                f"no non-empty scenario drawn in 64 attempts "
+                f"(p={probability}, m={topology.m})"
+            )
+        scenarios.append(
+            _scenario(topology, failed, "bernoulli", f"p#{index}")
+        )
+    return tuple(scenarios)
+
+
+# ----------------------------------------------------------------------
+# SRLG-style correlated groups
+# ----------------------------------------------------------------------
+
+
+def _srlg_grid(topology: Topology, rows: int, cols: int) -> List[List[Edge]]:
+    """One group per grid row (its horizontal run) and per column
+    (its vertical run) — the trench-cut model of a mesh."""
+    groups: List[List[Edge]] = []
+    for r in range(rows):
+        run = [
+            canonical_edge(grid_node(r, c, cols), grid_node(r, c + 1, cols))
+            for c in range(cols - 1)
+        ]
+        if run:
+            groups.append(run)
+    for c in range(cols):
+        run = [
+            canonical_edge(grid_node(r, c, cols), grid_node(r + 1, c, cols))
+            for r in range(rows - 1)
+        ]
+        if run:
+            groups.append(run)
+    return groups
+
+
+def _srlg_torus(topology: Topology, rows: int, cols: int) -> List[List[Edge]]:
+    """Row rings and column rings of the toroidal grid."""
+    groups: List[List[Edge]] = []
+    for r in range(rows):
+        groups.append(
+            [
+                canonical_edge(
+                    grid_node(r, c, cols), grid_node(r, (c + 1) % cols, cols)
+                )
+                for c in range(cols)
+            ]
+        )
+    for c in range(cols):
+        groups.append(
+            [
+                canonical_edge(
+                    grid_node(r, c, cols), grid_node((r + 1) % rows, c, cols)
+                )
+                for r in range(rows)
+            ]
+        )
+    return groups
+
+
+def _srlg_hub(
+    topology: Topology, n_cycle: int, spoke_every: int
+) -> List[List[Edge]]:
+    """All hub spokes as one group (hub-site failure), plus each cycle
+    arc between consecutive spokes (a duct shared by the arc)."""
+    hub = n_cycle
+    groups: List[List[Edge]] = [
+        [canonical_edge(hub, v) for v in range(0, n_cycle, spoke_every)]
+    ]
+    anchors = list(range(0, n_cycle, spoke_every))
+    for i, start in enumerate(anchors):
+        stop = anchors[i + 1] if i + 1 < len(anchors) else n_cycle
+        arc = [
+            canonical_edge(v, (v + 1) % n_cycle) for v in range(start, stop)
+        ]
+        if arc:
+            groups.append(arc)
+    return groups
+
+
+def node_srlg_groups(topology: Topology) -> Tuple[Tuple[Edge, ...], ...]:
+    """The structure-free fallback: one group per node of degree >= 2,
+    containing all its incident edges (a node failure expressed as an
+    edge SRLG)."""
+    csr = adjacency_csr(topology)
+    groups: List[Tuple[Edge, ...]] = []
+    for v in range(csr.n):
+        neighbors = csr.neighbors(v)
+        if len(neighbors) >= 2:
+            groups.append(tuple(canonical_edge(v, w) for w in neighbors))
+    return tuple(groups)
+
+
+SRLG_BUILDERS: Dict[str, Callable[..., List[List[Edge]]]] = {
+    "grid": _srlg_grid,
+    "torus": _srlg_torus,
+    "hub": _srlg_hub,
+    "cycle_with_hub": _srlg_hub,
+}
+
+
+def srlg_groups(
+    topology: Topology,
+    family: Optional[str] = None,
+    **params: int,
+) -> Tuple[Tuple[Edge, ...], ...]:
+    """Shared-risk link groups for a topology.
+
+    ``family`` keys into :data:`SRLG_BUILDERS` (the generator-structure
+    registry — e.g. ``srlg_groups(g, "grid", rows=8, cols=8)``);
+    ``None`` or an unregistered family falls back to
+    :func:`node_srlg_groups`.  Every group is validated against the
+    topology's edge set.
+    """
+    builder = SRLG_BUILDERS.get(family) if family is not None else None
+    if builder is None:
+        return node_srlg_groups(topology)
+    edge_set = frozenset(topology.edges)
+    groups = []
+    for group in builder(topology, **params):
+        for edge in group:
+            if edge not in edge_set:
+                raise TopologyError(
+                    f"SRLG builder {family!r} produced non-edge {edge}"
+                )
+        groups.append(tuple(sorted(set(group))))
+    return tuple(groups)
+
+
+def sample_srlg(
+    topology: Topology,
+    groups: Sequence[Sequence[Edge]],
+    n_scenarios: int,
+    probability: float = 0.1,
+    *,
+    seed: int = 0,
+) -> Tuple[FailureScenario, ...]:
+    """``n_scenarios`` draws where each group fails independently with
+    ``probability`` and a failed group takes all its edges down.
+
+    Like :func:`sample_bernoulli`, empty draws are re-drawn on a
+    deterministic salt chain.
+    """
+    if not groups:
+        raise ReproError("sample_srlg needs at least one group")
+    scenarios: List[FailureScenario] = []
+    for index in range(n_scenarios):
+        failed: List[Edge] = []
+        for attempt in range(64):
+            rng = random.Random(mix(seed, index, SCENARIO_SALT + attempt, 1))
+            failed = [
+                edge
+                for group in groups
+                if rng.random() < probability
+                for edge in group
+            ]
+            if failed:
+                break
+        if not failed:
+            raise ReproError(
+                f"no non-empty SRLG scenario drawn in 64 attempts "
+                f"(p={probability}, groups={len(groups)})"
+            )
+        scenarios.append(_scenario(topology, failed, "srlg", f"srlg#{index}"))
+    return tuple(scenarios)

@@ -1,0 +1,104 @@
+"""Disconnected topologies are first-class in every application.
+
+A failure scenario that disconnects the survivor must not crash the
+application layer: MST returns the minimum spanning *forest*,
+connectivity labels per graph component, and min-cut reports the exact
+0-cut with a component certificate.  The ledger semantics everywhere:
+disjoint CONGEST networks run concurrently, so the reported rounds are
+the slowest component's (the makespan).
+"""
+
+import pytest
+
+from repro.apps.connectivity import connected_components
+from repro.apps.mincut import approximate_min_cut
+from repro.apps.mst import kruskal_reference, minimum_spanning_tree
+from repro.graphs import generators
+from repro.graphs.weights import weighted
+
+
+@pytest.fixture
+def split_grid():
+    """A 5x6 grid cut into two components (columns 0-2 | 3-5)."""
+    topology = weighted(generators.grid(5, 6), seed=4)
+    cut = [e for e in topology.edges if e[0] % 6 == 2 and e[1] % 6 == 3]
+    survivor = topology.delete_edges(cut)
+    assert not survivor.is_connected
+    return survivor
+
+
+@pytest.mark.parametrize("backend", ["simulate", "direct"])
+def test_mst_forest_matches_kruskal(split_grid, backend):
+    result = minimum_spanning_tree(
+        split_grid, seed=5, construct_mode="direct", backend=backend
+    )
+    edges, weight = kruskal_reference(split_grid)
+    assert result.components == 2
+    assert result.weight == weight
+    assert result.edges == edges
+    assert len(result.edges) == split_grid.n - 2
+    assert result.rounds > 0
+
+
+def test_mst_forest_with_singletons():
+    topology = weighted(generators.grid(3, 3), seed=1)
+    survivor = topology.delete_edges([(0, 1), (0, 3)])  # isolates node 0
+    result = minimum_spanning_tree(
+        survivor, seed=1, construct_mode="direct", backend="direct"
+    )
+    edges, weight = kruskal_reference(survivor)
+    assert result.components == 2
+    assert (result.edges, result.weight) == (edges, weight)
+
+
+@pytest.mark.parametrize("backend", ["simulate", "direct"])
+def test_connectivity_labels_per_component(split_grid, backend):
+    result = connected_components(
+        split_grid, split_grid.edges, seed=2,
+        construct_mode="direct", backend=backend,
+    )
+    assert result.graph_components == 2
+    assert result.components == 2
+    for component in split_grid.components():
+        lead = min(component)
+        assert all(result.labels[v] == lead for v in component)
+
+
+def test_connectivity_partial_alive_on_disconnected(split_grid):
+    # No alive edges at all: every node is its own component.
+    result = connected_components(
+        split_grid, [], seed=2, construct_mode="direct", backend="direct"
+    )
+    assert result.components == split_grid.n
+    assert result.labels == {v: v for v in split_grid.nodes}
+    assert result.graph_components == 2
+
+
+def test_mincut_reports_zero_cut(split_grid):
+    result = approximate_min_cut(
+        split_grid, seed=0, construct_mode="direct", backend="direct"
+    )
+    assert result.value == 0
+    assert result.cut_edges == frozenset()
+    assert result.components == 2
+    assert result.side == frozenset(split_grid.components()[0])
+    assert result.trees_packed == 0
+    assert result.rounds == 0
+
+
+def test_connected_case_keeps_default_component_fields():
+    topology = weighted(generators.grid(3, 3), seed=2)
+    mst = minimum_spanning_tree(
+        topology, seed=1, construct_mode="direct", backend="direct"
+    )
+    conn = connected_components(
+        topology, topology.edges, seed=1,
+        construct_mode="direct", backend="direct",
+    )
+    cut = approximate_min_cut(
+        topology, seed=1, construct_mode="direct", backend="direct"
+    )
+    assert mst.components == 1
+    assert conn.graph_components == 1
+    assert cut.components == 1
+    assert cut.value > 0

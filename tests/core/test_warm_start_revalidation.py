@@ -1,0 +1,146 @@
+"""Warm-start revalidation: frozen parts must be re-checked per instance.
+
+``ConstructionState.revalidated_for`` is the safety gate between the
+failure-repair layer and FindShortcut: a frozen good part whose world
+changed under it (lost members, lost subgraph edges, lost internal
+connectivity) must be demoted back to *remaining* — Verification only
+ever re-checks remaining parts, so silently reusing a stale frozen part
+would smuggle an invalid shortcut past it.
+"""
+
+import pytest
+
+from repro.core.doubling import find_shortcut_doubling
+from repro.core.find_shortcut import ConstructionState, find_shortcut
+from repro.errors import ShortcutError
+from repro.graphs import generators, partitions
+from repro.graphs.spanning_trees import SpanningTree
+
+
+def _all_frozen_state(outcome, partition):
+    """Wrap a finished construction as a fully-frozen warm start."""
+    return ConstructionState(
+        remaining=frozenset(),
+        shortcut=outcome.result.shortcut,
+        good_history=(),
+    )
+
+
+@pytest.fixture
+def torus_instance():
+    topology = generators.torus(4, 4)
+    partition = partitions.grid_rows(4, 4)
+    tree = SpanningTree.bfs(topology, 0)
+    outcome = find_shortcut_doubling(
+        topology, tree, partition, seed=5, mode="direct"
+    )
+    return topology, tree, partition, outcome
+
+
+def test_unchanged_instance_is_pure_rewrap(torus_instance):
+    topology, tree, partition, outcome = torus_instance
+    state = _all_frozen_state(outcome, partition)
+    revalidated = state.revalidated_for(topology, tree, partition)
+    assert revalidated.remaining == frozenset()
+    for part in range(partition.size):
+        assert revalidated.shortcut.subgraph(part) == (
+            outcome.result.shortcut.subgraph(part)
+        )
+    # Rebuilt over the *given* tree/partition objects for identity checks.
+    assert revalidated.shortcut.tree is tree
+    assert revalidated.shortcut.partition is partition
+
+
+def test_lost_internal_edge_demotes_only_that_part(torus_instance):
+    """The satellite regression: a frozen part loses an edge internal to
+    it — revalidation must demote exactly that part, keep the others
+    frozen, and the warm-started construction must still be valid."""
+    topology, tree, partition, outcome = torus_instance
+    state = _all_frozen_state(outcome, partition)
+    labels = partition.labels
+    # An intra-row edge that is in the tree (hence possibly in some H_i
+    # and certainly load-bearing for the frozen subgraph checks).
+    lost = next(
+        e for e in sorted(tree.edges) if labels[e[0]] == labels[e[1]]
+    )
+    broken_part = labels[lost[0]]
+    survivor = topology.delete_edges([lost])
+    new_tree = SpanningTree.bfs(survivor, 0)
+
+    revalidated = state.revalidated_for(survivor, new_tree, partition)
+    assert broken_part in revalidated.remaining
+    assert revalidated.shortcut.subgraph(broken_part) == frozenset()
+    for part in range(partition.size):
+        if part in revalidated.remaining:
+            continue
+        subgraph = revalidated.shortcut.subgraph(part)
+        assert subgraph == outcome.result.shortcut.subgraph(part)
+        assert all(edge in new_tree.edges for edge in subgraph)
+
+    # The demoted state still drives a valid construction.
+    result = find_shortcut(
+        survivor,
+        new_tree,
+        partition,
+        max(outcome.c, 2),
+        max(outcome.b, 2),
+        seed=5,
+        mode="direct",
+        warm_start=revalidated,
+    )
+    result.shortcut.validate_in(survivor)
+
+
+def test_part_with_failed_subgraph_edge_is_demoted(torus_instance):
+    """Deleting an H_i edge (tree edge used by the shortcut) demotes
+    every part whose frozen subgraph referenced it."""
+    topology, tree, partition, outcome = torus_instance
+    shortcut = outcome.result.shortcut
+    lost = None
+    for part in range(partition.size):
+        subgraph = shortcut.subgraph(part)
+        if subgraph:
+            lost = sorted(subgraph)[0]
+            break
+    if lost is None:
+        pytest.skip("construction used no shortcut edges on this seed")
+    survivor = topology.delete_edges([lost])
+    new_tree = SpanningTree.bfs(survivor, 0)
+    state = _all_frozen_state(outcome, partition)
+    revalidated = state.revalidated_for(survivor, new_tree, partition)
+    for part in range(partition.size):
+        if lost in shortcut.subgraph(part):
+            assert part in revalidated.remaining
+
+
+def test_shape_mismatch_raises(torus_instance):
+    topology, tree, partition, outcome = torus_instance
+    state = _all_frozen_state(outcome, partition)
+    other = partitions.voronoi(topology, 3, seed=1)
+    with pytest.raises(ShortcutError, match="re-derive"):
+        state.revalidated_for(topology, tree, other)
+
+
+def test_find_shortcut_always_revalidates_warm_start(torus_instance):
+    """find_shortcut must not trust a warm start at face value: handing
+    it a state from the *intact* topology while constructing on the
+    survivor still yields a shortcut valid in the survivor."""
+    topology, tree, partition, outcome = torus_instance
+    state = _all_frozen_state(outcome, partition)
+    lost = sorted(tree.edges)[0]
+    survivor = topology.delete_edges([lost])
+    new_tree = SpanningTree.bfs(survivor, 0)
+    result = find_shortcut(
+        survivor,
+        new_tree,
+        partition,
+        max(outcome.c, 2),
+        max(outcome.b, 2),
+        seed=5,
+        mode="direct",
+        warm_start=state,
+    )
+    result.shortcut.validate_in(survivor)
+    for part in range(partition.size):
+        for edge in result.shortcut.subgraph(part):
+            assert edge != lost

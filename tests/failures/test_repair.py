@@ -1,0 +1,186 @@
+"""Incremental repair vs full rebuild: differential ==-verification."""
+
+import pytest
+
+from repro.core.doubling import find_shortcut_doubling
+from repro.errors import ShortcutError, TopologyError
+from repro.failures.repair import (
+    assert_valid,
+    patch_spanning_tree,
+    rebuild_shortcut,
+    repair_shortcut,
+    repair_vs_rebuild,
+    split_partition,
+)
+from repro.failures.scenarios import enumerate_kwise, sample_bernoulli
+from repro.graphs import generators, partitions
+from repro.graphs.spanning_trees import SpanningTree
+
+
+def _instances():
+    cases = [
+        ("grid", generators.grid(5, 5), 5),
+        ("torus", generators.torus(4, 4), 4),
+        ("hub", generators.cycle_with_hub(32, 4), 4),
+    ]
+    if generators.geometry_available():
+        cases.append(("delaunay", generators.delaunay(25, 3), 5))
+    return cases
+
+
+def _failure_suite(topology):
+    """k=1, k=2 and one Bernoulli draw — the failure-rate axis."""
+    suite = list(enumerate_kwise(topology, 1, limit=2, seed=11))
+    suite += enumerate_kwise(topology, 2, limit=2, seed=12)
+    suite += sample_bernoulli(topology, 1, 2.0 / topology.m, seed=13)
+    return suite
+
+
+@pytest.mark.parametrize(
+    "name,topology,n_parts",
+    [pytest.param(*case, id=case[0]) for case in _instances()],
+)
+def test_repair_matches_rebuild_across_families(name, topology, n_parts):
+    partition = partitions.voronoi(topology, n_parts, seed=7)
+    tree = SpanningTree.bfs(topology, 0)
+    old = find_shortcut_doubling(topology, tree, partition, seed=3, mode="direct")
+    compared = 0
+    for scenario in _failure_suite(topology):
+        survivor = topology.delete_edges(scenario.edges)
+        if not survivor.is_connected:
+            with pytest.raises(TopologyError, match="components"):
+                repair_shortcut(topology, old, scenario.edges, mode="direct")
+            continue
+        comparison = repair_vs_rebuild(
+            topology, old, scenario.edges, seed=3, mode="direct"
+        )
+        compared += 1
+        repaired = comparison.repair
+        # ==-validity of both sides is asserted inside repair_vs_rebuild
+        # (validate_in + full Verification sweep at 3b); on top, repair
+        # must never have re-run a part it promised to keep frozen.
+        old_subgraphs = {
+            old.result.shortcut.subgraph(origin)
+            for origin in range(partition.size)
+        }
+        for part in repaired.frozen_parts:
+            assert repaired.shortcut.subgraph(part) in old_subgraphs
+        assert repaired.frozen_parts | repaired.repaired_parts == set(
+            range(repaired.partition.size)
+        )
+        assert comparison.rounds_speedup > 0
+    assert compared > 0, f"no connected survivor in the {name} suite"
+
+
+def test_repair_untouched_failure_freezes_everything():
+    """A failed edge outside the tree and every H_i leaves nothing to
+    repair: zero construction iterations, everything frozen."""
+    topology = generators.torus(4, 4)
+    partition = partitions.grid_rows(4, 4)
+    tree = SpanningTree.bfs(topology, 0)
+    old = find_shortcut_doubling(topology, tree, partition, seed=1, mode="direct")
+    used = set(tree.edges)
+    for part in range(partition.size):
+        used |= old.result.shortcut.subgraph(part)
+    # An intra-row non-tree edge: it is in no H_i (those are tree
+    # edges) and a row of the torus is a cycle, so losing one internal
+    # edge cannot split the part either.
+    labels = partition.labels
+    spare = next(
+        (u, v)
+        for u, v in topology.edges
+        if (u, v) not in used and labels[u] == labels[v]
+    )
+    repaired = repair_shortcut(topology, old, [spare], mode="direct")
+    assert repaired.repaired_parts == frozenset()
+    assert not repaired.tree_rebuilt
+    assert repaired.tree is tree or repaired.tree.edges == tree.edges
+    assert_valid(repaired.survivor, repaired)
+
+
+def test_repair_rejects_disconnecting_failures():
+    topology = generators.path(6)
+    partition = partitions.voronoi(topology, 2, seed=0)
+    tree = SpanningTree.bfs(topology, 0)
+    old = find_shortcut_doubling(topology, tree, partition, seed=0, mode="direct")
+    with pytest.raises(TopologyError, match="2 components"):
+        repair_shortcut(topology, old, [(2, 3)], mode="direct")
+    with pytest.raises(TopologyError, match="component_subtopologies"):
+        rebuild_shortcut(topology, old, [(2, 3)], mode="direct")
+
+
+def test_repair_rejects_unknown_result_type():
+    topology = generators.grid(3, 3)
+    with pytest.raises(ShortcutError, match="DoublingResult"):
+        repair_shortcut(topology, object(), [(0, 1)])
+
+
+# ----------------------------------------------------------------------
+# patch_spanning_tree
+# ----------------------------------------------------------------------
+
+
+def test_patch_identity_when_no_tree_edge_failed():
+    topology = generators.grid(4, 4)
+    tree = SpanningTree.bfs(topology, 0)
+    non_tree = next(e for e in topology.edges if e not in tree.edges)
+    survivor = topology.delete_edges([non_tree])
+    patched, waves = patch_spanning_tree(survivor, tree, frozenset([non_tree]))
+    assert patched is tree
+    assert waves == 0
+
+
+@pytest.mark.parametrize("kill", [1, 2, 3])
+def test_patch_keeps_surviving_tree_edges(kill):
+    topology = generators.grid(5, 5)
+    tree = SpanningTree.bfs(topology, 0)
+    failed = frozenset(sorted(tree.edges)[:: 7][:kill])
+    survivor = topology.delete_edges(failed, require_connected=False)
+    if not survivor.is_connected:
+        pytest.skip("survivor disconnected for this cut")
+    patched, waves = patch_spanning_tree(survivor, tree, failed)
+    assert waves >= 1
+    patched.validate_in(survivor)
+    assert patched.root == tree.root
+    # The incremental guarantee: every surviving old tree edge is still
+    # a tree edge — only the failed ones were replaced.
+    assert tree.edges - failed <= patched.edges
+    assert len(patched.edges) == survivor.n - 1
+
+
+def test_patch_raises_on_disconnected_survivor():
+    topology = generators.path(5)
+    tree = SpanningTree.bfs(topology, 0)
+    failed = frozenset([(2, 3)])
+    survivor = topology.delete_edges(failed, require_connected=False)
+    with pytest.raises(TopologyError, match="disconnected"):
+        patch_spanning_tree(survivor, tree, failed)
+
+
+# ----------------------------------------------------------------------
+# split_partition
+# ----------------------------------------------------------------------
+
+
+def test_split_partition_identity_on_valid_partition():
+    topology = generators.grid(4, 4)
+    partition = partitions.grid_rows(4, 4)
+    new_partition, origin = split_partition(topology, partition)
+    assert origin == tuple(range(partition.size))
+    for part in range(partition.size):
+        assert new_partition.members(part) == partition.members(part)
+
+
+def test_split_partition_separates_broken_parts():
+    topology = generators.grid(4, 4)
+    partition = partitions.grid_rows(4, 4)
+    # Cut row 0 (nodes 0..3) in the middle: part 0 splits in two.
+    survivor = topology.delete_edges([(1, 2)], require_connected=False)
+    new_partition, origin = split_partition(survivor, partition)
+    assert new_partition.size == partition.size + 1
+    assert origin.count(0) == 2
+    assert origin.count(1) == 1
+    pieces = [
+        new_partition.members(i) for i, old in enumerate(origin) if old == 0
+    ]
+    assert sorted(map(sorted, pieces)) == [[0, 1], [2, 3]]

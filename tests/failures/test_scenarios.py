@@ -1,0 +1,126 @@
+"""Failure-scenario generation: determinism, validation, structure."""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError, TopologyError
+from repro.failures.scenarios import (
+    enumerate_kwise,
+    node_srlg_groups,
+    sample_bernoulli,
+    sample_srlg,
+    srlg_groups,
+)
+from repro.graphs import generators
+
+
+@pytest.fixture
+def grid4():
+    return generators.grid(4, 4)
+
+
+def test_kwise_exhaustive_covers_every_pair(grid4):
+    scenarios = enumerate_kwise(grid4, 2)
+    assert len(scenarios) == math.comb(grid4.m, 2)
+    assert len({s.edges for s in scenarios}) == len(scenarios)
+    for scenario in scenarios:
+        assert scenario.kind == "kwise"
+        assert scenario.size == 2
+        assert list(scenario.edges) == sorted(scenario.edges)
+        for edge in scenario.edges:
+            assert grid4.has_edge(*edge)
+
+
+def test_kwise_limit_is_deterministic_and_distinct(grid4):
+    a = enumerate_kwise(grid4, 3, limit=7, seed=5)
+    b = enumerate_kwise(grid4, 3, limit=7, seed=5)
+    assert a == b
+    assert len(a) == 7
+    assert len({s.edges for s in a}) == 7
+    other = enumerate_kwise(grid4, 3, limit=7, seed=6)
+    assert {s.edges for s in other} != {s.edges for s in a}
+
+
+def test_kwise_limit_above_binomial_is_exhaustive(grid4):
+    assert len(enumerate_kwise(grid4, 1, limit=10_000)) == grid4.m
+
+
+def test_kwise_rejects_bad_k(grid4):
+    with pytest.raises(ReproError):
+        enumerate_kwise(grid4, 0)
+    with pytest.raises(ReproError):
+        enumerate_kwise(grid4, grid4.m + 1)
+
+
+def test_bernoulli_deterministic_and_nonempty(grid4):
+    a = sample_bernoulli(grid4, 5, 0.1, seed=3)
+    b = sample_bernoulli(grid4, 5, 0.1, seed=3)
+    assert a == b
+    assert all(s.size >= 1 for s in a)
+    assert all(s.kind == "bernoulli" for s in a)
+
+
+def test_bernoulli_per_edge_probability_override(grid4):
+    doomed = grid4.edges[0]
+    scenarios = sample_bernoulli(
+        grid4, 4, 0.0, probabilities={doomed: 1.0}, seed=1
+    )
+    for scenario in scenarios:
+        assert scenario.edges == (doomed,)
+
+
+def test_bernoulli_rejects_nonedge_probability(grid4):
+    with pytest.raises(TopologyError):
+        sample_bernoulli(grid4, 1, 0.5, probabilities={(0, 15): 1.0})
+
+
+def test_srlg_grid_groups_are_rows_and_columns(grid4):
+    groups = srlg_groups(grid4, "grid", rows=4, cols=4)
+    # 4 horizontal runs + 4 vertical runs.
+    assert len(groups) == 8
+    assert sorted(edge for group in groups for edge in group) == sorted(
+        grid4.edges
+    )
+
+
+def test_srlg_hub_groups_spokes_and_arcs():
+    topology = generators.cycle_with_hub(16, 4)
+    groups = srlg_groups(topology, "hub", n_cycle=16, spoke_every=4)
+    spokes = groups[0]
+    assert all(16 in edge for edge in spokes)
+    assert len(spokes) == 4
+
+
+def test_srlg_unregistered_family_falls_back_to_nodes(grid4):
+    assert srlg_groups(grid4, "no-such-family") == node_srlg_groups(grid4)
+    assert srlg_groups(grid4) == node_srlg_groups(grid4)
+
+
+def test_node_srlg_groups_are_incident_edges(grid4):
+    groups = node_srlg_groups(grid4)
+    # Every grid node has degree >= 2, so one group per node.
+    assert len(groups) == grid4.n
+    by_size = sorted(len(g) for g in groups)
+    assert by_size[0] == 2 and by_size[-1] == 4
+
+
+def test_sample_srlg_fails_whole_groups(grid4):
+    groups = srlg_groups(grid4, "grid", rows=4, cols=4)
+    scenarios = sample_srlg(grid4, groups, 3, probability=1.0, seed=2)
+    for scenario in scenarios:
+        assert set(scenario.edges) == set(grid4.edges)
+    a = sample_srlg(grid4, groups, 3, probability=0.3, seed=4)
+    b = sample_srlg(grid4, groups, 3, probability=0.3, seed=4)
+    assert a == b
+    for scenario in a:
+        # Each failed group is contained wholesale.
+        failed = set(scenario.edges)
+        for group in groups:
+            overlap = failed & set(group)
+            assert overlap in (set(), set(group))
+
+
+def test_sample_srlg_rejects_empty_groups(grid4):
+    with pytest.raises(ReproError):
+        sample_srlg(grid4, [], 1)
