@@ -1,0 +1,109 @@
+"""E20 — fault-tolerant shortcut service: warm store and chaos storm.
+
+As a pytest benchmark this wraps :func:`repro.analysis.experiments.run_e20`
+like every other ``bench_eXX`` module.  Run directly as a script it
+also writes the machine-readable baseline::
+
+    python benchmarks/bench_e20_service.py --scale paper \
+        --out BENCH_service.json
+
+so the service trajectory (cold vs warm requests/sec per family,
+recovery-after-corruption latency, chaos-storm outcome counters) is
+tracked alongside the simulator, quality, construction, application,
+instance, and failure baselines.  The JSON schema
+(``repro.bench_service.v1``) is documented in ``benchmarks/conftest.py``.
+
+The acceptance gate holds at every scale: a warm store answers repeat
+requests without touching the construction stack, so pooled warm
+throughput must be at least 3x cold, and the seeded chaos storm must
+finish with zero wrong answers (the runner raises otherwise).
+"""
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+try:
+    from repro.analysis.experiments import run_e20
+except ImportError:  # direct script run without the package installed
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.analysis.experiments import run_e20
+
+# The headline acceptance bar: pooled warm requests/sec at least 3x the
+# pooled cold requests/sec.
+MIN_WARM_SPEEDUP = 3.0
+
+
+def test_e20_service(benchmark, scale):
+    # Deferred so the script path below works without pytest installed.
+    from conftest import run_experiment
+
+    result = run_experiment(benchmark, run_e20, scale)
+    # run_e20 itself asserts every warm response ==-matches its cold
+    # twin and that the chaos storm served zero wrong answers.
+    assert result.data["warm_speedup"] >= MIN_WARM_SPEEDUP
+    assert result.data["chaos"]["wrong"] == 0
+    for family in result.data["families"]:
+        assert family["warm_speedup"] >= MIN_WARM_SPEEDUP, family["family"]
+
+
+def write_baseline(scale: str, out_path: Path) -> dict:
+    """Run E20 and write the ``BENCH_service.json`` baseline file."""
+    result = run_e20(scale)
+    payload = dict(result.data)
+    payload["python"] = platform.python_version()
+    payload["machine"] = platform.machine()
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="paper", choices=["small", "paper"])
+    parser.add_argument(
+        "--out", default="BENCH_service.json", type=Path,
+        help="where to write the baseline JSON",
+    )
+    parser.add_argument(
+        "--min-speedup", default=MIN_WARM_SPEEDUP, type=float,
+        help="fail (exit 1) if the pooled warm/cold throughput ratio is "
+        "below this; pass 0 for record-only mode",
+    )
+    args = parser.parse_args(argv)
+    payload = write_baseline(args.scale, args.out)
+    for family in payload["families"]:
+        print(
+            f"{family['family']:<16} n={family['n']:<5} "
+            f"cold={family['cold_rps']:.1f}/s "
+            f"warm={family['warm_rps']:.1f}/s "
+            f"({family['warm_speedup']:.0f}x) "
+            f"recovery={1000 * family['recovery_s']:.1f}ms"
+        )
+    chaos = payload["chaos"]
+    print(
+        f"chaos: {chaos['requests']} requests, {chaos['correct']} correct "
+        f"({chaos['correct_warm']} warm), {chaos['clean_errors']} clean "
+        f"errors, {chaos['wrong']} wrong; injected {chaos['injected']}"
+    )
+    print(
+        f"pooled: cold {payload['cold_rps']:.1f}/s, "
+        f"warm {payload['warm_rps']:.1f}/s "
+        f"(speedup {payload['warm_speedup']:.1f}x)"
+    )
+    print(f"wrote {args.out}")
+    if payload["warm_speedup"] < args.min_speedup:
+        print(
+            f"FAIL: warm/cold throughput below {args.min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    if chaos["wrong"]:
+        print("FAIL: chaos storm served a wrong answer", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

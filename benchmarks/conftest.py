@@ -241,6 +241,54 @@ Wall-clock fields vary run to run; every other field — including each
 scenario's rounds and the suite rounds ratio — is deterministic and is
 what ``tests/properties/test_prop_failures.py`` pins across worker
 counts.
+
+BENCH_service.json schema
+-------------------------
+
+``python benchmarks/bench_e20_service.py --out BENCH_service.json``
+writes the shortcut-service baseline (schema id
+``repro.bench_service.v1``): cold vs warm request throughput of the
+store-backed :class:`repro.service.server.ShortcutService`, the
+recovery latency after on-disk corruption, and the outcome counters of
+a seeded chaos storm.  A JSON object with:
+
+* ``schema`` — the literal string ``"repro.bench_service.v1"``.
+* ``scale`` — ``"small"`` or ``"paper"`` (the E20 instance sizes).
+* ``python`` / ``machine`` — interpreter version and architecture.
+* ``families`` — one entry per :func:`service_families` instance; each
+  has:
+
+  - ``family`` / ``n`` / ``m`` / ``parts`` — instance label and sizes;
+  - ``cold_requests`` / ``cold_wall_s`` / ``cold_rps`` — the first
+    pass over every operation (hydration + construction per request);
+  - ``warm_requests`` / ``warm_wall_s`` / ``warm_rps`` — the repeat
+    passes, answered from the persistent store (every response carries
+    ``warm: true`` and a result ``==`` its cold twin, asserted by the
+    runner);
+  - ``warm_speedup`` — ``warm_rps / cold_rps``;
+  - ``recovery_s`` — wall seconds for one request after its committed
+    store entry was overwritten with garbage on disk: quarantine +
+    recompute + repopulate (the follow-up request must be warm again).
+
+* ``cold_rps`` / ``warm_rps`` — pooled request throughput over all
+  families.
+* ``warm_speedup`` — pooled ``warm_rps / cold_rps``; the tracked
+  headline number (CI gates it at >= 3).
+* ``recovery_s`` — mapping family -> recovery latency.
+* ``service`` — the service's own counters (requests, warm hits,
+  computed, single-flight joins, shed, deadline expiries, store
+  failures) plus the store's (hits, misses, writes, evictions,
+  quarantined, swept temp files).
+* ``chaos`` — the :class:`repro.service.chaos.ChaosReport` of a seeded
+  storm over the same families (entry corruption, IO-error windows,
+  read latency, killed writers, a zero-deadline probe per round, and a
+  real-HTTP round through the retrying client against a tiny queue).
+  ``wrong`` must be 0 — the runner raises otherwise — and
+  ``injected`` is deterministic for the fixed ``E20_SEED``.
+
+Throughput and latency fields vary run to run; the correctness fields
+(``warm`` flags, result equality, ``chaos.wrong == 0``) are asserted
+inside the runner itself.
 """
 
 import os

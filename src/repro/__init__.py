@@ -14,7 +14,10 @@ The library implements, from scratch:
   Ω̃(√n + D)-style baselines the paper compares against
   (:mod:`repro.apps`);
 * an **analysis harness** regenerating every quantitative claim of the
-  paper as a table (:mod:`repro.analysis`).
+  paper as a table (:mod:`repro.analysis`);
+* a **fault-tolerant shortcut service** — crash-safe persistent result
+  store, HTTP/JSON request broker, retrying client SDK, and a seeded
+  chaos harness (:mod:`repro.service`).
 """
 
 from repro._version import __version__

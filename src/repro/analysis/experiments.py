@@ -25,7 +25,9 @@ from __future__ import annotations
 
 import math
 import random
+import tempfile
 import time
+from pathlib import Path
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -103,6 +105,10 @@ from repro.graphs import generators, partitions
 from repro.graphs.hard_instances import square_instance
 from repro.graphs.spanning_trees import SpanningTree
 from repro.graphs.weights import hub_adversarial_weights, weighted
+from repro.service.chaos import run_chaos_suite
+from repro.service.client import spec_to_json
+from repro.service.server import PARAM_DEFAULTS, ShortcutService
+from repro.service.store import PersistentStore, spec_key
 
 
 @dataclass
@@ -1973,6 +1979,199 @@ def run_e19(scale: str = "small") -> ExperimentResult:
     )
 
 
+# ----------------------------------------------------------------------
+# E20 — fault-tolerant shortcut service: warm store and chaos storm
+# ----------------------------------------------------------------------
+
+E20_SEED = 20
+E20_OPS = ("shortcut", "mst", "connectivity")
+
+
+def service_families(scale: str) -> List[Tuple[str, InstanceSpec]]:
+    """Weighted, partitioned instances the service round-trips.
+
+    Every family supports all of :data:`E20_OPS` (weights for MST,
+    partitions for shortcut construction), and each has a reference
+    twin, so the chaos storm can check answers differentially.
+    """
+    big = scale == "paper"
+    side = 8 if big else 5
+    hub_n = 8 * side
+    return [
+        (
+            "grid/voronoi",
+            InstanceSpec(
+                "grid", (side, side), weights=("unique", 3),
+                partition=("voronoi", side, 1),
+            ),
+        ),
+        (
+            "torus/voronoi",
+            InstanceSpec(
+                "torus", (side, side), weights=("unique", 4),
+                partition=("voronoi", side, 2),
+            ),
+        ),
+        (
+            "hub/arcs",
+            InstanceSpec(
+                "hub", (hub_n, 4), weights=("unique", 5),
+                partition=("arcs", hub_n, 4, 1),
+            ),
+        ),
+    ]
+
+
+def run_e20(scale: str = "small") -> ExperimentResult:
+    """Fault-tolerant shortcut service: warm store and chaos storm.
+
+    Round-trips every :func:`service_families` instance through the
+    in-process :class:`~repro.service.server.ShortcutService` backed by
+    a :class:`~repro.service.store.PersistentStore`: the cold pass pays
+    hydration plus construction per operation, the warm passes must be
+    answered from the store (``warm`` flagged on every response, results
+    byte-identical to the cold pass), and a recovery pass corrupts a
+    committed entry on disk and times the quarantine-and-recompute
+    round trip.  A seeded :func:`~repro.service.chaos.run_chaos_suite`
+    storm (including a real-HTTP round) then asserts the service never
+    serves a wrong answer under injected faults.
+
+    The ``data`` dict carries the ``BENCH_service.json`` payload; see
+    ``benchmarks/conftest.py`` for the schema.  The benchmark gate
+    requires pooled warm throughput at least 3x cold.
+    """
+    warm_passes = 3 if scale == "paper" else 2
+    clear_instance_cache()
+    rows = []
+    total_cold_wall = total_warm_wall = 0.0
+    total_cold_requests = total_warm_requests = 0
+    with tempfile.TemporaryDirectory(prefix="repro-e20-") as tmp:
+        store = PersistentStore(Path(tmp) / "store")
+        service = ShortcutService(store, workers=2)
+        try:
+            for name, spec in service_families(scale):
+                body = {"spec": spec_to_json(spec)}
+
+                start = time.perf_counter()
+                cold = {}
+                for op in E20_OPS:
+                    response = service.handle(op, body)
+                    assert response.status == 200, response.body
+                    assert response.body["warm"] is False
+                    cold[op] = response.body["result"]
+                cold_wall = time.perf_counter() - start
+
+                start = time.perf_counter()
+                for _ in range(warm_passes):
+                    for op in E20_OPS:
+                        response = service.handle(op, body)
+                        assert response.status == 200, response.body
+                        assert response.body["warm"] is True
+                        assert response.body["result"] == cold[op]
+                warm_wall = time.perf_counter() - start
+
+                # Recovery: damage the committed entry for the first op
+                # and time the quarantine + recompute + repopulate trip.
+                key = spec_key(E20_OPS[0], spec, **PARAM_DEFAULTS)
+                store.path_for(key).write_bytes(b"chaos: damaged entry")
+                store.forget_memory(key)
+                quarantined_before = store.stats.quarantined
+                start = time.perf_counter()
+                recovered = service.handle(E20_OPS[0], body)
+                recovery_wall = time.perf_counter() - start
+                assert recovered.status == 200
+                assert recovered.body["result"] == cold[E20_OPS[0]]
+                assert store.stats.quarantined == quarantined_before + 1
+                rewarmed = service.handle(E20_OPS[0], body)
+                assert rewarmed.status == 200 and rewarmed.body["warm"] is True
+
+                cold_requests = len(E20_OPS)
+                warm_requests = len(E20_OPS) * warm_passes
+                total_cold_wall += cold_wall
+                total_warm_wall += warm_wall
+                total_cold_requests += cold_requests
+                total_warm_requests += warm_requests
+                instance = hydrate(spec)
+                rows.append(
+                    {
+                        "family": name,
+                        "n": instance.topology.n,
+                        "m": instance.topology.m,
+                        "parts": instance.partition.size,
+                        "cold_requests": cold_requests,
+                        "cold_wall_s": cold_wall,
+                        "cold_rps": cold_requests / cold_wall,
+                        "warm_requests": warm_requests,
+                        "warm_wall_s": warm_wall,
+                        "warm_rps": warm_requests / warm_wall,
+                        "warm_speedup": (
+                            (warm_requests / warm_wall)
+                            / (cold_requests / cold_wall)
+                        ),
+                        "recovery_s": recovery_wall,
+                    }
+                )
+            service_stats = service.stats_payload()
+        finally:
+            service.close()
+
+        chaos = run_chaos_suite(
+            Path(tmp) / "chaos",
+            seed=E20_SEED,
+            rounds=3 if scale == "paper" else 2,
+            specs=service_families(scale),
+            ops=E20_OPS,
+            use_http=True,
+        )
+    assert chaos.wrong == 0
+
+    cold_rps = total_cold_requests / total_cold_wall
+    warm_rps = total_warm_requests / total_warm_wall
+    table = Table(
+        "E20: shortcut service — warm store speedup and recovery",
+        [
+            "family", "n", "parts",
+            "cold req/s", "warm req/s", "speedup", "recovery ms",
+        ],
+    )
+    for row in rows:
+        table.add_row(
+            row["family"],
+            row["n"],
+            row["parts"],
+            round(row["cold_rps"], 1),
+            round(row["warm_rps"], 1),
+            round(row["warm_speedup"], 1),
+            round(1000 * row["recovery_s"], 1),
+        )
+    return ExperimentResult(
+        "E20",
+        "a warm store answers repeat requests without reconstruction",
+        table,
+        data={
+            "schema": "repro.bench_service.v1",
+            "scale": scale,
+            "families": rows,
+            "cold_rps": cold_rps,
+            "warm_rps": warm_rps,
+            "warm_speedup": warm_rps / cold_rps,
+            "recovery_s": {
+                row["family"]: row["recovery_s"] for row in rows
+            },
+            "service": service_stats,
+            "chaos": chaos.as_dict(),
+        },
+        notes="Cold requests pay hydration plus construction; warm "
+        "requests are store reads, checked byte-identical to their cold "
+        "twins.  Recovery corrupts a committed entry on disk and times "
+        "the quarantine-and-recompute round trip.  The chaos storm "
+        "(seeded corruption, IO errors, latency, killed writers, plus a "
+        "real-HTTP round with a tiny queue and a retrying client) must "
+        "finish with zero wrong answers; its counters ride along in "
+        "data['chaos'].",
+    )
+
+
 ALL_EXPERIMENTS: Dict[str, Callable[[str], ExperimentResult]] = {
     "E1": run_e01,
     "E2": run_e02,
@@ -1993,6 +2192,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[[str], ExperimentResult]] = {
     "E17": run_e17,
     "E18": run_e18,
     "E19": run_e19,
+    "E20": run_e20,
 }
 
 

@@ -33,6 +33,7 @@ content-addressable; register new families with
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
@@ -217,28 +218,72 @@ def reference_instance(spec: InstanceSpec) -> Instance:
 # The per-process cache
 # ----------------------------------------------------------------------
 
+# The experiment grids revisit a handful of specs, but a long-lived
+# process (the shortcut service) sees an open-ended stream of them, so
+# each cache is LRU-bounded: a hit refreshes recency, an insert past
+# the bound evicts the least recently used entry and counts it.
+CACHE_MAX_ENTRIES = 128
+
+
+class _BoundedLRU:
+    """Per-process LRU mapping with an eviction counter."""
+
+    def __init__(self, max_entries: int = CACHE_MAX_ENTRIES) -> None:
+        self.max_entries = max_entries
+        self.evictions = 0
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        if key not in self._data:
+            return None
+        self._data.move_to_end(key)
+        return self._data[key]
+
+    def __setitem__(self, key, value) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.max_entries:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.evictions = 0
+
+
 # Two levels: topologies (with weights applied) keyed by their builder
 # coordinates so specs differing only in partition/root share them, and
 # full instances keyed by the spec.  Per-process module globals — worker
 # processes each hydrate once, the parent never re-ships objects.
-_TOPOLOGY_CACHE: Dict[Tuple[str, Params, Optional[Params]], Topology] = {}
-_TREE_CACHE: Dict[Tuple[str, Params, Optional[Params], int], SpanningTree] = {}
-_INSTANCE_CACHE: Dict[InstanceSpec, Instance] = {}
+_TOPOLOGY_CACHE: _BoundedLRU = _BoundedLRU()
+_TREE_CACHE: _BoundedLRU = _BoundedLRU()
+_INSTANCE_CACHE: _BoundedLRU = _BoundedLRU()
 
 
 def clear_instance_cache() -> None:
-    """Drop every cached topology, tree, and instance (test isolation)."""
+    """Drop every cached topology, tree, and instance (test isolation).
+
+    Also resets the eviction counters.
+    """
     _TOPOLOGY_CACHE.clear()
     _TREE_CACHE.clear()
     _INSTANCE_CACHE.clear()
 
 
 def instance_cache_info() -> Dict[str, int]:
-    """Current cache sizes, for benchmarks and tests."""
+    """Current cache sizes and eviction counts, for benchmarks and tests."""
     return {
         "topologies": len(_TOPOLOGY_CACHE),
         "trees": len(_TREE_CACHE),
         "instances": len(_INSTANCE_CACHE),
+        "topology_evictions": _TOPOLOGY_CACHE.evictions,
+        "tree_evictions": _TREE_CACHE.evictions,
+        "instance_evictions": _INSTANCE_CACHE.evictions,
+        "max_entries": _TOPOLOGY_CACHE.max_entries,
     }
 
 

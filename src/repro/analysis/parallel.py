@@ -30,7 +30,8 @@ from __future__ import annotations
 import os
 import warnings
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Optional, TypeVar
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, Iterable, List, Optional, TypeVar
 
 from repro.congest.randomness import mix
 
@@ -67,23 +68,75 @@ def task_seed(base: int, index: int) -> int:
     return mix(base, index)
 
 
+def _pool_attempt(
+    fn: Callable[[T], R], indexed_tasks: List, workers: int
+) -> tuple:
+    """Run ``(index, task)`` pairs through one pool.
+
+    Returns ``(results, failed)``: per-index results plus the sorted
+    indices whose futures died with the pool (a crashed worker fails
+    every task in flight and poisons the executor).  Exceptions raised
+    *by the task itself* propagate unchanged.
+    """
+    results: Dict[int, R] = {}
+    failed: List[int] = []
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(indexed_tasks))
+    ) as pool:
+        futures = [
+            (index, pool.submit(fn, task)) for index, task in indexed_tasks
+        ]
+        for index, future in futures:
+            try:
+                results[index] = future.result()
+            except BrokenProcessPool:
+                failed.append(index)
+    return results, sorted(failed)
+
+
 def parallel_map(
     fn: Callable[[T], R], tasks: Iterable[T], *, jobs: Optional[int] = None
 ) -> List[R]:
     """Apply ``fn`` to every task, fanning out over processes.
 
     Results come back in task order regardless of completion order, so
-    a ``jobs=8`` run is indistinguishable from a serial one.  Falls
-    back to serial execution (with a warning) where worker processes
-    cannot be spawned at all.
+    a ``jobs=8`` run is indistinguishable from a serial one.
+
+    The fan-out survives worker crashes: a task whose worker process
+    dies (OOM kill, segfault, ``os._exit``) poisons the whole pool, so
+    the affected tasks are retried once in a fresh pool, and — if that
+    pool breaks too — finished serially in the parent, each step with a
+    warning.  Falls back to serial execution entirely where worker
+    processes cannot be spawned at all.  Exceptions *raised by a task*
+    are not retried; they propagate as in a serial run.
     """
     task_list = list(tasks)
     workers = min(resolve_jobs(jobs), len(task_list))
     if workers <= 1:
         return [fn(task) for task in task_list]
     try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, task_list))
+        results, failed = _pool_attempt(fn, list(enumerate(task_list)), workers)
+        if failed:
+            warnings.warn(
+                f"parallel_map: a worker process died; retrying "
+                f"{len(failed)} affected task(s) in a fresh pool",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            retried, failed = _pool_attempt(
+                fn, [(index, task_list[index]) for index in failed], workers
+            )
+            results.update(retried)
+        if failed:
+            warnings.warn(
+                f"parallel_map: worker processes keep dying; running "
+                f"{len(failed)} task(s) serially in the parent",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            for index in failed:
+                results[index] = fn(task_list[index])
+        return [results[index] for index in range(len(task_list))]
     except (OSError, PermissionError) as error:
         warnings.warn(
             f"parallel_map: cannot spawn worker processes ({error}); "

@@ -4,7 +4,7 @@ Usage::
 
     python -m repro.analysis.report [small|paper] [output-path]
 
-Runs every experiment E1–E19 and writes the paper-claim-vs-measured
+Runs every experiment E1–E20 and writes the paper-claim-vs-measured
 record.  The same tables print during ``pytest benchmarks/``.  Set
 ``REPRO_JOBS`` to fan the parallel-friendly runners out over worker
 processes (the output is identical at any worker count).
@@ -43,8 +43,10 @@ lives in ``repro.analysis.experiments`` (one ``run_eXX`` per claim,
 wrapped by ``benchmarks/bench_eXX_*.py``); E14–E18 track the
 simulator-engine, quality-kernel, construction-kernel,
 application-backend, and instance-pipeline throughput rather than a
-paper claim, and E19 stresses the framework under edge failures
-(degradation of survivors, incremental repair vs full rebuild).
+paper claim, E19 stresses the framework under edge failures
+(degradation of survivors, incremental repair vs full rebuild), and
+E20 exercises the fault-tolerant shortcut service (persistent-store
+warm path, recovery after corruption, seeded chaos storm).
 
 **Summary of reproduction status** (scale = ``{scale}``): every bound
 holds on every instance tested; the w.h.p. guarantees hold on every

@@ -1,0 +1,48 @@
+"""Long-lived shortcut service: persistent store, server, client, chaos.
+
+The fast-path era made one construction cheap; this package makes *many
+requests* cheap by promoting the per-process instance cache
+(:mod:`repro.analysis.instances`) to a crash-safe persistent layer and
+serving the whole application stack over HTTP/JSON:
+
+* :mod:`repro.service.store` — content-addressed on-disk result store
+  (atomic commits, per-entry checksums, corruption quarantine, bounded
+  LRU in front);
+* :mod:`repro.service.server` — thread-pool HTTP/JSON API with
+  per-request deadlines, single-flight deduplication, bounded queue
+  load-shedding, and graceful degradation to the cold path;
+* :mod:`repro.service.client` — SDK with timeouts and capped
+  exponential backoff + jitter on idempotent retries;
+* :mod:`repro.service.chaos` — deterministic fault-injection harness
+  (seeded, in the style of :mod:`repro.failures.scenarios`) asserting
+  the service never serves a wrong answer.
+
+Experiment E20 (``benchmarks/bench_e20_service.py``) tracks cold vs
+warm requests/sec and recovery-after-corruption latency in
+``BENCH_service.json``.
+"""
+
+from repro.service.chaos import ChaosReport, FaultSchedule, run_chaos_suite
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import (
+    OPERATIONS,
+    ServiceHandle,
+    ShortcutService,
+    serve,
+)
+from repro.service.store import PersistentStore, StoreStats, spec_key
+
+__all__ = [
+    "ChaosReport",
+    "FaultSchedule",
+    "OPERATIONS",
+    "PersistentStore",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHandle",
+    "ShortcutService",
+    "StoreStats",
+    "run_chaos_suite",
+    "serve",
+    "spec_key",
+]

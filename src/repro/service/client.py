@@ -1,0 +1,209 @@
+"""Client SDK for the shortcut service.
+
+A thin, dependency-free (urllib) client with the retry discipline a
+production caller needs:
+
+* **timeouts** on every HTTP call (``timeout_s``, default 30);
+* **capped exponential backoff with jitter** on idempotent retries:
+  attempt ``i`` sleeps ``min(cap, base * 2**i) * uniform(0.5, 1.0)``;
+  a ``Retry-After`` header (sent with ``503`` load-shedding) overrides
+  the computed delay;
+* retries fire only on *transient* outcomes — connection errors,
+  ``503`` (shed) and ``504`` (deadline expired; the server keeps
+  computing, so the retry usually lands warm).  ``4xx`` responses are
+  permanent and surface immediately.  Every service operation is a
+  deterministic pure computation, so POST retries are idempotent by
+  construction.
+
+The jitter stream is seeded (``jitter_seed``) so tests and the chaos
+harness get reproducible schedules; pass ``None`` for entropy in real
+deployments.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analysis.instances import InstanceSpec
+from repro.errors import ReproError
+
+DEFAULT_TIMEOUT_S = 30.0
+DEFAULT_MAX_RETRIES = 4
+DEFAULT_BACKOFF_BASE_S = 0.05
+DEFAULT_BACKOFF_CAP_S = 2.0
+
+RETRYABLE_STATUS = (503, 504)
+
+
+class ServiceError(ReproError):
+    """A request that conclusively failed (after any retries).
+
+    ``status`` is the HTTP status (``None`` for transport errors) and
+    ``kind`` the server's error kind (``"overload"``, ``"deadline"``,
+    ``"bad-request"``, ``"unprocessable"``, ``"internal"``,
+    ``"transport"``).
+    """
+
+    def __init__(
+        self, message: str, *, status: Optional[int] = None, kind: str = "transport"
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.kind = kind
+
+
+def spec_to_json(spec: InstanceSpec) -> Dict:
+    """The JSON form of a spec (inverse of ``server.parse_spec``)."""
+    payload: Dict = {"family": spec.family, "params": list(spec.params)}
+    if spec.weights is not None:
+        payload["weights"] = list(spec.weights)
+    if spec.partition is not None:
+        payload["partition"] = list(spec.partition)
+    if spec.tree_root != 0:
+        payload["tree_root"] = spec.tree_root
+    return payload
+
+
+@dataclass
+class ClientResult:
+    """One successful response."""
+
+    result: Dict
+    key: str
+    warm: bool
+    attempts: int
+
+
+class ServiceClient:
+    """HTTP client with timeouts and capped, jittered backoff."""
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        backoff_base_s: float = DEFAULT_BACKOFF_BASE_S,
+        backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
+        jitter_seed: Optional[int] = 0,
+        sleep=time.sleep,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self._rng = random.Random(jitter_seed)
+        self._sleep = sleep
+        self.retries_used = 0
+
+    # -- transport ------------------------------------------------------
+
+    def _http(
+        self, method: str, path: str, body: Optional[Dict] = None
+    ) -> tuple[int, Dict, Dict[str, str]]:
+        """One HTTP exchange -> (status, json body, headers)."""
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
+                return resp.status, json.loads(resp.read().decode("utf-8")), dict(
+                    resp.headers
+                )
+        except urllib.error.HTTPError as error:
+            try:
+                payload = json.loads(error.read().decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                payload = {"error": str(error), "kind": "transport"}
+            return error.code, payload, dict(error.headers or {})
+
+    def backoff_delay(self, attempt: int, retry_after: Optional[str] = None) -> float:
+        """The sleep before retry ``attempt`` (0-based)."""
+        if retry_after is not None:
+            try:
+                return max(0.0, float(retry_after))
+            except ValueError:
+                pass
+        capped = min(self.backoff_cap_s, self.backoff_base_s * (2 ** attempt))
+        return capped * (0.5 + 0.5 * self._rng.random())
+
+    # -- API ------------------------------------------------------------
+
+    def request(
+        self,
+        op: str,
+        spec: InstanceSpec,
+        *,
+        deadline_s: Optional[float] = None,
+        **params,
+    ) -> ClientResult:
+        """Run one operation, retrying transient failures.
+
+        Raises :class:`ServiceError` after exhausting retries or on any
+        permanent (4xx) failure.
+        """
+        body: Dict = {"spec": spec_to_json(spec), **params}
+        if deadline_s is not None:
+            body["deadline_s"] = deadline_s
+        last_error: Optional[ServiceError] = None
+        for attempt in range(self.max_retries + 1):
+            try:
+                status, payload, headers = self._http("POST", f"/v1/{op}", body)
+            except (urllib.error.URLError, OSError, TimeoutError) as error:
+                last_error = ServiceError(
+                    f"transport error calling {op}: {error}", kind="transport"
+                )
+                delay = self.backoff_delay(attempt)
+            else:
+                if status == 200:
+                    return ClientResult(
+                        result=payload["result"],
+                        key=payload.get("key", ""),
+                        warm=bool(payload.get("warm", False)),
+                        attempts=attempt + 1,
+                    )
+                kind = payload.get("kind", "transport")
+                message = payload.get("error", f"HTTP {status}")
+                if status not in RETRYABLE_STATUS:
+                    raise ServiceError(message, status=status, kind=kind)
+                last_error = ServiceError(message, status=status, kind=kind)
+                delay = self.backoff_delay(attempt, headers.get("Retry-After"))
+            if attempt < self.max_retries:
+                self.retries_used += 1
+                self._sleep(delay)
+        assert last_error is not None
+        raise last_error
+
+    def health(self) -> bool:
+        try:
+            status, payload, _headers = self._http("GET", "/healthz")
+        except (urllib.error.URLError, OSError, TimeoutError):
+            return False
+        return status == 200 and bool(payload.get("ok"))
+
+    def stats(self) -> Dict:
+        status, payload, _headers = self._http("GET", "/v1/stats")
+        if status != 200:
+            raise ServiceError(
+                f"stats endpoint returned {status}", status=status, kind="internal"
+            )
+        return payload
+
+    def operations(self) -> Dict:
+        status, payload, _headers = self._http("GET", "/v1/ops")
+        if status != 200:
+            raise ServiceError(
+                f"ops endpoint returned {status}", status=status, kind="internal"
+            )
+        return payload

@@ -1,0 +1,597 @@
+"""Thread-pool HTTP/JSON shortcut service.
+
+One long-lived process serves the whole application stack — shortcut
+construction, MST, min-cut, connectivity, quality reports — over a
+small JSON API, backed by the crash-safe
+:class:`~repro.service.store.PersistentStore`:
+
+``POST /v1/<op>``
+    Body ``{"spec": {...}, "seed": 0, ...}``; see :data:`OPERATIONS`.
+    Responses are JSON; errors are always clean JSON envelopes
+    (``{"error": ..., "kind": ...}``), never wrong answers.
+``GET /v1/ops``
+    The operation names and their parameter defaults.
+``GET /v1/stats``
+    Service + store counters (see :class:`ServiceStats`).
+``GET /healthz``
+    Liveness.
+
+Request lifecycle hardening
+---------------------------
+
+* **Per-request deadlines** — the handler waits at most
+  ``deadline_s`` (request field, capped by the server maximum) for the
+  compute future; an expiry returns ``504`` while the computation
+  finishes in the background and populates the store, so the retry is
+  warm.
+* **Single-flight deduplication** — concurrent requests with the same
+  content address share one computation; joiners are not charged
+  against the work queue.
+* **Bounded work queue with load-shedding** — at most
+  ``queue_limit`` distinct computations may be pending; excess
+  requests are shed immediately with ``503`` + ``Retry-After`` instead
+  of queueing unboundedly.
+* **Graceful store degradation** — any store failure (unreadable
+  directory, injected IO errors) downgrades that request to the cold
+  path (compute-only); the service keeps answering correctly with the
+  store offline, counting ``store_failures``.
+
+Computation is deterministic given the request (seeded constructions,
+direct kernels), which is what makes results content-addressable and
+retries idempotent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor, TimeoutError as FutureTimeout
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.analysis.instances import Instance, InstanceSpec, hydrate
+from repro.apps.connectivity import connected_components
+from repro.apps.mincut import approximate_min_cut
+from repro.apps.mst import minimum_spanning_tree
+from repro.core import quality
+from repro.core.doubling import find_shortcut_doubling
+from repro.errors import ReproError
+from repro.service.store import PersistentStore, canonical_json, spec_key
+
+API_VERSION = "v1"
+DEFAULT_DEADLINE_S = 30.0
+DEFAULT_RETRY_AFTER_S = 0.05
+
+
+class BadRequest(ReproError):
+    """Malformed request (unknown family/op, bad JSON, bad params)."""
+
+
+# ----------------------------------------------------------------------
+# Operations
+# ----------------------------------------------------------------------
+
+
+def _digest(value: object) -> str:
+    """Stable digest of a large result component (edges, labels)."""
+    return hashlib.sha256(canonical_json(value)).hexdigest()
+
+
+def _require_partition(instance: Instance) -> None:
+    if instance.partition is None:
+        raise BadRequest("this operation needs a spec with a partition")
+
+
+def _require_weights(instance: Instance) -> None:
+    if not instance.topology.is_weighted:
+        raise BadRequest("this operation needs a weighted spec")
+
+
+def _construct(instance: Instance, params: Dict):
+    """One doubling construction + quality report for shortcut/quality."""
+    _require_partition(instance)
+    outcome = find_shortcut_doubling(
+        instance.topology,
+        instance.tree,
+        instance.partition,
+        seed=params["seed"],
+        mode=params["mode"],
+    )
+    report = quality.measure(
+        outcome.result.shortcut,
+        instance.topology,
+        with_dilation=params["with_dilation"],
+    )
+    return outcome, report
+
+
+def op_shortcut(instance: Instance, params: Dict) -> Dict:
+    """Appendix A doubling construction + quality report."""
+    outcome, report = _construct(instance, params)
+    return {
+        "c": outcome.c,
+        "b": outcome.b,
+        "rounds": outcome.rounds,
+        "trials": len(outcome.trials),
+        "congestion": report.congestion,
+        "block_parameter": report.block_parameter,
+        "dilation": report.dilation,
+        "tree_depth": report.tree_depth,
+    }
+
+
+def op_quality(instance: Instance, params: Dict) -> Dict:
+    """Quality report of the constructed shortcut (incl. block counts)."""
+    outcome, report = _construct(instance, params)
+    result = {
+        "c": outcome.c,
+        "b": outcome.b,
+        "rounds": outcome.rounds,
+        "trials": len(outcome.trials),
+        "congestion": report.congestion,
+        "block_parameter": report.block_parameter,
+        "dilation": report.dilation,
+        "tree_depth": report.tree_depth,
+        "block_counts": list(report.block_counts),
+        "lemma1_dilation_bound": report.lemma1_dilation_bound,
+    }
+    return result
+
+
+def op_mst(instance: Instance, params: Dict) -> Dict:
+    """Shortcut-accelerated Borůvka MST (forest when disconnected)."""
+    _require_weights(instance)
+    result = minimum_spanning_tree(
+        instance.topology,
+        seed=params["seed"],
+        construct_mode=params["mode"],
+        backend=params["backend"],
+    )
+    return {
+        "weight": result.weight,
+        "n_edges": len(result.edges),
+        "edges_sha256": _digest(sorted(result.edges)),
+        "phases": result.phases,
+        "rounds": result.rounds,
+        "components": result.components,
+    }
+
+
+def op_mincut(instance: Instance, params: Dict) -> Dict:
+    """Greedy-tree-packing min-cut upper bound."""
+    result = approximate_min_cut(
+        instance.topology,
+        seed=params["seed"],
+        construct_mode=params["mode"],
+        backend=params["backend"],
+    )
+    return {
+        "value": result.value,
+        "cut_size": len(result.cut_edges),
+        "trees_packed": result.trees_packed,
+        "rounds": result.rounds,
+        "components": result.components,
+    }
+
+
+def op_connectivity(instance: Instance, params: Dict) -> Dict:
+    """Component labelling of the full topology."""
+    result = connected_components(
+        instance.topology,
+        instance.topology.edges,
+        seed=params["seed"],
+        construct_mode=params["mode"],
+        backend=params["backend"],
+    )
+    return {
+        "components": result.components,
+        "graph_components": result.graph_components,
+        "phases": result.phases,
+        "rounds": result.rounds,
+        "labels_sha256": _digest(
+            [result.labels[v] for v in sorted(result.labels)]
+        ),
+    }
+
+
+OPERATIONS: Dict[str, Callable[[Instance, Dict], Dict]] = {
+    "shortcut": op_shortcut,
+    "quality": op_quality,
+    "mst": op_mst,
+    "mincut": op_mincut,
+    "connectivity": op_connectivity,
+}
+
+# Parameters every operation accepts, with the service defaults (the
+# direct kernels: the fast, ==-verified path).
+PARAM_DEFAULTS: Dict[str, object] = {
+    "seed": 0,
+    "mode": "direct",
+    "backend": "direct",
+    "with_dilation": False,
+}
+
+
+def parse_spec(raw: object) -> InstanceSpec:
+    """Build an :class:`InstanceSpec` from its JSON form.
+
+    JSON arrays become the spec's tuples; unknown fields are rejected
+    so a typo cannot silently change the content address.
+    """
+    if not isinstance(raw, dict):
+        raise BadRequest("spec must be a JSON object")
+    allowed = {"family", "params", "weights", "partition", "tree_root"}
+    unknown = set(raw) - allowed
+    if unknown:
+        raise BadRequest(f"unknown spec fields: {sorted(unknown)}")
+    if "family" not in raw:
+        raise BadRequest("spec needs a family")
+    family = raw["family"]
+    if not isinstance(family, str):
+        raise BadRequest("spec family must be a string")
+
+    def as_params(value, label):
+        if value is None:
+            return None
+        if not isinstance(value, list):
+            raise BadRequest(f"spec {label} must be a JSON array")
+        return tuple(value)
+
+    tree_root = raw.get("tree_root", 0)
+    if not isinstance(tree_root, int):
+        raise BadRequest("spec tree_root must be an integer")
+    return InstanceSpec(
+        family=family,
+        params=as_params(raw.get("params", []), "params") or (),
+        weights=as_params(raw.get("weights"), "weights"),
+        partition=as_params(raw.get("partition"), "partition"),
+        tree_root=tree_root,
+    )
+
+
+def parse_request(op: str, body: Dict) -> Tuple[InstanceSpec, Dict]:
+    """Validate a request body into ``(spec, params)``."""
+    if op not in OPERATIONS:
+        raise BadRequest(
+            f"unknown operation {op!r}; available: {sorted(OPERATIONS)}"
+        )
+    if not isinstance(body, dict):
+        raise BadRequest("request body must be a JSON object")
+    unknown = set(body) - {"spec", "deadline_s"} - set(PARAM_DEFAULTS)
+    if unknown:
+        raise BadRequest(f"unknown request fields: {sorted(unknown)}")
+    if "spec" not in body:
+        raise BadRequest("request needs a spec")
+    spec = parse_spec(body["spec"])
+    params = {
+        name: body.get(name, default)
+        for name, default in PARAM_DEFAULTS.items()
+    }
+    if params["mode"] not in ("direct", "simulate"):
+        raise BadRequest("mode must be 'direct' or 'simulate'")
+    if params["backend"] not in ("direct", "simulate"):
+        raise BadRequest("backend must be 'direct' or 'simulate'")
+    if not isinstance(params["seed"], int):
+        raise BadRequest("seed must be an integer")
+    params["with_dilation"] = bool(params["with_dilation"])
+    return spec, params
+
+
+# ----------------------------------------------------------------------
+# The service core (transport-independent)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ServiceStats:
+    """Request-lifecycle counters; all monotone, read via /v1/stats."""
+
+    requests: int = 0
+    warm_hits: int = 0
+    computed: int = 0
+    singleflight_joined: int = 0
+    shed: int = 0
+    deadline_expired: int = 0
+    bad_requests: int = 0
+    compute_errors: int = 0
+    store_failures: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class ServiceResponse:
+    """Transport-independent response: HTTP status + JSON body."""
+
+    status: int
+    body: Dict
+    retry_after_s: Optional[float] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200
+
+
+class ShortcutService:
+    """The transport-independent request broker.
+
+    Wraps the operation registry with the persistent store, the
+    single-flight table, the bounded compute pool, and the stats; the
+    HTTP layer below (and the chaos harness, which drives this class
+    directly) is a thin shim over :meth:`handle`.
+    """
+
+    def __init__(
+        self,
+        store: Optional[PersistentStore] = None,
+        *,
+        workers: int = 4,
+        queue_limit: int = 16,
+        max_deadline_s: float = DEFAULT_DEADLINE_S,
+        retry_after_s: float = DEFAULT_RETRY_AFTER_S,
+    ) -> None:
+        self.store = store
+        self.stats = ServiceStats()
+        self.queue_limit = queue_limit
+        self.max_deadline_s = max_deadline_s
+        self.retry_after_s = retry_after_s
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-svc"
+        )
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, Future] = {}
+        self._pending = 0
+
+    # -- store access (degrades gracefully) ----------------------------
+
+    def _store_get(self, key: str) -> Optional[object]:
+        if self.store is None:
+            return None
+        try:
+            return self.store.get(key)
+        except Exception:
+            self.stats.store_failures += 1
+            return None
+
+    def _store_put(self, key: str, payload: object) -> None:
+        if self.store is None:
+            return
+        try:
+            if not self.store.put(key, payload):
+                self.stats.store_failures += 1
+        except Exception:
+            self.stats.store_failures += 1
+
+    # -- the request path ----------------------------------------------
+
+    def handle(
+        self, op: str, body: Dict, *, deadline_s: Optional[float] = None
+    ) -> ServiceResponse:
+        """Serve one request; never raises.
+
+        Every outcome is a :class:`ServiceResponse`: ``200`` with the
+        result, ``400`` (malformed), ``422`` (valid request whose
+        computation legitimately fails, e.g. a disconnected-spec
+        shortcut), ``503`` (shed, with ``Retry-After``), ``504``
+        (deadline expired), or ``500`` (unexpected internal error).
+        """
+        self.stats.requests += 1
+        try:
+            spec, params = parse_request(op, body)
+        except BadRequest as error:
+            self.stats.bad_requests += 1
+            return ServiceResponse(400, {"error": str(error), "kind": "bad-request"})
+        if deadline_s is None:
+            raw = body.get("deadline_s", self.max_deadline_s)
+            try:
+                deadline_s = float(raw)
+            except (TypeError, ValueError):
+                self.stats.bad_requests += 1
+                return ServiceResponse(
+                    400, {"error": "deadline_s must be a number", "kind": "bad-request"}
+                )
+        deadline_s = max(0.0, min(deadline_s, self.max_deadline_s))
+
+        key = spec_key(op, spec, **params)
+        cached = self._store_get(key)
+        if cached is not None:
+            self.stats.warm_hits += 1
+            return ServiceResponse(
+                200, {"result": cached, "key": key, "warm": True}
+            )
+
+        # Single-flight: join an identical in-progress computation, or
+        # claim a work-queue slot for a new one.
+        with self._lock:
+            future = self._inflight.get(key)
+            if future is not None:
+                self.stats.singleflight_joined += 1
+            else:
+                if self._pending >= self.queue_limit:
+                    self.stats.shed += 1
+                    return ServiceResponse(
+                        503,
+                        {"error": "work queue full", "kind": "overload"},
+                        retry_after_s=self.retry_after_s,
+                    )
+                self._pending += 1
+                future = self._pool.submit(self._compute, key, op, spec, params)
+                self._inflight[key] = future
+
+        try:
+            outcome = future.result(timeout=deadline_s)
+        except FutureTimeout:
+            # The computation keeps running and will populate the
+            # store; the client's retry lands warm.
+            self.stats.deadline_expired += 1
+            return ServiceResponse(
+                504, {"error": "deadline expired", "kind": "deadline", "key": key}
+            )
+        kind, payload = outcome
+        if kind == "ok":
+            return ServiceResponse(200, {"result": payload, "key": key, "warm": False})
+        if kind == "invalid":
+            return ServiceResponse(422, {"error": payload, "kind": "unprocessable"})
+        return ServiceResponse(500, {"error": payload, "kind": "internal"})
+
+    def _compute(
+        self, key: str, op: str, spec: InstanceSpec, params: Dict
+    ) -> Tuple[str, object]:
+        """Worker-side computation; returns ``(kind, payload)``.
+
+        Exceptions never escape (a poisoned future would wedge every
+        single-flight joiner): domain errors become ``invalid``,
+        anything else ``error``.  The in-flight slot is always
+        released.
+        """
+        try:
+            instance = hydrate(spec)
+            result = OPERATIONS[op](instance, params)
+            self.stats.computed += 1
+            self._store_put(key, result)
+            return ("ok", result)
+        except ReproError as error:
+            self.stats.compute_errors += 1
+            return ("invalid", str(error))
+        except Exception as error:  # noqa: BLE001 — clean error, never a wrong answer
+            self.stats.compute_errors += 1
+            return ("error", f"{type(error).__name__}: {error}")
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+                self._pending -= 1
+
+    def stats_payload(self) -> Dict:
+        payload = {"service": self.stats.as_dict()}
+        if self.store is not None:
+            payload["store"] = self.store.stats.as_dict()
+            payload["store_root"] = str(self.store.root)
+        return payload
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+# ----------------------------------------------------------------------
+# HTTP transport
+# ----------------------------------------------------------------------
+
+
+class _Handler(BaseHTTPRequestHandler):
+    service: ShortcutService  # set by serve()
+    protocol_version = "HTTP/1.1"
+
+    # Silence per-request stderr logging (the service has /v1/stats).
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    def _send_json(
+        self, status: int, body: Dict, retry_after_s: Optional[float] = None
+    ) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        if retry_after_s is not None:
+            self.send_header("Retry-After", f"{retry_after_s:.3f}")
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_GET(self) -> None:  # noqa: N802
+        if self.path == "/healthz":
+            self._send_json(200, {"ok": True})
+        elif self.path == f"/{API_VERSION}/stats":
+            self._send_json(200, self.service.stats_payload())
+        elif self.path == f"/{API_VERSION}/ops":
+            self._send_json(
+                200,
+                {"operations": sorted(OPERATIONS), "defaults": PARAM_DEFAULTS},
+            )
+        else:
+            self._send_json(404, {"error": "not found", "kind": "not-found"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        prefix = f"/{API_VERSION}/"
+        if not self.path.startswith(prefix):
+            self._send_json(404, {"error": "not found", "kind": "not-found"})
+            return
+        op = self.path[len(prefix):]
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            body = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            self._send_json(
+                400, {"error": "body is not valid JSON", "kind": "bad-request"}
+            )
+            return
+        response = self.service.handle(op, body)
+        self._send_json(response.status, response.body, response.retry_after_s)
+
+
+@dataclass
+class ServiceHandle:
+    """A running HTTP service; close() is idempotent."""
+
+    service: ShortcutService
+    server: ThreadingHTTPServer
+    thread: threading.Thread
+    host: str
+    port: int
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        self.thread.join(timeout=10)
+        self.service.close()
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def serve(
+    store: Optional[PersistentStore] = None,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    workers: int = 4,
+    queue_limit: int = 16,
+    max_deadline_s: float = DEFAULT_DEADLINE_S,
+    retry_after_s: float = DEFAULT_RETRY_AFTER_S,
+) -> ServiceHandle:
+    """Start the HTTP service on a daemon thread; returns its handle.
+
+    ``port=0`` binds an ephemeral port (the handle reports it) — the
+    tests, chaos harness, and E20 all run hermetic in-process servers
+    this way.
+    """
+    service = ShortcutService(
+        store,
+        workers=workers,
+        queue_limit=queue_limit,
+        max_deadline_s=max_deadline_s,
+        retry_after_s=retry_after_s,
+    )
+    handler = type("BoundHandler", (_Handler,), {"service": service})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-svc-http", daemon=True
+    )
+    thread.start()
+    return ServiceHandle(
+        service=service,
+        server=server,
+        thread=thread,
+        host=host,
+        port=server.server_address[1],
+    )

@@ -75,9 +75,50 @@ def test_clear_instance_cache():
     hydrate(GRID_SPEC)
     assert instance_cache_info()["instances"] == 1
     clear_instance_cache()
-    assert instance_cache_info() == {
-        "topologies": 0, "trees": 0, "instances": 0,
-    }
+    info = instance_cache_info()
+    assert info["topologies"] == info["trees"] == info["instances"] == 0
+    assert (
+        info["topology_evictions"]
+        == info["tree_evictions"]
+        == info["instance_evictions"]
+        == 0
+    )
+
+
+def test_instance_cache_is_lru_bounded(monkeypatch):
+    from repro.analysis import instances as module
+
+    monkeypatch.setattr(module._INSTANCE_CACHE, "max_entries", 2)
+    specs = [
+        InstanceSpec("grid", (5, 5), partition=("voronoi", 5, seed))
+        for seed in range(3)
+    ]
+    first = hydrate(specs[0])
+    hydrate(specs[1])
+    hydrate(specs[2])  # evicts specs[0], the least recently used
+    info = instance_cache_info()
+    assert info["instances"] == 2
+    assert info["instance_evictions"] == 1
+    # The evicted spec rebuilds a fresh Instance (same content, new
+    # object); the survivors stay identity-cached.
+    assert hydrate(specs[2]) is hydrate(specs[2])
+    assert hydrate(specs[0]) is not first
+
+
+def test_instance_cache_hits_refresh_recency(monkeypatch):
+    from repro.analysis import instances as module
+
+    monkeypatch.setattr(module._INSTANCE_CACHE, "max_entries", 2)
+    specs = [
+        InstanceSpec("grid", (5, 5), partition=("voronoi", 5, seed))
+        for seed in range(3)
+    ]
+    first = hydrate(specs[0])
+    hydrate(specs[1])
+    assert hydrate(specs[0]) is first  # refreshes specs[0]
+    hydrate(specs[2])  # now evicts specs[1] instead
+    assert hydrate(specs[0]) is first
+    assert instance_cache_info()["instance_evictions"] == 1
 
 
 def test_tree_root_respected():

@@ -77,3 +77,38 @@ def test_parallel_map_propagates_task_errors():
         parallel_map(_flaky, range(5), jobs=1)
     with pytest.raises(ValueError):
         parallel_map(_flaky, range(5), jobs=2)
+
+
+def _crash_once(task):
+    marker, x = task
+    if x == 2 and not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("crashed")
+        os._exit(1)
+    return x * x
+
+
+def test_parallel_map_survives_a_worker_crash(tmp_path):
+    # Task 2 hard-kills its worker on first sight (poisoning the whole
+    # pool), then behaves; the retry pool must finish every task.
+    marker = str(tmp_path / "crashed-once")
+    tasks = [(marker, x) for x in range(6)]
+    with pytest.warns(RuntimeWarning, match="worker process died"):
+        results = parallel_map(_crash_once, tasks, jobs=2)
+    assert results == [x * x for x in range(6)]
+
+
+def _crash_in_workers(task):
+    parent_pid, x = task
+    if x == 1 and os.getpid() != parent_pid:
+        os._exit(1)
+    return x + 10
+
+
+def test_parallel_map_falls_back_to_serial_after_repeated_crashes():
+    # Task 1 kills any worker it lands in, so both pool attempts break;
+    # the serial fallback runs it in the parent, where it behaves.
+    tasks = [(os.getpid(), x) for x in range(4)]
+    with pytest.warns(RuntimeWarning, match="serially in the parent"):
+        results = parallel_map(_crash_in_workers, tasks, jobs=2)
+    assert results == [x + 10 for x in range(4)]

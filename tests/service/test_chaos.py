@@ -1,0 +1,139 @@
+"""Tests for the seeded chaos harness.
+
+The suite's contract — never a wrong answer under injected faults — is
+exercised directly, plus the determinism and kill-seam guarantees the
+harness itself promises.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.instances import InstanceSpec, clear_instance_cache
+from repro.service.chaos import (
+    ChaosViolation,
+    FaultSchedule,
+    default_chaos_specs,
+    run_chaos_suite,
+    simulate_killed_writer,
+)
+from repro.service.store import PersistentStore, spec_key
+
+SMALL_SPECS = [
+    (
+        "grid",
+        InstanceSpec(
+            "grid", (4, 4), weights=("unique", 3), partition=("voronoi", 4, 1)
+        ),
+    ),
+    (
+        "hub",
+        InstanceSpec(
+            "hub", (12, 3), weights=("unique", 5), partition=("arcs", 12, 3, 1)
+        ),
+    ),
+]
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_instance_cache()
+    yield
+    clear_instance_cache()
+
+
+def run_small(tmp_path, sub, seed, **kwargs):
+    kwargs.setdefault("specs", SMALL_SPECS)
+    kwargs.setdefault("ops", ("mst", "connectivity"))
+    kwargs.setdefault("rounds", 3)
+    return run_chaos_suite(tmp_path / sub, seed=seed, **kwargs)
+
+
+def test_chaos_suite_never_serves_wrong_answers(tmp_path):
+    report = run_small(tmp_path, "storm", seed=3)
+    assert report.wrong == 0
+    assert report.requests > 0
+    assert report.correct + report.clean_errors == report.requests
+    # The aggressive default probabilities actually fired.
+    assert sum(report.injected.values()) > 0
+    # Any error the service did emit used a declared kind.
+    assert all(kind for kind in report.error_kinds)
+    # Whatever survived the storm decodes cleanly.
+    assert report.store_intact >= 0
+
+
+def test_chaos_injection_is_seed_deterministic(tmp_path):
+    a = run_small(tmp_path, "a", seed=11)
+    b = run_small(tmp_path, "b", seed=11)
+    # The fault draw sequence is pure function of the seed.  (Outcome
+    # counts like quarantines can differ: they depend on pool timing.)
+    assert a.injected == b.injected
+    assert a.wrong == b.wrong == 0
+
+
+def test_different_seeds_draw_different_faults(tmp_path):
+    a = run_small(tmp_path, "a", seed=1)
+    b = run_small(tmp_path, "b", seed=2)
+    assert a.wrong == b.wrong == 0
+    # Not a hard guarantee for arbitrary seeds, but these two differ.
+    assert a.injected != b.injected
+
+
+def test_chaos_suite_over_http(tmp_path):
+    report = run_small(
+        tmp_path, "http", seed=5, rounds=2, use_http=True
+    )
+    assert report.wrong == 0
+    assert report.http_requests == len(SMALL_SPECS) * 2
+
+
+def test_default_specs_cover_distinct_families():
+    pairs = default_chaos_specs()
+    families = {spec.family for _, spec in pairs}
+    assert len(families) == len(pairs) >= 3
+    assert all(spec.weights and spec.partition for _, spec in pairs)
+
+
+def test_simulate_killed_writer_contract(tmp_path):
+    schedule = FaultSchedule(seed=0)
+    store = PersistentStore(tmp_path / "s", hooks=schedule.hooks())
+    spec = SMALL_SPECS[0][1]
+    key = spec_key("mst", spec, seed=0)
+    store.put(key, {"x": "old"})
+    before = store.path_for(key).read_bytes()
+    simulate_killed_writer(store, schedule, key, {"x": "new"})
+    assert store.path_for(key).read_bytes() == before
+    # Memory layer was dropped along with the dead process.
+    assert store.get(key) == {"x": "old"}
+    assert store.stats.hits_disk >= 1
+
+
+def test_simulate_killed_writer_flags_a_leaky_commit(tmp_path):
+    # A schedule whose kill seam never fires models a broken harness:
+    # the commit completes, which the simulator must flag.
+    schedule = FaultSchedule(seed=0)
+    store = PersistentStore(tmp_path / "s")  # no hooks: kill can't fire
+    key = spec_key("mst", SMALL_SPECS[0][1], seed=0)
+    with pytest.raises(ChaosViolation):
+        simulate_killed_writer(store, schedule, key, {"x": 1})
+
+
+def test_fault_schedule_corrupts_only_existing_entries(tmp_path):
+    schedule = FaultSchedule(seed=0, p_corrupt=1.0)
+    store = PersistentStore(tmp_path / "s")
+    assert schedule.corrupt_entry(store) is None  # nothing to damage
+    key = spec_key("mst", SMALL_SPECS[0][1], seed=0)
+    store.put(key, {"x": 1})
+    damaged = schedule.corrupt_entry(store)
+    assert damaged == key
+    raw = store.path_for(key).read_bytes()
+    envelope = None
+    try:
+        envelope = json.loads(raw)
+    except (ValueError, UnicodeDecodeError):
+        pass
+    if envelope is not None:
+        # Damage may still parse as JSON (bit flip inside a string),
+        # but then the checksum can no longer match: a read must miss.
+        assert store.get(key) is None or store.get(key) == {"x": 1}
+    assert schedule.injected["corruptions"] == 1

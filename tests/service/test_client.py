@@ -1,0 +1,156 @@
+"""Tests for the client SDK: backoff schedule, retry discipline."""
+
+import urllib.error
+
+import pytest
+
+from repro.analysis.instances import InstanceSpec
+from repro.service.client import ServiceClient, ServiceError, spec_to_json
+from repro.service.server import parse_spec
+
+SPEC = InstanceSpec(
+    "grid", (5, 5), weights=("unique", 3), partition=("voronoi", 5, 1)
+)
+
+
+def scripted_client(script, **kwargs):
+    """A client whose HTTP layer replays a scripted outcome sequence.
+
+    Script entries: ``("ok", payload)``, ``(status, payload, headers)``,
+    or ``("raise", exception)``.  Sleeps are recorded, not taken.
+    """
+    sleeps = []
+    kwargs.setdefault("backoff_base_s", 0.1)
+    kwargs.setdefault("jitter_seed", 7)
+    client = ServiceClient(
+        "http://service.invalid", sleep=sleeps.append, **kwargs
+    )
+    log = []
+
+    def fake_http(method, path, body=None):
+        log.append((method, path))
+        entry = script.pop(0)
+        if entry[0] == "raise":
+            raise entry[1]
+        if entry[0] == "ok":
+            return 200, {"result": entry[1], "key": "k", "warm": False}, {}
+        status, payload, headers = entry
+        return status, payload, headers
+
+    client._http = fake_http
+    return client, sleeps, log
+
+
+def test_spec_json_roundtrips_through_server_parser():
+    assert parse_spec(spec_to_json(SPEC)) == SPEC
+    bare = InstanceSpec("grid", (4, 4))
+    assert parse_spec(spec_to_json(bare)) == bare
+
+
+def test_success_first_try():
+    client, sleeps, log = scripted_client([("ok", {"x": 1})])
+    result = client.request("mst", SPEC)
+    assert result.result == {"x": 1}
+    assert result.attempts == 1
+    assert sleeps == []
+    assert log == [("POST", "/v1/mst")]
+
+
+def test_retries_on_503_then_succeeds():
+    client, sleeps, _log = scripted_client(
+        [
+            (503, {"error": "full", "kind": "overload"}, {}),
+            (503, {"error": "full", "kind": "overload"}, {}),
+            ("ok", {"x": 2}),
+        ]
+    )
+    result = client.request("mst", SPEC)
+    assert result.result == {"x": 2}
+    assert result.attempts == 3
+    assert client.retries_used == 2
+    assert len(sleeps) == 2
+
+
+def test_retries_on_transport_error():
+    client, sleeps, _log = scripted_client(
+        [
+            ("raise", urllib.error.URLError("refused")),
+            ("ok", {"x": 3}),
+        ]
+    )
+    assert client.request("mst", SPEC).result == {"x": 3}
+    assert len(sleeps) == 1
+
+
+def test_retries_on_504_deadline():
+    client, _sleeps, _log = scripted_client(
+        [
+            (504, {"error": "deadline expired", "kind": "deadline"}, {}),
+            ("ok", {"x": 4}),
+        ]
+    )
+    result = client.request("mst", SPEC)
+    assert result.result == {"x": 4}
+
+
+def test_permanent_4xx_fails_immediately():
+    client, sleeps, log = scripted_client(
+        [(400, {"error": "bad spec", "kind": "bad-request"}, {})]
+    )
+    with pytest.raises(ServiceError) as info:
+        client.request("mst", SPEC)
+    assert info.value.status == 400
+    assert info.value.kind == "bad-request"
+    assert sleeps == []
+    assert len(log) == 1
+
+
+def test_exhausted_retries_raise_last_error():
+    script = [(503, {"error": "full", "kind": "overload"}, {})] * 3
+    client, sleeps, _log = scripted_client(script, max_retries=2)
+    with pytest.raises(ServiceError) as info:
+        client.request("mst", SPEC)
+    assert info.value.status == 503
+    assert info.value.kind == "overload"
+    assert len(sleeps) == 2
+
+
+def test_retry_after_header_overrides_backoff():
+    client, sleeps, _log = scripted_client(
+        [
+            (503, {"error": "full", "kind": "overload"}, {"Retry-After": "0.25"}),
+            ("ok", {"x": 5}),
+        ]
+    )
+    client.request("mst", SPEC)
+    assert sleeps == [0.25]
+
+
+def test_backoff_is_capped_exponential_with_jitter():
+    client = ServiceClient(
+        "http://service.invalid",
+        backoff_base_s=0.1,
+        backoff_cap_s=0.4,
+        jitter_seed=11,
+    )
+    delays = [client.backoff_delay(attempt) for attempt in range(6)]
+    # Jitter keeps every delay within [cap/2, cap] of its exponential.
+    for attempt, delay in enumerate(delays):
+        capped = min(0.4, 0.1 * 2 ** attempt)
+        assert capped / 2 <= delay <= capped
+    # The cap binds from attempt 2 on.
+    assert all(delay <= 0.4 for delay in delays[2:])
+    # Seeded jitter is reproducible.
+    twin = ServiceClient(
+        "http://service.invalid",
+        backoff_base_s=0.1,
+        backoff_cap_s=0.4,
+        jitter_seed=11,
+    )
+    assert delays == [twin.backoff_delay(attempt) for attempt in range(6)]
+
+
+def test_bad_retry_after_falls_back_to_backoff():
+    client = ServiceClient("http://service.invalid", jitter_seed=3)
+    delay = client.backoff_delay(0, retry_after="soon")
+    assert 0 < delay <= client.backoff_base_s

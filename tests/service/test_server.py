@@ -1,0 +1,348 @@
+"""Tests for the service broker and its HTTP transport."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.analysis.instances import InstanceSpec, clear_instance_cache
+from repro.service.server import (
+    OPERATIONS,
+    PARAM_DEFAULTS,
+    ShortcutService,
+    parse_spec,
+    serve,
+)
+from repro.service.store import PersistentStore
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_instance_cache()
+    yield
+    clear_instance_cache()
+
+
+GRID = {
+    "family": "grid",
+    "params": [5, 5],
+    "weights": ["unique", 3],
+    "partition": ["voronoi", 5, 1],
+}
+
+
+def request_body(seed=0, **extra):
+    body = {"spec": dict(GRID), "seed": seed}
+    body.update(extra)
+    return body
+
+
+@pytest.fixture
+def service(tmp_path):
+    service = ShortcutService(PersistentStore(tmp_path / "store"), workers=2)
+    yield service
+    service.close()
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+
+
+def test_parse_spec_roundtrip():
+    spec = parse_spec(GRID)
+    assert spec == InstanceSpec(
+        "grid", (5, 5), weights=("unique", 3), partition=("voronoi", 5, 1)
+    )
+
+
+@pytest.mark.parametrize(
+    "raw",
+    [
+        "not a dict",
+        {},  # no family
+        {"family": 7},
+        {"family": "grid", "bogus": 1},
+        {"family": "grid", "params": "not-a-list"},
+        {"family": "grid", "params": [5, 5], "tree_root": "zero"},
+    ],
+)
+def test_parse_spec_rejects_malformed(raw):
+    from repro.service.server import BadRequest
+
+    with pytest.raises(BadRequest):
+        parse_spec(raw)
+
+
+def test_unknown_op_is_bad_request(service):
+    response = service.handle("frobnicate", request_body())
+    assert response.status == 400
+    assert response.body["kind"] == "bad-request"
+
+
+@pytest.mark.parametrize(
+    "body",
+    [
+        {},  # no spec
+        {"spec": GRID, "bogus": True},
+        {"spec": GRID, "mode": "warp"},
+        {"spec": GRID, "backend": "warp"},
+        {"spec": GRID, "seed": "zero"},
+    ],
+)
+def test_malformed_request_is_400(service, body):
+    response = service.handle("mst", body)
+    assert response.status == 400
+    assert response.body["kind"] == "bad-request"
+
+
+def test_unknown_family_is_unprocessable(service):
+    response = service.handle(
+        "mst", {"spec": {"family": "nonsense", "params": []}}
+    )
+    assert response.status == 422
+    assert response.body["kind"] == "unprocessable"
+    assert "nonsense" in response.body["error"]
+
+
+def test_mst_needs_weights(service):
+    response = service.handle(
+        "mst", {"spec": {"family": "grid", "params": [4, 4]}}
+    )
+    assert response.status == 422
+    assert "weighted" in response.body["error"]
+
+
+def test_shortcut_needs_partition(service):
+    response = service.handle(
+        "shortcut", {"spec": {"family": "grid", "params": [4, 4]}}
+    )
+    assert response.status == 422
+    assert "partition" in response.body["error"]
+
+
+# ----------------------------------------------------------------------
+# Caching and single-flight
+# ----------------------------------------------------------------------
+
+
+def test_second_request_is_warm(service):
+    cold = service.handle("mst", request_body())
+    assert cold.status == 200 and cold.body["warm"] is False
+    warm = service.handle("mst", request_body())
+    assert warm.status == 200 and warm.body["warm"] is True
+    assert warm.body["result"] == cold.body["result"]
+    assert service.stats.computed == 1
+    assert service.stats.warm_hits == 1
+
+
+def test_warm_across_service_restart(tmp_path):
+    first = ShortcutService(PersistentStore(tmp_path / "store"), workers=2)
+    cold = first.handle("mst", request_body())
+    first.close()
+    second = ShortcutService(PersistentStore(tmp_path / "store"), workers=2)
+    try:
+        warm = second.handle("mst", request_body())
+        assert warm.status == 200 and warm.body["warm"] is True
+        assert warm.body["result"] == cold.body["result"]
+        assert second.stats.computed == 0
+    finally:
+        second.close()
+
+
+@pytest.fixture
+def sleepy_op():
+    """A registered operation that blocks until released."""
+    release = threading.Event()
+    started = threading.Event()
+    calls = []
+
+    def op(instance, params):
+        calls.append(params["seed"])
+        started.set()
+        release.wait(timeout=10)
+        return {"seed": params["seed"], "n": instance.topology.n}
+
+    OPERATIONS["sleepy"] = op
+    yield started, release, calls
+    release.set()
+    del OPERATIONS["sleepy"]
+
+
+def test_single_flight_deduplicates(service, sleepy_op):
+    started, release, calls = sleepy_op
+    responses = []
+
+    def fire():
+        responses.append(service.handle("sleepy", request_body()))
+
+    threads = [threading.Thread(target=fire) for _ in range(3)]
+    threads[0].start()
+    assert started.wait(timeout=10)
+    for thread in threads[1:]:
+        thread.start()
+    # All three wait on one computation.
+    time.sleep(0.05)
+    release.set()
+    for thread in threads:
+        thread.join(timeout=10)
+    assert [r.status for r in responses] == [200, 200, 200]
+    assert len({json.dumps(r.body["result"]) for r in responses}) == 1
+    assert len(calls) == 1
+    assert service.stats.singleflight_joined == 2
+    assert service.stats.computed == 1
+
+
+def test_load_shedding_returns_503_with_retry_after(tmp_path, sleepy_op):
+    started, release, _calls = sleepy_op
+    service = ShortcutService(
+        PersistentStore(tmp_path / "store"), workers=1, queue_limit=1
+    )
+    try:
+        background = threading.Thread(
+            target=service.handle, args=("sleepy", request_body(seed=1))
+        )
+        background.start()
+        assert started.wait(timeout=10)
+        # Queue full: a *different* computation is shed immediately.
+        shed = service.handle("sleepy", request_body(seed=2))
+        assert shed.status == 503
+        assert shed.body["kind"] == "overload"
+        assert shed.retry_after_s is not None
+        assert service.stats.shed == 1
+        # An identical one joins the in-flight future instead.
+        join = threading.Thread(
+            target=service.handle, args=("sleepy", request_body(seed=1))
+        )
+        join.start()
+        time.sleep(0.05)
+        release.set()
+        background.join(timeout=10)
+        join.join(timeout=10)
+        assert service.stats.singleflight_joined == 1
+    finally:
+        release.set()
+        service.close()
+
+
+def test_deadline_expiry_is_504_then_warm(service, sleepy_op):
+    started, release, _calls = sleepy_op
+    expired = service.handle(
+        "sleepy", request_body(seed=3), deadline_s=0.05
+    )
+    assert expired.status == 504
+    assert expired.body["kind"] == "deadline"
+    assert service.stats.deadline_expired == 1
+    # The computation finished in the background and populated the
+    # store: the retry lands warm.
+    release.set()
+    deadline = time.time() + 10
+    while time.time() < deadline:
+        retry = service.handle("sleepy", request_body(seed=3))
+        if retry.status == 200 and retry.body["warm"]:
+            break
+        time.sleep(0.02)
+    assert retry.status == 200
+    assert retry.body["warm"] is True
+
+
+# ----------------------------------------------------------------------
+# Store degradation
+# ----------------------------------------------------------------------
+
+
+def test_serves_cold_path_without_store():
+    service = ShortcutService(store=None, workers=2)
+    try:
+        first = service.handle("mst", request_body())
+        second = service.handle("mst", request_body())
+        assert first.status == second.status == 200
+        assert first.body["result"] == second.body["result"]
+        assert service.stats.computed == 2  # nothing to warm-hit
+    finally:
+        service.close()
+
+
+def test_degrades_when_store_is_broken(tmp_path):
+    from repro.service.store import _Hooks
+
+    def explode(key, path):
+        raise OSError("store offline")
+
+    store = PersistentStore(
+        tmp_path / "store",
+        hooks=_Hooks(before_read=explode, before_write=explode),
+    )
+    service = ShortcutService(store, workers=2)
+    try:
+        first = service.handle("mst", request_body())
+        second = service.handle("mst", request_body())
+        assert first.status == second.status == 200
+        assert first.body["result"] == second.body["result"]
+        assert service.stats.store_failures > 0
+    finally:
+        service.close()
+
+
+# ----------------------------------------------------------------------
+# HTTP transport
+# ----------------------------------------------------------------------
+
+
+def http_json(url, body=None):
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"} if data else {}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            return resp.status, json.loads(resp.read().decode())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode())
+
+
+def test_http_end_to_end(tmp_path):
+    with serve(PersistentStore(tmp_path / "store"), workers=2) as handle:
+        status, body = http_json(f"{handle.base_url}/healthz")
+        assert (status, body) == (200, {"ok": True})
+
+        status, body = http_json(f"{handle.base_url}/v1/ops")
+        assert status == 200
+        assert set(body["operations"]) == set(OPERATIONS)
+        assert body["defaults"] == PARAM_DEFAULTS
+
+        status, cold = http_json(
+            f"{handle.base_url}/v1/connectivity", request_body()
+        )
+        assert status == 200 and cold["warm"] is False
+        status, warm = http_json(
+            f"{handle.base_url}/v1/connectivity", request_body()
+        )
+        assert status == 200 and warm["warm"] is True
+        assert warm["result"] == cold["result"]
+
+        status, stats = http_json(f"{handle.base_url}/v1/stats")
+        assert status == 200
+        assert stats["service"]["warm_hits"] == 1
+
+        status, body = http_json(f"{handle.base_url}/nope")
+        assert status == 404
+
+
+def test_http_rejects_bad_json(tmp_path):
+    with serve(None, workers=1) as handle:
+        request = urllib.request.Request(
+            f"{handle.base_url}/v1/mst",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=30) as resp:
+                status, body = resp.status, json.loads(resp.read().decode())
+        except urllib.error.HTTPError as error:
+            status, body = error.code, json.loads(error.read().decode())
+        assert status == 400
+        assert body["kind"] == "bad-request"
