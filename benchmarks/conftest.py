@@ -289,6 +289,37 @@ a seeded chaos storm.  A JSON object with:
 Throughput and latency fields vary run to run; the correctness fields
 (``warm`` flags, result equality, ``chaos.wrong == 0``) are asserted
 inside the runner itself.
+
+BENCH_batch.json schema
+-----------------------
+
+``python benchmarks/bench_e21_batch.py --scale paper --out
+BENCH_batch.json`` writes the batch-layer baseline (schema id
+``repro.bench_batch.v1``): wall time of one fused construct → measure
+→ verify pass (:func:`repro.core.batch.run_pipeline`) over the whole
+:func:`repro.analysis.experiments.batch_grid` instance sweep, once per
+batch strategy — ``"loop"`` (the per-instance fast kernels) vs
+``"vector"`` (the numpy kernels over one packed ``BatchCSR``, needing
+the ``fast-math`` extra).  A JSON object with:
+
+* ``schema`` — the literal string ``"repro.bench_batch.v1"``.
+* ``scale`` — ``"small"`` or ``"paper"`` (the E21 grid sizes; the
+  acceptance gate lives at paper scale: 128 grids of side 12).
+* ``strategies`` — batch-strategy names measured
+  (``repro.core.batch.BATCHES`` order; ``"vector"`` absent without
+  numpy).
+* ``python`` / ``machine`` — interpreter version and architecture.
+* ``grid`` — the sweep shape: ``family`` / ``instances`` / ``side`` /
+  ``n`` / ``m`` / ``parts`` per instance, plus the shared ``c`` and
+  ``b_limit`` parameters.
+* ``results`` — mapping strategy name -> ``{"wall_s",
+  "instances_per_s"}`` (best-of-N wall seconds for the whole grid).
+* ``max_congestion`` / ``max_dilation`` — measured maxima over the
+  grid (identical across strategies by construction; E21 raises on
+  any divergence of reports, counts, rounds, or messages).
+* ``speedup`` — loop wall time / vector wall time, or ``null``
+  without numpy; the tracked headline number (CI gates it at >= 3 at
+  paper scale via the ``batch-bench`` job).
 """
 
 import os

@@ -77,6 +77,12 @@ from repro.congest.workloads import (
     NeighborScanAlgorithm,
 )
 from repro.core import quality, quality_fast
+from repro.core.batch import (
+    BATCHES as BATCH_STRATEGIES,
+    measure_batch,
+    run_pipeline,
+)
+from repro.graphs.batch_csr import numpy_available as batch_numpy_available
 from repro.core.core_fast import core_fast, sampling_parameters
 from repro.core.core_slow import core_slow
 from repro.core.doubling import find_shortcut_doubling
@@ -1133,9 +1139,13 @@ def run_e15(scale: str = "small", repeats: int = 3) -> ExperimentResult:
     )
     families = []
     speedups = []
+    pool_shortcuts = []
+    pool_topologies = []
     for name, topology, partition, cap in quality_families(scale):
         tree = SpanningTree.bfs(topology, 0)
         shortcut, _unusable = greedy_capped_shortcut(tree, partition, cap)
+        pool_shortcuts.append(shortcut)
+        pool_topologies.append(topology)
         per_kernel: Dict[str, Dict[str, float]] = {}
         reports: Dict[str, quality.QualityReport] = {}
         for kernel in kernel_names:
@@ -1178,6 +1188,50 @@ def run_e15(scale: str = "small", repeats: int = 3) -> ExperimentResult:
             *[round(per_kernel[k]["wall_s"], 5) for k in kernel_names],
             round(speedup, 2),
         )
+    # Batch row: the whole pool measured through the batch axis, loop
+    # vs vector (the vectorized kernels amortize across instances; E21
+    # gates the grid-scale speedup, this row tracks the pool here).
+    batch_data = None
+    if batch_numpy_available():
+        batch_walls: Dict[str, float] = {}
+        batch_reports = {}
+        for strategy in BATCH_STRATEGIES:
+            best = math.inf
+            for _ in range(repeats):
+                start = time.perf_counter()
+                reports = measure_batch(
+                    pool_shortcuts, pool_topologies, batch=strategy
+                )
+                best = min(best, time.perf_counter() - start)
+            batch_walls[strategy] = best
+            batch_reports[strategy] = reports
+        if batch_reports["vector"] != batch_reports["loop"]:
+            raise AssertionError(
+                "batch strategies disagree on the quality pool: "
+                f"vector={batch_reports['vector']!r} but "
+                f"loop={batch_reports['loop']!r}"
+            )
+        batch_speedup = batch_walls["loop"] / batch_walls["vector"]
+        batch_data = {
+            "strategies": {
+                strategy: {"wall_s": batch_walls[strategy]}
+                for strategy in BATCH_STRATEGIES
+            },
+            "instances": len(pool_shortcuts),
+            "speedup": batch_speedup,
+        }
+        pool_reports = batch_reports["loop"]
+        table.add_row(
+            f"batch-pool[{len(pool_shortcuts)}]",
+            sum(topology.n for topology in pool_topologies),
+            sum(topology.m for topology in pool_topologies),
+            sum(shortcut.size for shortcut in pool_shortcuts),
+            max(report.congestion for report in pool_reports),
+            max(report.dilation for report in pool_reports),
+            round(batch_walls["loop"], 5),
+            round(batch_walls["vector"], 5),
+            round(batch_speedup, 2),
+        )
     return ExperimentResult(
         "E15",
         "the flat-array quality kernels outpace the reference at identical reports",
@@ -1189,10 +1243,15 @@ def run_e15(scale: str = "small", repeats: int = 3) -> ExperimentResult:
             "families": families,
             "speedups": speedups,
             "largest_scale_speedup": speedups[-1],
+            "batch": batch_data,
         },
         notes="Shortcuts are built centrally so the timing isolates "
         "quality measurement; the last family has the largest parts "
-        "(heaviest dilation scan) and anchors the tracked speedup.",
+        "(heaviest dilation scan) and anchors the tracked speedup.  "
+        "The batch-pool row times the whole pool through "
+        "measure_batch: its kernel columns hold the loop and vector "
+        "strategies' wall seconds (absent without the fast-math "
+        "extra); E21 tracks the grid-scale batch speedup.",
     )
 
 
@@ -1313,6 +1372,61 @@ def run_e16(scale: str = "small", repeats: int = 2) -> ExperimentResult:
             *[round(per_mode[m]["wall_s"], 4) for m in mode_names],
             round(speedup, 2),
         )
+    # Batch row: a same-family grid through the fused construct →
+    # measure → verify pipeline, loop vs vector (E21 gates the
+    # paper-scale grid; this row tracks a smaller sweep here).
+    batch_data = None
+    if batch_numpy_available():
+        count, side = (16, 10) if scale == "paper" else (6, 8)
+        grid_specs = [
+            InstanceSpec(
+                "grid", (side, side), partition=("voronoi", 8, 3 + index)
+            )
+            for index in range(count)
+        ]
+        grid_instances = [hydrate(spec) for spec in grid_specs]
+        grid_topologies = [inst.topology for inst in grid_instances]
+        grid_trees = [inst.tree for inst in grid_instances]
+        grid_partitions = [inst.partition for inst in grid_instances]
+        batch_walls: Dict[str, float] = {}
+        batch_results = {}
+        for strategy in BATCH_STRATEGIES:
+            best = math.inf
+            for _ in range(repeats):
+                start = time.perf_counter()
+                pipeline = run_pipeline(
+                    grid_topologies, grid_trees, grid_partitions,
+                    3, [3] * count, batch=strategy,
+                )
+                best = min(best, time.perf_counter() - start)
+            batch_walls[strategy] = best
+            batch_results[strategy] = pipeline
+        if batch_results["vector"] != batch_results["loop"]:
+            raise AssertionError(
+                "batch strategies disagree on the pipeline grid: "
+                f"vector={batch_results['vector']!r} but "
+                f"loop={batch_results['loop']!r}"
+            )
+        batch_speedup = batch_walls["loop"] / batch_walls["vector"]
+        batch_data = {
+            "strategies": {
+                strategy: {"wall_s": batch_walls[strategy]}
+                for strategy in BATCH_STRATEGIES
+            },
+            "instances": count,
+            "side": side,
+            "speedup": batch_speedup,
+        }
+        table.add_row(
+            f"grid-batch[{count}]",
+            sum(topology.n for topology in grid_topologies),
+            sum(partition.size for partition in grid_partitions),
+            count,
+            "-",
+            round(batch_walls["loop"], 4),
+            round(batch_walls["vector"], 4),
+            round(batch_speedup, 2),
+        )
     return ExperimentResult(
         "E16",
         "the direct construction kernels outpace the simulated pipeline at identical outputs",
@@ -1324,12 +1438,17 @@ def run_e16(scale: str = "small", repeats: int = 2) -> ExperimentResult:
             "families": families,
             "speedups": speedups,
             "largest_scale_speedup": speedups[-1],
+            "batch": batch_data,
         },
         notes="Each cell runs the full parameter-oblivious doubling "
         "search; the last family is the costliest simulated pipeline "
         "and anchors the tracked speedup.  Direct-mode round totals "
         "use the analytic ledger (exact cores, Lemma 3 bound for "
-        "verification).",
+        "verification).  The grid-batch row runs a same-family sweep "
+        "through the fused construct → measure → verify pipeline: its "
+        "mode columns hold the loop and vector batch strategies' wall "
+        "seconds (absent without the fast-math extra); E21 gates the "
+        "paper-scale grid speedup.",
     )
 
 
@@ -2172,6 +2291,143 @@ def run_e20(scale: str = "small") -> ExperimentResult:
     )
 
 
+# ----------------------------------------------------------------------
+# E21 — batch kernels: whole-grid throughput, vector vs per-instance loop
+# ----------------------------------------------------------------------
+
+
+def batch_grid(scale: str) -> List[InstanceSpec]:
+    """The E21 instance grid: one same-family seed sweep.
+
+    Paper scale is 128 grids of side 12 with 8-part voronoi partitions
+    — the production shape ROADMAP item 5 targets (a parameter sweep of
+    similar mid-size instances, where amortizing *across* instances
+    pays); small scale keeps CI in fractions of a second.
+    """
+    count, side = (128, 12) if scale == "paper" else (24, 8)
+    return [
+        InstanceSpec("grid", (side, side), partition=("voronoi", 8, 3 + index))
+        for index in range(count)
+    ]
+
+
+def run_e21(scale: str = "small", repeats: int = 3) -> ExperimentResult:
+    """Batch-axis throughput of the fused pipeline over an instance grid.
+
+    Runs the whole :func:`batch_grid` sweep through
+    :func:`repro.core.batch.run_pipeline` — Algorithm 1 construction,
+    quality measurement, and verification counts per instance — once
+    per batch strategy: ``"loop"`` (the per-instance fast kernels) and
+    ``"vector"`` (the numpy batch kernels over one packed
+    :class:`~repro.graphs.batch_csr.BatchCSR`).  Both must return
+    ``==``-identical :class:`~repro.core.batch.PipelineResult` lists;
+    the run raises on divergence.  The ``data`` dict carries the
+    ``BENCH_batch.json`` payload; see ``benchmarks/conftest.py`` for
+    the schema.  The benchmark gate requires the vector strategy at
+    least 3x the loop at paper-scale grid size.
+
+    Without numpy (the ``fast-math`` extra) only the loop row runs and
+    the speedup is ``None``.
+    """
+    specs = batch_grid(scale)
+    instances = [hydrate(spec) for spec in specs]
+    topologies = [instance.topology for instance in instances]
+    trees = [instance.tree for instance in instances]
+    partitions = [instance.partition for instance in instances]
+    count = len(specs)
+    c, b_limit = 3, 3
+
+    strategies = [
+        strategy
+        for strategy in BATCH_STRATEGIES
+        if strategy != "vector" or batch_numpy_available()
+    ]
+    walls: Dict[str, float] = {}
+    outputs = {}
+    for strategy in strategies:
+        best = math.inf
+        for _ in range(repeats):
+            start = time.perf_counter()
+            results = run_pipeline(
+                topologies, trees, partitions, c, [b_limit] * count,
+                batch=strategy,
+            )
+            best = min(best, time.perf_counter() - start)
+        walls[strategy] = best
+        outputs[strategy] = results
+    if "vector" in outputs and outputs["vector"] != outputs["loop"]:
+        diverged = [
+            index
+            for index in range(count)
+            if outputs["vector"][index] != outputs["loop"][index]
+        ]
+        raise AssertionError(
+            f"batch strategies disagree on grid instances {diverged}: "
+            f"vector={outputs['vector'][diverged[0]]!r} but "
+            f"loop={outputs['loop'][diverged[0]]!r}"
+        )
+    speedup = (
+        walls["loop"] / walls["vector"] if "vector" in walls else None
+    )
+
+    reference = outputs["loop"]
+    table = Table(
+        "E21: batch-kernel grid throughput (best-of-%d wall time)" % repeats,
+        ["batch", "instances", "n/inst", "parts/inst", "wall s",
+         "inst/s", "speedup"],
+    )
+    rows = {}
+    for strategy in strategies:
+        wall = walls[strategy]
+        rows[strategy] = {
+            "wall_s": wall,
+            "instances_per_s": count / wall if wall > 0 else math.inf,
+        }
+        table.add_row(
+            strategy,
+            count,
+            topologies[0].n,
+            partitions[0].size,
+            round(wall, 4),
+            round(count / wall, 1),
+            "-" if strategy == "loop" else round(speedup, 2),
+        )
+    return ExperimentResult(
+        "E21",
+        "vectorized batch kernels amortize the fast stack across whole instance grids",
+        table,
+        data={
+            "schema": "repro.bench_batch.v1",
+            "scale": scale,
+            "strategies": list(strategies),
+            "grid": {
+                "family": "grid/voronoi",
+                "instances": count,
+                "side": specs[0].params[0],
+                "n": topologies[0].n,
+                "m": topologies[0].m,
+                "parts": partitions[0].size,
+                "c": c,
+                "b_limit": b_limit,
+            },
+            "results": rows,
+            "max_congestion": max(
+                result.report.congestion for result in reference
+            ),
+            "max_dilation": max(
+                result.report.dilation for result in reference
+            ),
+            "speedup": speedup,
+        },
+        notes="One fused construct → measure → verify pass over the "
+        "whole grid per strategy; vector packs every instance into one "
+        "BatchCSR and never materializes per-instance shortcut "
+        "objects.  The loop/vector outputs are asserted ==-identical "
+        "inside the runner (the differential suite lives in "
+        "tests/core/test_batch_equivalence.py).",
+    )
+
+
 ALL_EXPERIMENTS: Dict[str, Callable[[str], ExperimentResult]] = {
     "E1": run_e01,
     "E2": run_e02,
@@ -2193,6 +2449,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[[str], ExperimentResult]] = {
     "E18": run_e18,
     "E19": run_e19,
     "E20": run_e20,
+    "E21": run_e21,
 }
 
 

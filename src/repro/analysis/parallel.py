@@ -68,6 +68,79 @@ def task_seed(base: int, index: int) -> int:
     return mix(base, index)
 
 
+def chunk_seeds(base: int, start: int, count: int) -> List[int]:
+    """Per-item seeds for a chunk of ``count`` tasks starting at ``start``.
+
+    Chunked submission must derive every item's seed from its *global*
+    task index — ``task_seed(base, start + offset)`` — never from the
+    chunk index or a per-chunk stream, so a batch worker that processes
+    ``tasks[start:start + count]`` in one call draws exactly the
+    randomness the per-task loop would have drawn for the same items.
+    This is the equivalence prerequisite for the ``batch="vector"``
+    kernels: grids fanned out as spec chunks must be bit-identical to
+    the serial per-spec run.
+    """
+    return [task_seed(base, start + offset) for offset in range(count)]
+
+
+def chunk_tasks(tasks: Iterable[T], chunk_size: int) -> List[tuple]:
+    """Split tasks into ``(start_index, items)`` chunks of ``chunk_size``.
+
+    The start index is the chunk's first *global* task index; workers
+    combine it with :func:`chunk_seeds` to reproduce per-task seeding.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    task_list = list(tasks)
+    return [
+        (start, task_list[start : start + chunk_size])
+        for start in range(0, len(task_list), chunk_size)
+    ]
+
+
+def parallel_map_chunked(
+    fn: Callable[[int, List[T]], List[R]],
+    tasks: Iterable[T],
+    *,
+    chunk_size: int,
+    jobs: Optional[int] = None,
+) -> List[R]:
+    """Fan out tasks in chunks; workers see ``(start_index, items)``.
+
+    The chunked twin of :func:`parallel_map` for batch processing:
+    ``fn`` receives a whole chunk (plus its global start index, for
+    :func:`chunk_seeds`) and returns one result per item, in item
+    order.  Results are flattened back to global task order, so any
+    ``chunk_size`` × ``jobs`` combination returns exactly what
+    ``parallel_map`` over single tasks would — provided ``fn`` honors
+    the global-index seeding contract.
+    """
+    chunks = chunk_tasks(tasks, chunk_size)
+    per_chunk = parallel_map(
+        _ChunkCall(fn), chunks, jobs=jobs
+    )
+    results: List[R] = []
+    for (start, items), chunk_results in zip(chunks, per_chunk):
+        if len(chunk_results) != len(items):
+            raise ValueError(
+                f"chunk at {start} returned {len(chunk_results)} results "
+                f"for {len(items)} tasks"
+            )
+        results.extend(chunk_results)
+    return results
+
+
+class _ChunkCall:
+    """Picklable adapter unpacking ``(start, items)`` into ``fn`` calls."""
+
+    def __init__(self, fn: Callable[[int, List[T]], List[R]]):
+        self.fn = fn
+
+    def __call__(self, chunk: tuple) -> List[R]:
+        start, items = chunk
+        return list(self.fn(start, items))
+
+
 def _pool_attempt(
     fn: Callable[[T], R], indexed_tasks: List, workers: int
 ) -> tuple:

@@ -69,6 +69,18 @@ from repro.core.core_fast import (
     sampling_parameters,
 )
 from repro.core.verification import VerificationOutcome, verification
+from repro.core.batch import (
+    BATCHES,
+    PipelineResult,
+    batch_parameter,
+    core_slow_batch,
+    get_default_batch,
+    measure_batch,
+    run_pipeline,
+    set_default_batch,
+    using_batch,
+    verification_batch,
+)
 from repro.core.construct_fast import (
     MODES,
     construct_mode_parameter,
@@ -129,6 +141,16 @@ __all__ = [
     "sampling_parameters",
     "VerificationOutcome",
     "verification",
+    "BATCHES",
+    "PipelineResult",
+    "batch_parameter",
+    "core_slow_batch",
+    "get_default_batch",
+    "measure_batch",
+    "run_pipeline",
+    "set_default_batch",
+    "using_batch",
+    "verification_batch",
     "MODES",
     "construct_mode_parameter",
     "get_default_mode",

@@ -39,6 +39,7 @@ from __future__ import annotations
 import hashlib
 import os
 import random
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -74,6 +75,33 @@ CORRUPTION_STYLES = ("flip", "truncate", "garbage", "empty")
 
 class ChaosViolation(AssertionError):
     """The service served a wrong answer or an unclean error."""
+
+
+def batched_chaos_specs() -> List[Tuple[str, InstanceSpec]]:
+    """Same-family (grid) specs whose cold misses group in one window."""
+    return [
+        (
+            "grid-a",
+            InstanceSpec(
+                "grid", (5, 5), weights=("unique", 3),
+                partition=("voronoi", 5, 1),
+            ),
+        ),
+        (
+            "grid-b",
+            InstanceSpec(
+                "grid", (6, 4), weights=("unique", 6),
+                partition=("voronoi", 4, 2),
+            ),
+        ),
+        (
+            "grid-c",
+            InstanceSpec(
+                "grid", (4, 6), weights=("unique", 7),
+                partition=("voronoi", 6, 3),
+            ),
+        ),
+    ]
 
 
 def default_chaos_specs() -> List[Tuple[str, InstanceSpec]]:
@@ -283,6 +311,7 @@ class ChaosReport:
     quarantined: int = 0
     swept_tmp: int = 0
     store_intact: int = 0
+    batched: int = 0
     http_requests: int = 0
     http_retries: int = 0
 
@@ -341,6 +370,7 @@ def run_chaos_suite(
     schedule: Optional[FaultSchedule] = None,
     use_http: bool = False,
     memory_entries: int = 4,
+    batched_round: bool = True,
 ) -> ChaosReport:
     """Drive the service through a seeded fault storm.
 
@@ -357,6 +387,14 @@ def run_chaos_suite(
     through a real HTTP server and the retrying
     :class:`~repro.service.client.ServiceClient`, so transport, load
     shedding (tiny queue), and backoff run under fault too.
+
+    After the storm a **batched round** (``batched_round=True``) fires
+    same-family cold misses concurrently at a service with a pending
+    window open: the grouped responses must go through the batch layer
+    (``report.batched``) and still ==-match their
+    :func:`~repro.analysis.instances.reference_instance` results —
+    fault state left armed by the storm may degrade the store under
+    the group, never the answers.
 
     Raises :class:`ChaosViolation` on any wrong answer; returns the
     :class:`ChaosReport` otherwise.
@@ -437,9 +475,67 @@ def run_chaos_suite(
     report.swept_tmp = swept
     report.injected = dict(schedule.injected)
 
+    if batched_round:
+        _batched_round(store, report, seed)
+
     if use_http:
         _http_storm(store_root, pairs, ops, expected, schedule, report, seed)
     return report
+
+
+def _batched_round(
+    store: PersistentStore, report: ChaosReport, seed: int
+) -> None:
+    """Fire same-family cold misses into an open pending window.
+
+    Every request must be served through the service's batch layer and
+    its payload must still equal the reference-instance result exactly
+    — grouping is a throughput optimisation, never an answer change.
+    """
+    pairs = batched_chaos_specs()
+    params = dict(PARAM_DEFAULTS)
+    params["seed"] = 20_000 + seed  # fresh seed: every key is cold
+    expected = {
+        name: OPERATIONS["shortcut"](reference_instance(spec), params)
+        for name, spec in pairs
+    }
+    service = ShortcutService(
+        store,
+        workers=2,
+        queue_limit=16,
+        batch_window_s=0.25,
+        batch_limit=len(pairs),
+    )
+    responses: Dict[str, object] = {}
+
+    def fire(name: str, spec: InstanceSpec) -> None:
+        responses[name] = service.handle(
+            "shortcut", {"spec": spec_to_json(spec), "seed": params["seed"]}
+        )
+
+    try:
+        threads = [
+            threading.Thread(target=fire, args=(name, spec))
+            for name, spec in pairs
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+    finally:
+        service.close()
+
+    for name, _spec in pairs:
+        _check_response(
+            report, responses[name], expected[name],
+            f"batched round: shortcut/{name}",
+        )
+    if service.stats.batched < len(pairs):
+        raise ChaosViolation(
+            "batched round: cold misses bypassed the batch layer "
+            f"(batched={service.stats.batched}, expected {len(pairs)})"
+        )
+    report.batched = service.stats.batched
 
 
 def _http_storm(

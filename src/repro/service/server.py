@@ -35,6 +35,13 @@ Request lifecycle hardening
   directory, injected IO errors) downgrades that request to the cold
   path (compute-only); the service keeps answering correctly with the
   store offline, counting ``store_failures``.
+* **Batched cold misses** — with ``batch_window_s > 0``, cold misses
+  for the same batchable operation and instance family that arrive
+  within the pending window are grouped and their quality reports
+  computed through the vectorized batch layer
+  (:func:`repro.core.batch.measure_batch`); every grouped response is
+  ==-identical to the per-instance path, and the ``batched`` counter
+  in ``/v1/stats`` tracks how many requests were served this way.
 
 Computation is deterministic given the request (seeded constructions,
 direct kernels), which is what makes results content-addressable and
@@ -49,15 +56,17 @@ import threading
 from concurrent.futures import Future, ThreadPoolExecutor, TimeoutError as FutureTimeout
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.analysis.instances import Instance, InstanceSpec, hydrate
 from repro.apps.connectivity import connected_components
 from repro.apps.mincut import approximate_min_cut
 from repro.apps.mst import minimum_spanning_tree
 from repro.core import quality
+from repro.core.batch import measure_batch
 from repro.core.doubling import find_shortcut_doubling
 from repro.errors import ReproError
+from repro.graphs.batch_csr import numpy_available
 from repro.service.store import PersistentStore, canonical_json, spec_key
 
 API_VERSION = "v1"
@@ -107,9 +116,7 @@ def _construct(instance: Instance, params: Dict):
     return outcome, report
 
 
-def op_shortcut(instance: Instance, params: Dict) -> Dict:
-    """Appendix A doubling construction + quality report."""
-    outcome, report = _construct(instance, params)
+def _shortcut_payload(outcome, report) -> Dict:
     return {
         "c": outcome.c,
         "b": outcome.b,
@@ -122,22 +129,23 @@ def op_shortcut(instance: Instance, params: Dict) -> Dict:
     }
 
 
+def _quality_payload(outcome, report) -> Dict:
+    payload = _shortcut_payload(outcome, report)
+    payload["block_counts"] = list(report.block_counts)
+    payload["lemma1_dilation_bound"] = report.lemma1_dilation_bound
+    return payload
+
+
+def op_shortcut(instance: Instance, params: Dict) -> Dict:
+    """Appendix A doubling construction + quality report."""
+    outcome, report = _construct(instance, params)
+    return _shortcut_payload(outcome, report)
+
+
 def op_quality(instance: Instance, params: Dict) -> Dict:
     """Quality report of the constructed shortcut (incl. block counts)."""
     outcome, report = _construct(instance, params)
-    result = {
-        "c": outcome.c,
-        "b": outcome.b,
-        "rounds": outcome.rounds,
-        "trials": len(outcome.trials),
-        "congestion": report.congestion,
-        "block_parameter": report.block_parameter,
-        "dilation": report.dilation,
-        "tree_depth": report.tree_depth,
-        "block_counts": list(report.block_counts),
-        "lemma1_dilation_bound": report.lemma1_dilation_bound,
-    }
-    return result
+    return _quality_payload(outcome, report)
 
 
 def op_mst(instance: Instance, params: Dict) -> Dict:
@@ -202,6 +210,15 @@ OPERATIONS: Dict[str, Callable[[Instance, Dict], Dict]] = {
     "mst": op_mst,
     "mincut": op_mincut,
     "connectivity": op_connectivity,
+}
+
+# Ops whose compute splits into a per-instance construction plus a
+# quality report the batch layer can vectorize across a pending-window
+# group (the construction's randomness is per-instance either way, so
+# grouping cannot change any answer).
+BATCHED_PAYLOADS: Dict[str, Callable] = {
+    "shortcut": _shortcut_payload,
+    "quality": _quality_payload,
 }
 
 # Parameters every operation accepts, with the service defaults (the
@@ -291,6 +308,7 @@ class ServiceStats:
     requests: int = 0
     warm_hits: int = 0
     computed: int = 0
+    batched: int = 0
     singleflight_joined: int = 0
     shed: int = 0
     deadline_expired: int = 0
@@ -315,6 +333,18 @@ class ServiceResponse:
         return self.status == 200
 
 
+@dataclass
+class _BatchGroup:
+    """One pending window of same-family cold misses for one op."""
+
+    op: str
+    with_dilation: bool
+    items: List[Tuple[str, InstanceSpec, Dict, Future]] = field(
+        default_factory=list
+    )
+    timer: Optional[threading.Timer] = None
+
+
 class ShortcutService:
     """The transport-independent request broker.
 
@@ -322,6 +352,14 @@ class ShortcutService:
     single-flight table, the bounded compute pool, and the stats; the
     HTTP layer below (and the chaos harness, which drives this class
     directly) is a thin shim over :meth:`handle`.
+
+    With ``batch_window_s > 0`` cold misses on the batchable ops
+    (:data:`BATCHED_PAYLOADS`) are held for up to that window and
+    grouped by ``(op, family, with_dilation)``; a group flushes early
+    when it reaches ``batch_limit`` members.  The group's quality
+    reports are computed in one :func:`repro.core.batch.measure_batch`
+    call (the vector strategy when numpy is installed, the loop
+    otherwise — both ==-identical to per-instance compute).
     """
 
     def __init__(
@@ -332,17 +370,23 @@ class ShortcutService:
         queue_limit: int = 16,
         max_deadline_s: float = DEFAULT_DEADLINE_S,
         retry_after_s: float = DEFAULT_RETRY_AFTER_S,
+        batch_window_s: float = 0.0,
+        batch_limit: int = 8,
     ) -> None:
         self.store = store
         self.stats = ServiceStats()
         self.queue_limit = queue_limit
         self.max_deadline_s = max_deadline_s
         self.retry_after_s = retry_after_s
+        self.batch_window_s = batch_window_s
+        self.batch_limit = max(1, batch_limit)
+        self._batch_strategy = "vector" if numpy_available() else "loop"
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-svc"
         )
         self._lock = threading.Lock()
         self._inflight: Dict[str, Future] = {}
+        self._batch_groups: Dict[Tuple, _BatchGroup] = {}
         self._pending = 0
 
     # -- store access (degrades gracefully) ----------------------------
@@ -418,7 +462,12 @@ class ShortcutService:
                         retry_after_s=self.retry_after_s,
                     )
                 self._pending += 1
-                future = self._pool.submit(self._compute, key, op, spec, params)
+                if self.batch_window_s > 0 and op in BATCHED_PAYLOADS:
+                    future = self._enqueue_batched(key, op, spec, params)
+                else:
+                    future = self._pool.submit(
+                        self._compute, key, op, spec, params
+                    )
                 self._inflight[key] = future
 
         try:
@@ -464,6 +513,122 @@ class ShortcutService:
                 self._inflight.pop(key, None)
                 self._pending -= 1
 
+    # -- batched cold misses -------------------------------------------
+
+    def _enqueue_batched(
+        self, key: str, op: str, spec: InstanceSpec, params: Dict
+    ) -> Future:
+        """Join/open the pending-window group for this op + family.
+
+        Called with ``self._lock`` held.  Returns the per-request
+        future; the group computes when the window expires or the
+        group reaches ``batch_limit`` members.
+        """
+        group_key = (op, spec.family, params["with_dilation"])
+        group = self._batch_groups.get(group_key)
+        if group is None:
+            group = _BatchGroup(op=op, with_dilation=params["with_dilation"])
+            group.timer = threading.Timer(
+                self.batch_window_s, self._flush_group, args=(group_key, group)
+            )
+            group.timer.daemon = True
+            self._batch_groups[group_key] = group
+            group.timer.start()
+        future: Future = Future()
+        group.items.append((key, spec, params, future))
+        if len(group.items) >= self.batch_limit:
+            self._batch_groups.pop(group_key, None)
+            group.timer.cancel()
+            self._pool.submit(self._run_group, group)
+        return future
+
+    def _flush_group(self, group_key: Tuple, group: _BatchGroup) -> None:
+        """Timer callback: compute the group if it is still pending."""
+        with self._lock:
+            if self._batch_groups.get(group_key) is not group:
+                return  # already flushed by the size limit (or close)
+            self._batch_groups.pop(group_key)
+        try:
+            self._pool.submit(self._run_group, group)
+        except RuntimeError:  # pool shut down under the timer
+            self._run_group(group)
+
+    def _finish(self, key: str, future: Future, outcome: Tuple) -> None:
+        with self._lock:
+            self._inflight.pop(key, None)
+            self._pending -= 1
+        future.set_result(outcome)
+
+    def _run_group(self, group: _BatchGroup) -> None:
+        """Compute one pending-window group.
+
+        Constructions stay per-instance (their seeded randomness is
+        request-scoped); the quality reports of the whole group run
+        through one batch-layer call.  A failure stays confined to its
+        own item — on any batch-call error the group falls back to
+        per-instance measurement so errors attribute exactly as on the
+        unbatched path.
+        """
+        built = []
+        for key, spec, params, future in group.items:
+            try:
+                instance = hydrate(spec)
+                _require_partition(instance)
+                outcome = find_shortcut_doubling(
+                    instance.topology,
+                    instance.tree,
+                    instance.partition,
+                    seed=params["seed"],
+                    mode=params["mode"],
+                )
+            except ReproError as error:
+                self.stats.compute_errors += 1
+                self._finish(key, future, ("invalid", str(error)))
+            except Exception as error:  # noqa: BLE001
+                self.stats.compute_errors += 1
+                self._finish(
+                    key, future, ("error", f"{type(error).__name__}: {error}")
+                )
+            else:
+                built.append((key, future, instance, outcome))
+        if not built:
+            return
+        reports = None
+        try:
+            reports = measure_batch(
+                [outcome.result.shortcut for _, _, _, outcome in built],
+                [instance.topology for _, _, instance, _ in built],
+                with_dilation=group.with_dilation,
+                batch=self._batch_strategy,
+            )
+        except Exception:  # noqa: BLE001 — fall back to per-item measure
+            reports = None
+        payload_fn = BATCHED_PAYLOADS[group.op]
+        for index, (key, future, instance, outcome) in enumerate(built):
+            try:
+                report = (
+                    reports[index]
+                    if reports is not None
+                    else quality.measure(
+                        outcome.result.shortcut,
+                        instance.topology,
+                        with_dilation=group.with_dilation,
+                    )
+                )
+                result = payload_fn(outcome, report)
+                self.stats.computed += 1
+                self.stats.batched += 1
+                self._store_put(key, result)
+                self._finish(key, future, ("ok", result))
+            except ReproError as error:
+                self.stats.compute_errors += 1
+                self._finish(key, future, ("invalid", str(error)))
+            except Exception as error:  # noqa: BLE001
+                self.stats.compute_errors += 1
+                self._finish(
+                    key, future, ("error", f"{type(error).__name__}: {error}")
+                )
+
     def stats_payload(self) -> Dict:
         payload = {"service": self.stats.as_dict()}
         if self.store is not None:
@@ -472,6 +637,16 @@ class ShortcutService:
         return payload
 
     def close(self) -> None:
+        # Flush any pending batch windows so their futures resolve
+        # before the pool drains (a cancelled timer must not strand a
+        # waiting request).
+        with self._lock:
+            groups = list(self._batch_groups.items())
+            self._batch_groups.clear()
+        for _group_key, group in groups:
+            if group.timer is not None:
+                group.timer.cancel()
+            self._pool.submit(self._run_group, group)
         self._pool.shutdown(wait=True)
 
 
@@ -567,6 +742,8 @@ def serve(
     queue_limit: int = 16,
     max_deadline_s: float = DEFAULT_DEADLINE_S,
     retry_after_s: float = DEFAULT_RETRY_AFTER_S,
+    batch_window_s: float = 0.0,
+    batch_limit: int = 8,
 ) -> ServiceHandle:
     """Start the HTTP service on a daemon thread; returns its handle.
 
@@ -580,6 +757,8 @@ def serve(
         queue_limit=queue_limit,
         max_deadline_s=max_deadline_s,
         retry_after_s=retry_after_s,
+        batch_window_s=batch_window_s,
+        batch_limit=batch_limit,
     )
     handler = type("BoundHandler", (_Handler,), {"service": service})
     server = ThreadingHTTPServer((host, port), handler)

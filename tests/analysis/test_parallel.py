@@ -4,7 +4,15 @@ import os
 
 import pytest
 
-from repro.analysis.parallel import JOBS_ENV, parallel_map, resolve_jobs, task_seed
+from repro.analysis.parallel import (
+    JOBS_ENV,
+    chunk_seeds,
+    chunk_tasks,
+    parallel_map,
+    parallel_map_chunked,
+    resolve_jobs,
+    task_seed,
+)
 
 
 def _square(x):
@@ -112,3 +120,46 @@ def test_parallel_map_falls_back_to_serial_after_repeated_crashes():
     with pytest.warns(RuntimeWarning, match="serially in the parent"):
         results = parallel_map(_crash_in_workers, tasks, jobs=2)
     assert results == [x + 10 for x in range(4)]
+
+
+def _seeded_chunk(start, items):
+    # The global-index seeding contract: item k of the chunk draws
+    # task_seed(base, start + k), never a chunk-local stream.
+    seeds = chunk_seeds(11, start, len(items))
+    return [x * 100 + seed % 89 for x, seed in zip(items, seeds)]
+
+
+def test_parallel_map_chunked_matches_per_task_seeding():
+    tasks = list(range(17))
+    expected = [x * 100 + task_seed(11, i) % 89 for i, x in enumerate(tasks)]
+    for chunk_size in (1, 4, 17, 30):
+        for jobs in (1, 2):
+            assert (
+                parallel_map_chunked(
+                    _seeded_chunk, tasks, chunk_size=chunk_size, jobs=jobs
+                )
+                == expected
+            )
+
+
+def test_parallel_map_chunked_respects_jobs_env(jobs_env):
+    jobs_env("2")
+    tasks = list(range(9))
+    expected = [x * 100 + task_seed(11, i) % 89 for i, x in enumerate(tasks)]
+    assert parallel_map_chunked(_seeded_chunk, tasks, chunk_size=4) == expected
+
+
+def _short_chunk(start, items):
+    return [0] * (len(items) - 1)
+
+
+def test_parallel_map_chunked_rejects_wrong_chunk_lengths():
+    with pytest.raises(ValueError, match="returned 3 results for 4 tasks"):
+        parallel_map_chunked(_short_chunk, range(4), chunk_size=4, jobs=1)
+
+
+def test_chunk_tasks_shapes():
+    assert chunk_tasks(range(5), 2) == [(0, [0, 1]), (2, [2, 3]), (4, [4])]
+    assert chunk_tasks([], 3) == []
+    with pytest.raises(ValueError):
+        chunk_tasks(range(2), 0)

@@ -1,0 +1,213 @@
+"""Differential suite: ``batch="vector"`` vs the per-instance loop.
+
+Every batched kernel must reproduce the per-instance fast kernels
+**bit-for-bit** over the same instances — the same licensing discipline
+as the engine, kernel, mode, and backend fast paths.  Runs across
+grid / torus / hub / genus_chain families, mixed partition families,
+ragged batches with different ``n`` per instance, and a batch of one.
+"""
+
+import pytest
+
+from repro.analysis.instances import InstanceSpec, hydrate
+from repro.core import quality_fast
+from repro.core.batch import (
+    core_slow_batch,
+    measure_batch,
+    measure_batch_vector,
+    pack_shortcuts,
+    pipeline_batch_vector,
+    pipeline_loop,
+    run_pipeline,
+    using_batch,
+    verification_batch,
+    verification_counts_batch,
+)
+from repro.core.construct_fast import (
+    core_slow_direct,
+    verification_counts_direct,
+)
+from repro.core.existence import greedy_capped_shortcut
+from repro.core.shortcut import TreeRestrictedShortcut
+from repro.errors import ShortcutError
+from repro.graphs.batch_csr import numpy_available
+from repro.graphs.partitions import Partition
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(),
+    reason="batch kernels need the fast-math extra (numpy)",
+)
+
+# Ragged on purpose: mixed families, mixed n, mixed partition families.
+RAGGED_SPECS = [
+    InstanceSpec("grid", (9, 9), partition=("voronoi", 9, 1)),
+    InstanceSpec("grid", (7, 7), partition=("rows", 7, 7)),
+    InstanceSpec("torus", (8, 8), partition=("voronoi", 8, 2)),
+    InstanceSpec("hub", (96, 8), partition=("arcs", 96, 8, 1)),
+    InstanceSpec("genus_chain", (2, 5, 5), partition=("voronoi", 6, 5)),
+]
+
+
+@pytest.fixture(scope="module")
+def ragged():
+    instances = [hydrate(spec) for spec in RAGGED_SPECS]
+    topologies = [instance.topology for instance in instances]
+    trees = [instance.tree for instance in instances]
+    partitions = [instance.partition for instance in instances]
+    shortcuts = [
+        greedy_capped_shortcut(tree, partition, 2)[0]
+        for tree, partition in zip(trees, partitions)
+    ]
+    return topologies, trees, partitions, shortcuts
+
+
+def test_measure_identical_over_ragged_batch(ragged):
+    topologies, _trees, _partitions, shortcuts = ragged
+    loop = [
+        quality_fast.measure(shortcut, topology)
+        for shortcut, topology in zip(shortcuts, topologies)
+    ]
+    vector = measure_batch_vector(shortcuts, topologies)
+    assert vector == loop
+    # Plain Python ints, never numpy scalars.
+    for report in vector:
+        assert type(report.congestion) is int
+        assert type(report.shortcut_congestion) is int
+        assert type(report.block_parameter) is int
+        assert type(report.dilation) is int
+        assert all(type(count) is int for count in report.block_counts)
+
+
+def test_measure_without_dilation_identical(ragged):
+    topologies, _trees, _partitions, shortcuts = ragged
+    loop = [
+        quality_fast.measure(shortcut, topology, with_dilation=False)
+        for shortcut, topology in zip(shortcuts, topologies)
+    ]
+    assert measure_batch_vector(
+        shortcuts, topologies, with_dilation=False
+    ) == loop
+
+
+def test_measure_batch_axis_dispatch(ragged):
+    topologies, _trees, _partitions, shortcuts = ragged
+    loop = measure_batch(shortcuts, topologies)
+    explicit = measure_batch(shortcuts, topologies, batch="vector")
+    assert explicit == loop
+    with using_batch("vector"):
+        assert measure_batch(shortcuts, topologies) == loop
+
+
+@pytest.mark.parametrize(
+    "b_limits", [[2] * 5, [1, 2, 3, 4, 5], [0, 2, 0, 3, 1]]
+)
+def test_verification_counts_identical(ragged, b_limits):
+    topologies, _trees, _partitions, shortcuts = ragged
+    loop = [
+        verification_counts_direct(topology, shortcut, limit)
+        for topology, shortcut, limit in zip(topologies, shortcuts, b_limits)
+    ]
+    pack = pack_shortcuts(shortcuts, topologies)
+    assert verification_counts_batch(pack, b_limits) == loop
+
+
+def test_verification_outcomes_identical(ragged):
+    topologies, _trees, _partitions, shortcuts = ragged
+    consider = [None, {0, 2}, {1}, None, {0, 1, 2}]
+    loop = verification_batch(
+        topologies, shortcuts, [2, 1, 3, 2, 2], consider=consider,
+        mode="direct",
+    )
+    vector = verification_batch(
+        topologies, shortcuts, [2, 1, 3, 2, 2], consider=consider,
+        batch="vector",
+    )
+    assert vector == loop
+
+
+@pytest.mark.parametrize("cs", [1, [2, 1, 3, 2, 1]])
+def test_core_slow_identical(ragged, cs):
+    topologies, trees, partitions, _shortcuts = ragged
+    c_list = [cs] * 5 if isinstance(cs, int) else cs
+    loop = [
+        core_slow_direct(topology, tree, partition, c)
+        for topology, tree, partition, c in zip(
+            topologies, trees, partitions, c_list
+        )
+    ]
+    vector = core_slow_batch(topologies, trees, partitions, cs)
+    for reference, batched in zip(loop, vector):
+        assert batched.shortcut.subgraphs == reference.shortcut.subgraphs
+        assert batched.unusable == reference.unusable
+        assert batched.rounds == reference.rounds
+        assert batched.messages == reference.messages
+
+
+def test_core_slow_participating_subsets_identical(ragged):
+    topologies, trees, partitions, _shortcuts = ragged
+    participating = [None, [0, 2], [1], None, [0, 1, 2]]
+    loop = [
+        core_slow_direct(topology, tree, partition, 2, participating=allowed)
+        for topology, tree, partition, allowed in zip(
+            topologies, trees, partitions, participating
+        )
+    ]
+    vector = core_slow_batch(
+        topologies, trees, partitions, 2, participating=participating
+    )
+    for reference, batched in zip(loop, vector):
+        assert batched.shortcut.subgraphs == reference.shortcut.subgraphs
+        assert batched.unusable == reference.unusable
+        assert batched.rounds == reference.rounds
+        assert batched.messages == reference.messages
+
+
+def test_batch_of_one(ragged):
+    topologies, _trees, _partitions, shortcuts = ragged
+    assert measure_batch_vector(shortcuts[:1], topologies[:1]) == [
+        quality_fast.measure(shortcuts[0], topologies[0])
+    ]
+
+
+def test_disconnected_dilation_raises_identically():
+    # A part holding two opposite grid corners with no shortcut edges:
+    # G[P_0] + H_0 is disconnected, so dilation must raise — the same
+    # ShortcutError text as the per-instance kernel, at the same part.
+    instance = hydrate(InstanceSpec("grid", (6, 6), partition=("rows", 6, 6)))
+    topology = instance.topology
+    partition = Partition(topology.n, [{0, topology.n - 1}])
+    shortcut = TreeRestrictedShortcut.empty(instance.tree, partition)
+    with pytest.raises(ShortcutError) as loop_error:
+        quality_fast.measure(shortcut, topology)
+    with pytest.raises(ShortcutError) as batch_error:
+        measure_batch_vector([shortcut], [topology])
+    assert str(batch_error.value) == str(loop_error.value)
+
+
+def test_pipeline_identical_and_dispatch(ragged):
+    topologies, trees, partitions, _shortcuts = ragged
+    b_limits = [2, 3, 2, 4, 3]
+    loop = pipeline_loop(topologies, trees, partitions, 2, b_limits)
+    vector = pipeline_batch_vector(topologies, trees, partitions, 2, b_limits)
+    assert vector == loop
+    assert run_pipeline(
+        topologies, trees, partitions, 2, b_limits, batch="vector"
+    ) == loop
+    assert run_pipeline(topologies, trees, partitions, 2, b_limits) == loop
+
+
+def test_grid_seed_sweep_identical():
+    # A same-family grid sweep — the E21 shape — must be bit-identical
+    # through the fused pipeline, including rounds/messages.
+    specs = [
+        InstanceSpec("grid", (6, 6), partition=("voronoi", 4, seed))
+        for seed in range(8)
+    ]
+    instances = [hydrate(spec) for spec in specs]
+    topologies = [instance.topology for instance in instances]
+    trees = [instance.tree for instance in instances]
+    partitions = [instance.partition for instance in instances]
+    loop = pipeline_loop(topologies, trees, partitions, 3, [3] * 8)
+    assert pipeline_batch_vector(
+        topologies, trees, partitions, 3, [3] * 8
+    ) == loop

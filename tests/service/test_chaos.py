@@ -60,6 +60,9 @@ def test_chaos_suite_never_serves_wrong_answers(tmp_path):
     assert all(kind for kind in report.error_kinds)
     # Whatever survived the storm decodes cleanly.
     assert report.store_intact >= 0
+    # The post-storm batched round grouped its same-family cold misses
+    # through the batch layer and every response ==-matched reference.
+    assert report.batched >= 3
 
 
 def test_chaos_injection_is_seed_deterministic(tmp_path):

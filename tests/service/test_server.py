@@ -250,6 +250,156 @@ def test_deadline_expiry_is_504_then_warm(service, sleepy_op):
 
 
 # ----------------------------------------------------------------------
+# Batched cold misses
+# ----------------------------------------------------------------------
+
+
+BATCH_SPECS = [
+    {
+        "family": "grid",
+        "params": [5, 5],
+        "weights": ["unique", 3],
+        "partition": ["voronoi", 5, 1],
+    },
+    {
+        "family": "grid",
+        "params": [6, 4],
+        "weights": ["unique", 6],
+        "partition": ["voronoi", 4, 2],
+    },
+    {
+        "family": "grid",
+        "params": [4, 6],
+        "weights": ["unique", 7],
+        "partition": ["voronoi", 6, 3],
+    },
+]
+
+
+def test_batched_cold_misses_match_the_loop_path(tmp_path):
+    # Per-instance reference answers from an unbatched service.
+    loop = ShortcutService(store=None, workers=2)
+    try:
+        expected = [
+            loop.handle("shortcut", {"spec": spec, "seed": 5}).body["result"]
+            for spec in BATCH_SPECS
+        ]
+    finally:
+        loop.close()
+
+    service = ShortcutService(
+        PersistentStore(tmp_path / "store"),
+        workers=2,
+        batch_window_s=0.25,
+        batch_limit=len(BATCH_SPECS),
+    )
+    responses = [None] * len(BATCH_SPECS)
+
+    def fire(index):
+        responses[index] = service.handle(
+            "shortcut", {"spec": BATCH_SPECS[index], "seed": 5}
+        )
+
+    try:
+        threads = [
+            threading.Thread(target=fire, args=(i,))
+            for i in range(len(BATCH_SPECS))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert [r.status for r in responses] == [200] * len(BATCH_SPECS)
+        assert [r.body["result"] for r in responses] == expected
+        assert all(r.body["warm"] is False for r in responses)
+        # Every cold miss went through the grouped batch path and the
+        # store is populated: the retry lands warm.
+        assert service.stats.batched == len(BATCH_SPECS)
+        assert service.stats.computed == len(BATCH_SPECS)
+        warm = service.handle("shortcut", {"spec": BATCH_SPECS[0], "seed": 5})
+        assert warm.status == 200 and warm.body["warm"] is True
+    finally:
+        service.close()
+
+
+def test_batch_window_group_of_one_flushes_on_the_timer(tmp_path):
+    loop = ShortcutService(store=None, workers=2)
+    try:
+        expected = loop.handle("quality", request_body()).body["result"]
+    finally:
+        loop.close()
+    service = ShortcutService(
+        PersistentStore(tmp_path / "store"),
+        workers=2,
+        batch_window_s=0.05,
+        batch_limit=8,
+    )
+    try:
+        # A single request must not wait forever for company: the
+        # window timer flushes a group of one.
+        response = service.handle("quality", request_body())
+        assert response.status == 200
+        assert response.body["result"] == expected
+        assert service.stats.batched == 1
+    finally:
+        service.close()
+
+
+def test_batched_invalid_spec_fails_alone(tmp_path):
+    # A partitionless spec in the same window as a good one must fail
+    # with the usual 422 while its neighbour still gets its answer.
+    service = ShortcutService(
+        PersistentStore(tmp_path / "store"),
+        workers=2,
+        batch_window_s=0.25,
+        batch_limit=2,
+    )
+    bad = {"family": "grid", "params": [4, 4]}
+    responses = {}
+
+    def fire(label, spec):
+        responses[label] = service.handle("shortcut", {"spec": spec})
+
+    try:
+        threads = [
+            threading.Thread(target=fire, args=("good", BATCH_SPECS[0])),
+            threading.Thread(target=fire, args=("bad", bad)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert responses["good"].status == 200
+        assert responses["bad"].status == 422
+        assert "partition" in responses["bad"].body["error"]
+        assert service.stats.batched == 1
+    finally:
+        service.close()
+
+
+def test_batching_disabled_by_default(service):
+    response = service.handle("shortcut", {"spec": BATCH_SPECS[0]})
+    assert response.status == 200
+    assert service.stats.batched == 0
+
+
+def test_stats_surface_batched_counter(tmp_path):
+    with serve(
+        PersistentStore(tmp_path / "store"),
+        workers=2,
+        batch_window_s=0.05,
+    ) as handle:
+        status, body = http_json(
+            f"{handle.base_url}/v1/shortcut",
+            {"spec": BATCH_SPECS[0]},
+        )
+        assert status == 200
+        status, stats = http_json(f"{handle.base_url}/v1/stats")
+        assert status == 200
+        assert stats["service"]["batched"] == 1
+
+
+# ----------------------------------------------------------------------
 # Store degradation
 # ----------------------------------------------------------------------
 
