@@ -1,0 +1,108 @@
+"""E22 — batched doubling-ladder throughput: vector ladder vs loop.
+
+As a pytest benchmark this wraps :func:`repro.analysis.experiments.run_e22`
+like every other ``bench_eXX`` module.  Run directly as a script it
+also writes the machine-readable baseline::
+
+    python benchmarks/bench_e22_batch_construct.py --scale paper \
+        --out BENCH_batch_construct.json
+
+so the perf trajectory of the batched construction ladder (the whole
+``(c, b)`` doubling climb over a mixed-family instance grid) is
+tracked alongside the other baselines.  The JSON schema
+(``repro.bench_batch_construct.v1``) is documented in
+``benchmarks/conftest.py``.
+
+Requires the ``fast-math`` extra (numpy): without it the vector
+strategy cannot run and the script fails unless ``--min-speedup 0``.
+"""
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+try:
+    from repro.analysis.experiments import run_e22
+except ImportError:  # direct script run without the package installed
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.analysis.experiments import run_e22
+
+# The headline acceptance bar: at paper-scale grid size the vector
+# ladder must beat the per-instance loop by at least this factor.
+MIN_LADDER_SPEEDUP = 3.0
+
+
+def test_e22_batch_construct_throughput(benchmark, scale):
+    # Deferred so the script path below works without pytest installed.
+    from conftest import run_experiment
+
+    from repro.graphs.batch_csr import numpy_available
+
+    result = run_experiment(benchmark, run_e22, scale)
+    if not numpy_available():
+        assert result.data["speedup"] is None
+        return
+    # run_e22 itself raises if loop and vector outcomes diverged.  The
+    # 3x gate lives at paper scale (the batch-construct-bench CI job);
+    # at small scale the instances are too tiny for the gate, but the
+    # vector ladder must at least not collapse.
+    if scale == "paper":
+        assert result.data["speedup"] >= MIN_LADDER_SPEEDUP
+    else:
+        assert result.data["speedup"] > 0.5
+
+
+def write_baseline(scale: str, out_path: Path) -> dict:
+    """Run E22 and write the ``BENCH_batch_construct.json`` baseline."""
+    result = run_e22(scale)
+    payload = dict(result.data)
+    payload["python"] = platform.python_version()
+    payload["machine"] = platform.machine()
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small", choices=["small", "paper"])
+    parser.add_argument(
+        "--out", default="BENCH_batch_construct.json", type=Path,
+        help="where to write the baseline JSON",
+    )
+    parser.add_argument(
+        "--min-speedup", default=MIN_LADDER_SPEEDUP, type=float,
+        help="fail (exit 1) if the ladder speedup is below this; "
+        "pass 0 for record-only mode",
+    )
+    args = parser.parse_args(argv)
+    payload = write_baseline(args.scale, args.out)
+    grid = payload["grid"]
+    for strategy, row in payload["results"].items():
+        print(
+            f"{strategy:<8} grid={grid['instances']}x{grid['family']} "
+            f"(n_total={grid['n_total']}) wall={row['wall_s']:.4f}s "
+            f"({row['instances_per_s']:.1f} inst/s)"
+        )
+    speedup = payload["speedup"]
+    if speedup is None:
+        print("vector strategy unavailable (fast-math extra not installed)")
+        if args.min_speedup > 0:
+            print("FAIL: no vector measurement to gate", file=sys.stderr)
+            return 1
+        print(f"wrote {args.out}")
+        return 0
+    print(f"ladder speedup: {speedup:.2f}x over {payload['max_rungs']} rungs")
+    print(f"wrote {args.out}")
+    if speedup < args.min_speedup:
+        print(
+            f"FAIL: ladder speedup below {args.min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -320,6 +320,41 @@ the ``fast-math`` extra).  A JSON object with:
 * ``speedup`` — loop wall time / vector wall time, or ``null``
   without numpy; the tracked headline number (CI gates it at >= 3 at
   paper scale via the ``batch-bench`` job).
+
+BENCH_batch_construct.json schema
+---------------------------------
+
+``python benchmarks/bench_e22_batch_construct.py --scale paper --out
+BENCH_batch_construct.json`` writes the batched-construction baseline
+(schema id ``repro.bench_batch_construct.v1``): wall time of the whole
+``(c, b)`` doubling ladder
+(:func:`repro.core.batch.find_shortcut_doubling_batch`) over the
+mixed-family :func:`repro.analysis.experiments.e22_grid` sweep, once
+per batch strategy — ``"loop"`` (the per-instance Appendix A search in
+``mode="direct"``) vs ``"vector"`` (the lockstep ladder over one
+packed ``BatchCSR`` with active-set compaction, needing the
+``fast-math`` extra).  A JSON object with:
+
+* ``schema`` — the literal string ``"repro.bench_batch_construct.v1"``.
+* ``scale`` — ``"small"`` or ``"paper"`` (the E22 grid sizes; the
+  acceptance gate lives at paper scale).
+* ``strategies`` — batch-strategy names measured (``"vector"`` absent
+  without numpy).
+* ``python`` / ``machine`` — interpreter version and architecture.
+* ``grid`` — the sweep shape: ``family`` (the mixed
+  ``"grid+torus+hub"`` sweep), ``instances``, and the summed
+  ``n_total`` / ``m_total`` / ``parts_total``.
+* ``results`` — mapping strategy name -> ``{"wall_s",
+  "instances_per_s"}`` (best-of-N wall seconds for the whole ladder).
+* ``max_rungs`` — deepest ``(c, b)`` ladder climbed by any instance.
+* ``rungs`` — per-rung breakdown from the ``Trial`` timing satellite:
+  rung index -> ``{"instances", "succeeded", "rounds", "messages"}``
+  (identical across strategies; E22 raises on any divergence of
+  trials, histories, shortcuts, or ledgers).
+* ``total_rounds`` — summed ledger rounds over the grid.
+* ``speedup`` — loop wall time / vector wall time, or ``null``
+  without numpy; the tracked headline number (CI gates it at >= 3 at
+  paper scale via the ``batch-construct-bench`` job).
 """
 
 import os

@@ -79,6 +79,7 @@ from repro.congest.workloads import (
 from repro.core import quality, quality_fast
 from repro.core.batch import (
     BATCHES as BATCH_STRATEGIES,
+    find_shortcut_doubling_batch,
     measure_batch,
     run_pipeline,
 )
@@ -95,6 +96,7 @@ from repro.core.tree_routing import (
     task_edge_congestion,
 )
 from repro.core.verification import verification
+from repro.failures.batch_sweep import scenarios_batch
 from repro.failures.degradation import Baseline, measure_degradation
 from repro.failures.repair import (
     assert_valid,
@@ -1329,7 +1331,11 @@ def run_e16(scale: str = "small", repeats: int = 2) -> ExperimentResult:
         diverged = [
             label
             for label, match in (
-                ("trials", direct.trials == simulate.trials),
+                (
+                    "trials",
+                    [t.signature for t in direct.trials]
+                    == [t.signature for t in simulate.trials],
+                ),
                 (
                     "edge_map",
                     direct.result.shortcut.edge_map
@@ -1916,25 +1922,61 @@ def _e19_task(task):
         mst_rounds=mst.rounds,
     )
 
+    scenarios = _e19_scenarios(topology, srlg_family, srlg_params)
+    # One timed pass of the per-scenario loop produces the reference
+    # records; with numpy available, the whole grid re-runs through the
+    # batched sweep (survivors_batch + the batched doubling ladder +
+    # measure_batch) and must reproduce them ==-identically.
+    start = time.perf_counter()
+    records = scenarios_batch(
+        topology, partition, scenarios, baseline,
+        seed=E19_SEED, mode="direct", backends=("direct",),
+        with_dilation=False, batch="loop",
+    )
+    sweep_wall_loop = time.perf_counter() - start
+    sweep_wall_vector = sweep_speedup = None
+    if batch_numpy_available():
+        start = time.perf_counter()
+        vector_records = scenarios_batch(
+            topology, partition, scenarios, baseline,
+            seed=E19_SEED, mode="direct", backends=("direct",),
+            with_dilation=False, batch="vector",
+        )
+        sweep_wall_vector = time.perf_counter() - start
+        if vector_records != records:
+            diverged = [
+                scenarios[i].label
+                for i in range(len(scenarios))
+                if vector_records[i] != records[i]
+            ]
+            raise AssertionError(
+                f"batched scenario sweep diverges from the loop on "
+                f"{name}: {diverged}"
+            )
+        if sweep_wall_vector > 0:
+            sweep_speedup = sweep_wall_loop / sweep_wall_vector
+    # The first two scenarios of each family double as the
+    # both-backends equivalence audit at small scale; the audit rerun
+    # must reproduce the reference record (its fields come from the
+    # first backend, the extra one is asserted identical inside).
+    if scale != "paper":
+        for index, scenario in enumerate(scenarios[:2]):
+            audit = measure_degradation(
+                topology, partition, scenario, baseline,
+                seed=E19_SEED, mode="direct",
+                backends=("direct", "simulate"), with_dilation=False,
+            )
+            assert audit == records[index], (
+                f"backend audit diverges on {name} / {scenario.label}"
+            )
+
     scenario_rows = []
     rounds_speedups = []
     repair_wall = rebuild_wall = 0.0
     frozen_fractions = []
     disconnected = 0
-    for index, scenario in enumerate(_e19_scenarios(topology, srlg_family, srlg_params)):
-        # The first two scenarios of each family double as the
-        # both-backends equivalence audit at small scale; the rest (and
-        # all of paper scale) run the direct backend only.
-        backends = (
-            ("direct", "simulate")
-            if scale != "paper" and index < 2
-            else ("direct",)
-        )
-        record = measure_degradation(
-            topology, partition, scenario, baseline,
-            seed=E19_SEED, mode="direct", backends=backends,
-            with_dilation=False,
-        )
+    for index, scenario in enumerate(scenarios):
+        record = records[index]
         row = {
             "label": scenario.label,
             "kind": scenario.kind,
@@ -2010,6 +2052,9 @@ def _e19_task(task):
             if frozen_fractions
             else 0.0
         ),
+        "sweep_wall_loop_s": sweep_wall_loop,
+        "sweep_wall_vector_s": sweep_wall_vector,
+        "sweep_speedup": sweep_speedup,
     }
 
 
@@ -2038,6 +2083,7 @@ def run_e19(scale: str = "small") -> ExperimentResult:
         [
             "family", "scen", "disc", "frozen%",
             "med dC", "med dB", "repair rounds", "rebuild rounds", "speedup",
+            "sweep x",
         ],
     )
     families = parallel_map(
@@ -2063,6 +2109,9 @@ def run_e19(scale: str = "small") -> ExperimentResult:
             repair_rounds,
             rebuild_rounds,
             round(family["median_rounds_speedup"], 2),
+            "-"
+            if family["sweep_speedup"] is None
+            else round(family["sweep_speedup"], 2),
         )
     pooled = sorted(
         speedup for f in families for speedup in f["rounds_speedups"]
@@ -2071,6 +2120,12 @@ def run_e19(scale: str = "small") -> ExperimentResult:
     repair_wall = sum(f["repair_wall_s"] for f in families)
     rebuild_wall = sum(f["rebuild_wall_s"] for f in families)
     suite_wall_speedup = rebuild_wall / repair_wall if repair_wall > 0 else 0.0
+    sweep_loop = sum(f["sweep_wall_loop_s"] for f in families)
+    sweep_vector = (
+        sum(f["sweep_wall_vector_s"] for f in families)
+        if all(f["sweep_wall_vector_s"] is not None for f in families)
+        else None
+    )
     return ExperimentResult(
         "E19",
         "incremental repair beats a full rebuild across the failure suite",
@@ -2084,6 +2139,13 @@ def run_e19(scale: str = "small") -> ExperimentResult:
             "largest_scale_speedup": min(
                 suite_rounds_speedup, suite_wall_speedup
             ),
+            "sweep_wall_loop_s": sweep_loop,
+            "sweep_wall_vector_s": sweep_vector,
+            "sweep_speedup": (
+                sweep_loop / sweep_vector
+                if sweep_vector not in (None, 0.0) and sweep_vector > 0
+                else None
+            ),
         },
         notes="Each family runs its full failure suite; disc counts the "
         "scenarios whose survivor disconnects (measured via the "
@@ -2091,7 +2153,10 @@ def run_e19(scale: str = "small") -> ExperimentResult:
         "repair).  Speedup is the median rebuild/repair round ratio per "
         "family; the benchmark gate takes the suite-pooled median and "
         "also requires the pooled wall-time ratio to clear the same "
-        "bar.  A family whose full construction is a single CoreFast "
+        "bar.  'sweep x' is the wall ratio of the per-scenario "
+        "degradation loop over the batched sweep (survivors_batch + "
+        "the batched doubling ladder + measure_batch), whose records "
+        "are asserted ==-identical inside the runner.  A family whose full construction is a single CoreFast "
         "iteration (hub) bounds repair at parity — one Verification "
         "sweep is the floor for both sides whenever any part broke; "
         "repair wins grow with construction hardness.",
@@ -2428,6 +2493,195 @@ def run_e21(scale: str = "small", repeats: int = 3) -> ExperimentResult:
     )
 
 
+# ----------------------------------------------------------------------
+# E22 — batched doubling ladder: whole-grid construction, vector vs loop
+# ----------------------------------------------------------------------
+
+
+def e22_grid(scale: str) -> List[InstanceSpec]:
+    """The E22 ladder grid: a mixed-family seed sweep.
+
+    Unlike E21's fixed-``(c, b)`` pipeline, the doubling ladder climbs
+    a different number of rungs per instance, so the grid deliberately
+    mixes families and partition seeds — ragged rung counts are what
+    the ladder's active-set compaction exploits.
+    """
+    if scale == "paper":
+        count, side = 16, 24
+    else:
+        count, side = 6, 8
+    specs: List[InstanceSpec] = []
+    for index in range(count):
+        specs.append(
+            InstanceSpec(
+                "grid", (side, side), partition=("voronoi", 8, 3 + index)
+            )
+        )
+        specs.append(
+            InstanceSpec(
+                "torus", (side, side), partition=("voronoi", 8, 5 + index)
+            )
+        )
+        specs.append(
+            InstanceSpec(
+                "hub", (12 * side, 8),
+                partition=("voronoi", 8, 7 + index),
+            )
+        )
+    return specs
+
+
+def _e22_equal(loop_outcome, vector_outcome) -> bool:
+    """Bit-for-bit equality of two DoublingResults (trials including
+    the per-rung ledger-delta breakdown, endpoints, histories, edge
+    maps, and full ledgers)."""
+    return (
+        loop_outcome.trials == vector_outcome.trials
+        and loop_outcome.c == vector_outcome.c
+        and loop_outcome.b == vector_outcome.b
+        and loop_outcome.result.iterations == vector_outcome.result.iterations
+        and loop_outcome.result.good_history
+        == vector_outcome.result.good_history
+        and loop_outcome.result.shortcut.subgraphs
+        == vector_outcome.result.shortcut.subgraphs
+        and loop_outcome.ledger == vector_outcome.ledger
+    )
+
+
+def run_e22(scale: str = "small", repeats: int = 3) -> ExperimentResult:
+    """Batched doubling-ladder throughput over an instance grid.
+
+    Runs the whole :func:`e22_grid` sweep through
+    :func:`repro.core.batch.find_shortcut_doubling_batch` once per
+    batch strategy: ``"loop"`` (the per-instance Appendix A search in
+    ``mode="direct"``) and ``"vector"`` (the lockstep ladder over one
+    packed :class:`~repro.graphs.batch_csr.BatchCSR`, instances
+    dropping off their rung as they succeed).  Both must return
+    bit-identical outcomes — trials including the satellite per-rung
+    ``rounds``/``messages`` breakdown, good histories, edge maps, and
+    ledgers; the run raises on divergence.  The ``data`` dict carries
+    the ``BENCH_batch_construct.json`` payload; see
+    ``benchmarks/conftest.py`` for the schema.  The benchmark gate
+    requires the vector ladder at least 3x the loop at paper scale.
+
+    Without numpy (the ``fast-math`` extra) only the loop row runs and
+    the speedup is ``None``.
+    """
+    specs = e22_grid(scale)
+    instances = [hydrate(spec) for spec in specs]
+    topologies = [instance.topology for instance in instances]
+    trees = [instance.tree for instance in instances]
+    partitions = [instance.partition for instance in instances]
+    count = len(specs)
+    seeds = [mix(22, index) for index in range(count)]
+
+    strategies = [
+        strategy
+        for strategy in BATCH_STRATEGIES
+        if strategy != "vector" or batch_numpy_available()
+    ]
+    walls: Dict[str, float] = {}
+    outputs = {}
+    for strategy in strategies:
+        best = math.inf
+        for _ in range(repeats):
+            start = time.perf_counter()
+            results = find_shortcut_doubling_batch(
+                topologies, trees, partitions,
+                seeds=seeds, mode="direct", batch=strategy,
+            )
+            best = min(best, time.perf_counter() - start)
+        walls[strategy] = best
+        outputs[strategy] = results
+    if "vector" in outputs:
+        diverged = [
+            index
+            for index in range(count)
+            if not _e22_equal(outputs["loop"][index], outputs["vector"][index])
+        ]
+        if diverged:
+            raise AssertionError(
+                f"ladder strategies disagree on instances {diverged}: "
+                f"loop trials "
+                f"{outputs['loop'][diverged[0]].trials!r} but vector "
+                f"{outputs['vector'][diverged[0]].trials!r}"
+            )
+    speedup = walls["loop"] / walls["vector"] if "vector" in walls else None
+
+    reference = outputs["loop"]
+    # Per-rung cost breakdown from the satellite Trial fields: how many
+    # instances climbed to each rung and what each rung charged.
+    rungs: Dict[int, Dict[str, int]] = {}
+    for outcome in reference:
+        for rung_index, trial in enumerate(outcome.trials):
+            entry = rungs.setdefault(
+                rung_index,
+                {"instances": 0, "succeeded": 0, "rounds": 0, "messages": 0},
+            )
+            entry["instances"] += 1
+            entry["succeeded"] += int(trial.succeeded)
+            entry["rounds"] += trial.rounds
+            entry["messages"] += trial.messages
+    max_rungs = max(len(outcome.trials) for outcome in reference)
+
+    table = Table(
+        "E22: batched doubling-ladder throughput (best-of-%d wall time)"
+        % repeats,
+        ["batch", "instances", "max rungs", "wall s", "inst/s", "speedup"],
+    )
+    rows = {}
+    for strategy in strategies:
+        wall = walls[strategy]
+        rows[strategy] = {
+            "wall_s": wall,
+            "instances_per_s": count / wall if wall > 0 else math.inf,
+        }
+        table.add_row(
+            strategy,
+            count,
+            max_rungs,
+            round(wall, 4),
+            round(count / wall, 1),
+            "-" if strategy == "loop" else round(speedup, 2),
+        )
+    return ExperimentResult(
+        "E22",
+        "the doubling-construction ladder vectorizes across whole instance grids",
+        table,
+        data={
+            "schema": "repro.bench_batch_construct.v1",
+            "scale": scale,
+            "strategies": list(strategies),
+            "grid": {
+                "family": "grid+torus+hub",
+                "instances": count,
+                "n_total": sum(topology.n for topology in topologies),
+                "m_total": sum(topology.m for topology in topologies),
+                "parts_total": sum(
+                    partition.size for partition in partitions
+                ),
+            },
+            "results": rows,
+            "max_rungs": max_rungs,
+            "rungs": {
+                str(rung_index): entry
+                for rung_index, entry in sorted(rungs.items())
+            },
+            "total_rounds": sum(
+                outcome.ledger.total_rounds for outcome in reference
+            ),
+            "speedup": speedup,
+        },
+        notes="One whole-grid doubling search per strategy; vector "
+        "climbs every instance's (c, b) ladder in lockstep rungs, "
+        "compacting finished instances out of the batch, and inside "
+        "each rung the wave driver compacts per iteration.  The "
+        "loop/vector outcomes are asserted bit-identical inside the "
+        "runner — trials carry the per-rung rounds/messages breakdown, "
+        "so the rung table is the same for both strategies.",
+    )
+
+
 ALL_EXPERIMENTS: Dict[str, Callable[[str], ExperimentResult]] = {
     "E1": run_e01,
     "E2": run_e02,
@@ -2450,6 +2704,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[[str], ExperimentResult]] = {
     "E19": run_e19,
     "E20": run_e20,
     "E21": run_e21,
+    "E22": run_e22,
 }
 
 

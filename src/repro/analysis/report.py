@@ -4,7 +4,7 @@ Usage::
 
     python -m repro.analysis.report [small|paper] [output-path]
 
-Runs every experiment E1–E21 and writes the paper-claim-vs-measured
+Runs every experiment E1–E22 and writes the paper-claim-vs-measured
 record.  The same tables print during ``pytest benchmarks/``.  Set
 ``REPRO_JOBS`` to fan the parallel-friendly runners out over worker
 processes (the output is identical at any worker count).
@@ -46,9 +46,13 @@ application-backend, and instance-pipeline throughput rather than a
 paper claim, E19 stresses the framework under edge failures
 (degradation of survivors, incremental repair vs full rebuild), and
 E20 exercises the fault-tolerant shortcut service (persistent-store
-warm path, recovery after corruption, seeded chaos storm), and E21
+warm path, recovery after corruption, seeded chaos storm), E21
 tracks whole-grid batch-kernel throughput (the ``batch="vector"``
-strategy vs the per-instance loop over one paper-scale grid).
+strategy vs the per-instance loop over one paper-scale grid), and E22
+tracks the batched doubling-construction ladder (the whole ``(c, b)``
+climb vectorized across a mixed-family grid, bit-identical to the
+per-instance search; E19's sweep column times the same axis through
+the failure layer).
 
 **Summary of reproduction status** (scale = ``{scale}``): every bound
 holds on every instance tested; the w.h.p. guarantees hold on every

@@ -380,6 +380,46 @@ class Topology:
             )
         return twin
 
+    def delete_edge_ids(self, doomed_ids: Iterable[int]) -> "Topology":
+        """Survivor after deleting edges by *index* into :attr:`edges`.
+
+        The id-native twin of :meth:`delete_edges`, for callers that
+        have already resolved a failure set to edge ids — e.g. the
+        batched scenario sweep (:func:`repro.failures.scenarios.survivors_batch`),
+        which validates a whole scenario grid against the sorted edge-key
+        array in one ``searchsorted``.  The survivor is field-identical
+        to the :meth:`delete_edges` twin: the same order-preserving
+        canonical edge tuple, weights restricted in the same insertion
+        order, and a fresh kernel cache.
+        """
+        doomed = set()
+        for raw in doomed_ids:
+            index = int(raw)
+            if not 0 <= index < len(self._edges):
+                raise TopologyError(
+                    f"cannot delete edge id {index} of {len(self._edges)}"
+                )
+            doomed.add(index)
+        survivors: Tuple[Edge, ...] = tuple(
+            e for i, e in enumerate(self._edges) if i not in doomed
+        )
+        twin = Topology.__new__(Topology)
+        twin._n = self._n
+        twin._edges = survivors
+        twin._edge_set = None
+        twin._adj = None
+        twin._kernels = {}
+        if self._weights is None:
+            twin._weights = None
+        else:
+            doomed_edges = {self._edges[i] for i in doomed}
+            twin._weights = {
+                e: w
+                for e, w in self._weights.items()
+                if e not in doomed_edges
+            }
+        return twin
+
     # ------------------------------------------------------------------
     # Connectivity structure
     # ------------------------------------------------------------------

@@ -68,6 +68,7 @@ without numpy raises the install-hint error of
 from __future__ import annotations
 
 import functools
+import math
 from contextlib import contextmanager
 from typing import (
     Dict,
@@ -81,6 +82,7 @@ from typing import (
     Union,
 )
 
+from repro.congest.randomness import draw_shared_seed, mix
 from repro.congest.topology import Topology
 from repro.congest.trace import RoundLedger
 from repro.core.core_slow import CoreOutcome
@@ -772,6 +774,706 @@ def core_slow_batch(
 
 
 # ----------------------------------------------------------------------
+# FindShortcut / Appendix A doubling ladder, batched
+# ----------------------------------------------------------------------
+
+
+def _flood_up_batch(np, batch: BatchCSR, own, usable):
+    """Lockstep bitset replay of
+    :func:`repro.core.construct_fast._flood_up` across a whole batch.
+
+    ``own`` holds each global node's injected id (global part id, -1 to
+    relay only); ``usable`` whether the node may forward over its
+    parent edge.  Part ids become bit positions (local to their
+    instance) in per-node uint64 bitset rows, so one round's id-set
+    updates are bitwise ors over the active rows and the min-first pump
+    is an isolate-lowest-set-bit per sender.  The reference's event
+    loop guarantees that every node with pending ids re-wakes itself,
+    so the per-round active set is exactly ``arrivals ∪ woken`` — the
+    lockstep replay visits the same nodes in the same rounds, and an
+    instance's round count is the last lockstep round it was active in
+    (per-instance activity is contiguous: round ``t+1`` activity only
+    ever comes from round ``t`` sends).
+
+    Returns ``(seen, rounds, messages)``: the per-node bitsets of local
+    part ids that reached each node (``q_ids``), and the exact
+    per-instance round/message totals of the simulated flood.
+    """
+    n_total = batch.n_total
+    parent = batch.tree_parent
+    inst = batch.instance_of_node
+    part_counts = batch.part_offsets[1:] - batch.part_offsets[:-1]
+    max_parts = int(part_counts.max()) if batch.size else 0
+    words = max(1, (max_parts + 63) // 64)
+    seen = np.zeros((n_total, words), dtype=np.uint64)
+    pending = np.zeros((n_total, words), dtype=np.uint64)
+    arrival = np.zeros((n_total, words), dtype=np.uint64)
+    rounds = np.zeros(batch.size, dtype=np.int64)
+    messages = np.zeros(batch.size, dtype=np.int64)
+
+    owners = np.flatnonzero(own >= 0)
+    if not owners.size:
+        return seen, rounds, messages
+    local = own[owners] - batch.part_offsets[inst[owners]]
+    word_of = local >> 6
+    bit_of = np.left_shift(np.uint64(1), (local & 63).astype(np.uint64))
+    seen[owners, word_of] = bit_of
+
+    # Sorted-unique via a reusable scatter mask: cheaper than
+    # ``np.unique`` / ``np.union1d`` on the per-round sender sets.
+    node_mask = np.zeros(n_total, dtype=bool)
+
+    def distinct(values):
+        node_mask[values] = True
+        out = np.flatnonzero(node_mask)
+        node_mask[out] = False
+        return out
+
+    empty = np.empty(0, dtype=np.int64)
+    # Round 0 (on_start): every usable owner forwards its own id
+    # immediately; it never enters pending, so no wake-up.
+    send = usable[owners]
+    senders = owners[send]
+    arrived = empty
+    if senders.size:
+        messages += np.bincount(inst[senders], minlength=batch.size)
+        flat = arrival.reshape(-1)
+        np.bitwise_or.at(
+            flat, parent[senders] * words + word_of[send], bit_of[send]
+        )
+        arrived = distinct(parent[senders])
+    woken = empty
+    current_round = 0
+    while arrived.size or woken.size:
+        current_round += 1
+        node_mask[arrived] = True
+        node_mask[woken] = True
+        active = np.flatnonzero(node_mask)
+        node_mask[active] = False
+        rounds[inst[active]] = current_round
+        if arrived.size:
+            can = arrived[usable[arrived]]
+            blocked = arrived[~usable[arrived]]
+            if can.size:
+                pending[can] |= arrival[can] & ~seen[can]
+                seen[can] |= arrival[can]
+            if blocked.size:
+                seen[blocked] |= arrival[blocked]
+            arrival[arrived] = 0
+        senders = active[usable[active]]
+        if senders.size:
+            senders = senders[pending[senders].any(axis=1)]
+        if senders.size:
+            pw = pending[senders]
+            first = (pw != 0).argmax(axis=1)
+            word = pw[np.arange(len(senders)), first]
+            # Two's-complement isolate of the lowest set bit: the heap
+            # minimum *is* the smallest pending id.
+            low = word & (~word + np.uint64(1))
+            pending[senders, first] = word & ~low
+            messages += np.bincount(inst[senders], minlength=batch.size)
+            flat = arrival.reshape(-1)
+            np.bitwise_or.at(flat, parent[senders] * words + first, low)
+            arrived = distinct(parent[senders])
+            woken = senders[pending[senders].any(axis=1)]
+        else:
+            arrived = empty
+            woken = empty
+    return seen, rounds, messages
+
+
+def _entries_from_seen(np, batch: BatchCSR, seen, usable):
+    """Usable ``(node, id)`` pairs from flood bitsets.
+
+    Unpacks the ``q_ids`` bitsets of the usable nodes into the flat
+    edge-slot arrays the sweep kernels produce: pairs grouped by node
+    (rows ascending), ids ascending inside each group, ids global.
+    Bit positions map to little-endian byte views, matching every
+    platform this stack runs on.
+    """
+    rows = np.flatnonzero(usable & seen.any(axis=1))
+    empty = np.empty(0, dtype=np.int64)
+    if not rows.size:
+        return empty, empty
+    bits = np.unpackbits(
+        seen[rows].view(np.uint8), axis=1, bitorder="little"
+    )
+    node_index, local_id = np.nonzero(bits)
+    entry_nodes = rows[node_index]
+    entry_ids = local_id.astype(np.int64) + batch.part_offsets[
+        batch.instance_of_node[entry_nodes]
+    ]
+    return entry_nodes, entry_ids
+
+
+def _broadcast(size: int, values, default) -> List:
+    """Broadcast a scalar / ``None`` / sequence to one value per instance."""
+    if values is None:
+        return [default] * size
+    if isinstance(values, int):
+        return [values] * size
+    out = list(values)
+    if len(out) != size:
+        raise ShortcutError(
+            f"expected {size} per-instance values, got {len(out)}"
+        )
+    return out
+
+
+def _find_shortcut_wave(
+    np,
+    topologies: Sequence[Topology],
+    trees: Sequence[SpanningTree],
+    partitions: Sequence[Partition],
+    c_list: Sequence[int],
+    b_list: Sequence[int],
+    *,
+    use_fast: bool,
+    shared_seeds: Sequence[Optional[int]],
+    gamma: float,
+    limits: Sequence[int],
+    ledgers: Sequence[RoundLedger],
+    warm_starts: Sequence,
+    instance_keys: Optional[Sequence] = None,
+    pack_cache: Optional[Dict] = None,
+) -> List:
+    """One lockstep FindShortcut run over a batch of instances.
+
+    Replays the Theorem 3 iteration loop of
+    :func:`repro.core.find_shortcut.find_shortcut` (direct mode) across
+    all instances at once: per iteration one batched Phase A sweep, one
+    batched Phase B flood, and one batched Verification over the still
+    active instances, with active-set compaction — an instance whose
+    parts are all good (or whose budget ran out) drops out while the
+    stragglers keep iterating.  Direct-mode kernels never consume the
+    per-iteration ``seed`` (only the shared seed), so the wave needs no
+    seeds.  Returns one entry per instance: a
+    :class:`~repro.core.find_shortcut.FindShortcutResult` on success or
+    the :class:`~repro.errors.ConstructionFailedError` *value* (not
+    raised) on budget exhaustion, both bit-identical to the loop.
+
+    ``instance_keys`` / ``pack_cache`` let the doubling driver reuse
+    sub-batch packs across rungs whose active set repeats.
+    """
+    from repro.core.construct_fast import charge_verification_terms
+    from repro.core.core_fast import active_parts, sampling_parameters
+    from repro.core.find_shortcut import ConstructionState, FindShortcutResult
+    from repro.errors import ConstructionFailedError
+
+    size = len(topologies)
+    if instance_keys is None:
+        instance_keys = list(range(size))
+    if pack_cache is None:
+        pack_cache = {}
+
+    remaining: List[set] = []
+    acc: List[List[set]] = []
+    histories: List[List] = [[] for _ in range(size)]
+    iterations = [0] * size
+    for i in range(size):
+        state = warm_starts[i]
+        if state is not None:
+            # Never trust a carried state blindly — same revalidation
+            # as the per-instance loop.
+            state = state.revalidated_for(topologies[i], trees[i], partitions[i])
+            remaining.append(set(state.remaining))
+            acc.append(
+                [set(state.shortcut.subgraph(p)) for p in range(partitions[i].size)]
+            )
+        else:
+            remaining.append(set(range(partitions[i].size)))
+            acc.append([set() for _ in range(partitions[i].size)])
+
+    def snapshot(i: int) -> TreeRestrictedShortcut:
+        # The accumulators only ever hold canonical (min, max) parent
+        # links, so skip __init__'s per-edge re-validation.
+        return TreeRestrictedShortcut._from_canonical(
+            trees[i], partitions[i], [frozenset(s) for s in acc[i]]
+        )
+
+    results: List = [None] * size
+    active = list(range(size))
+    while True:
+        still = []
+        for i in active:
+            if not remaining[i]:
+                results[i] = FindShortcutResult(
+                    shortcut=snapshot(i),
+                    c=c_list[i],
+                    b=b_list[i],
+                    iterations=iterations[i],
+                    good_history=tuple(histories[i]),
+                    ledger=ledgers[i],
+                )
+            elif iterations[i] >= limits[i]:
+                results[i] = ConstructionFailedError(
+                    f"FindShortcut(c={c_list[i]}, b={b_list[i]}): "
+                    f"{len(remaining[i])} parts still "
+                    f"bad after {iterations[i]} iterations — parameters "
+                    f"too small?",
+                    iterations=iterations[i],
+                    state=ConstructionState(
+                        remaining=frozenset(remaining[i]),
+                        shortcut=snapshot(i),
+                        good_history=tuple(histories[i]),
+                    ),
+                )
+            else:
+                still.append(i)
+        active = still
+        if not active:
+            return results
+
+        key = tuple(instance_keys[i] for i in active)
+        cached = pack_cache.get(key)
+        if cached is None:
+            if len(pack_cache) >= 64:
+                pack_cache.clear()
+            sub = BatchCSR(
+                [topologies[i] for i in active],
+                [trees[i] for i in active],
+                [partitions[i] for i in active],
+            )
+            # The Lemma 3 exchange constant, array-natively: directed
+            # part-internal edges per instance — bit-identical to
+            # part_internal_edges() without thrashing the per-topology
+            # neighbor-scan cache across interleaved partitions.
+            if sub.m_total:
+                internal = (
+                    (sub.labels[sub.edge_u] == sub.labels[sub.edge_v])
+                    & (sub.labels[sub.edge_u] >= 0)
+                ).astype(np.int64)
+                part_edges = (
+                    2 * segment_sum(np, internal, sub.edge_offsets)
+                ).tolist()
+            else:
+                part_edges = [0] * sub.size
+            # Out-of-partition nodes (label -1) redirect to a sentinel
+            # slot so mask lookups need no per-instance slicing.
+            safe_labels = np.where(sub.labels >= 0, sub.labels, sub.p_total)
+            pack_cache[key] = (sub, part_edges, safe_labels)
+        else:
+            sub, part_edges, safe_labels = cached
+
+        # One lockstep iteration: restrict injection to each instance's
+        # remaining parts, flip the per-instance shared coins.
+        rem_mask = np.zeros(sub.p_total + 1, dtype=bool)
+        act_mask = np.zeros(sub.p_total + 1, dtype=bool) if use_fast else None
+        caps = np.empty(sub.size, dtype=np.int64)
+        for k, i in enumerate(active):
+            iterations[i] += 1
+            base = int(sub.part_offsets[k])
+            for p in remaining[i]:
+                rem_mask[base + p] = True
+            if use_fast:
+                p_sample, tau = sampling_parameters(
+                    topologies[i].n, c_list[i], gamma
+                )
+                caps[k] = tau - 1
+                act = (
+                    active_parts(
+                        partitions[i],
+                        mix(shared_seeds[i], iterations[i]),
+                        p_sample,
+                    )
+                    & remaining[i]
+                )
+                for p in act:
+                    act_mask[base + p] = True
+            else:
+                caps[k] = 2 * c_list[i]
+        own_all = np.where(rem_mask[safe_labels], sub.labels, -1)
+        own_active = (
+            np.where(act_mask[safe_labels], sub.labels, -1)
+            if use_fast
+            else None
+        )
+
+        if use_fast:
+            _n, _i, _g, unusable_nodes, rounds_a, messages_a = (
+                _upward_sweep_batch(np, sub, own_active, caps)
+            )
+            usable = sub.tree_parent >= 0
+            if unusable_nodes.size:
+                usable[unusable_nodes] = False
+            seen, rounds_b, messages_b = _flood_up_batch(
+                np, sub, own_all, usable
+            )
+            entry_nodes, entry_ids = _entries_from_seen(np, sub, seen, usable)
+            for k, i in enumerate(active):
+                ledgers[i].charge_phase(
+                    "core-fast/sample", int(rounds_a[k]), int(messages_a[k])
+                )
+                ledgers[i].charge_phase(
+                    "core-fast/flood", int(rounds_b[k]), int(messages_b[k])
+                )
+        else:
+            entry_nodes, entry_ids, _g, _u, rounds_s, messages_s = (
+                _upward_sweep_batch(np, sub, own_all, caps)
+            )
+            for k, i in enumerate(active):
+                ledgers[i].charge_phase(
+                    "core-slow", int(rounds_s[k]), int(messages_s[k])
+                )
+
+        # Batched Verification over the tentative edge slots; the
+        # ledger charge uses the same Lemma 3 terms as the loop without
+        # materializing per-instance shortcut objects.
+        pack = ShortcutPack.from_arrays(
+            sub,
+            entry_ids,
+            entry_nodes,
+            sub.tree_parent[entry_nodes],
+            sub.tree_edge_ids()[entry_nodes],
+        )
+        limits3 = [3 * b_list[i] for i in active]
+        count_maps = verification_counts_batch(pack, limits3)
+        per_node = np.bincount(entry_nodes, minlength=sub.n_total)
+        task_congestion = segment_max(np, per_node, sub.node_offsets, empty=0)
+        edge_slots = segment_sum(np, per_node, sub.node_offsets)
+
+        good_global = np.zeros(max(sub.p_total, 1), dtype=bool)
+        for k, i in enumerate(active):
+            charge_verification_terms(
+                ledgers[i],
+                limits3[k],
+                trees[i].height,
+                int(task_congestion[k]),
+                int(edge_slots[k]),
+                part_edges[k],
+                topologies[i].m,
+            )
+            counts = count_maps[k]
+            good = frozenset(
+                p
+                for p in remaining[i]
+                if counts[p] is not None and counts[p] <= limits3[k]
+            )
+            histories[i].append(good)
+            ledgers[i].charge_phase(
+                "termination-check", 2 * trees[i].height + 1
+            )
+            if good:
+                base = int(sub.part_offsets[k])
+                for p in good:
+                    good_global[base + p] = True
+                remaining[i] -= good
+
+        # Freeze the good parts' edge slots into the accumulators.
+        if entry_ids.size:
+            mask = good_global[entry_ids]
+            g_nodes = entry_nodes[mask]
+            if g_nodes.size:
+                g_inst = sub.instance_of_node[g_nodes]
+                bases = sub.node_offsets[g_inst]
+                v_local = g_nodes - bases
+                p_local = sub.tree_parent[g_nodes] - bases
+                lo = np.minimum(v_local, p_local).tolist()
+                hi = np.maximum(v_local, p_local).tolist()
+                parts_local = (
+                    entry_ids[mask] - sub.part_offsets[g_inst]
+                ).tolist()
+                for idx, k in enumerate(g_inst.tolist()):
+                    acc[active[k]][parts_local[idx]].add((lo[idx], hi[idx]))
+
+
+def find_shortcut_batch(
+    topologies: Sequence[Topology],
+    trees: Sequence[SpanningTree],
+    partitions: Sequence[Partition],
+    cs: Union[int, Sequence[int]],
+    bs: Union[int, Sequence[int]],
+    *,
+    use_fast: bool = True,
+    seeds: Union[int, Sequence[int]] = 0,
+    shared_seeds=None,
+    gamma: float = 2.0,
+    max_iterations=None,
+    ledgers: Optional[Sequence[Optional[RoundLedger]]] = None,
+    warm_starts: Optional[Sequence] = None,
+    mode: Optional[str] = None,
+    return_errors: bool = False,
+    batch: Optional[str] = None,
+) -> List:
+    """Batch-axis entry point of :func:`repro.core.find_shortcut.find_shortcut`.
+
+    ``batch="loop"`` (the default) runs the per-instance construction
+    with the selected ``mode``; ``batch="vector"`` runs the lockstep
+    wave driver — the batch twin of ``mode="direct"``, with active-set
+    compaction across instances per iteration (``mode`` does not apply
+    to it).  Results, good histories, ledgers, and failure states match
+    the direct-mode loop bit-for-bit.
+
+    Each entry of the returned list is a
+    :class:`~repro.core.find_shortcut.FindShortcutResult`; with
+    ``return_errors=True`` a failed instance contributes its
+    :class:`~repro.errors.ConstructionFailedError` value instead (the
+    doubling driver's food), otherwise the first failure (in instance
+    order) is raised.
+    """
+    from repro.core.construct_fast import share_randomness_cost
+    from repro.core.find_shortcut import default_iteration_limit, find_shortcut
+    from repro.errors import ConstructionFailedError
+
+    size = len(topologies)
+    if len(trees) != size or len(partitions) != size:
+        raise ShortcutError(
+            f"expected {size} trees and partitions, got "
+            f"{len(trees)} and {len(partitions)}"
+        )
+    c_list = _c_list(size, cs)
+    b_list = _c_list(size, bs)
+    seed_list = _broadcast(size, seeds, 0)
+    shared_list = _broadcast(size, shared_seeds, None)
+    limit_list = _broadcast(size, max_iterations, None)
+    ledger_list = list(ledgers) if ledgers is not None else [None] * size
+    warm_list = list(warm_starts) if warm_starts is not None else [None] * size
+    if len(ledger_list) != size or len(warm_list) != size:
+        raise ShortcutError(
+            f"expected {size} ledgers and warm starts, got "
+            f"{len(ledger_list)} and {len(warm_list)}"
+        )
+
+    if resolve_batch(batch) != "vector":
+        results: List = []
+        for i in range(size):
+            try:
+                results.append(
+                    find_shortcut(
+                        topologies[i],
+                        trees[i],
+                        partitions[i],
+                        c_list[i],
+                        b_list[i],
+                        use_fast=use_fast,
+                        seed=seed_list[i],
+                        shared_seed=shared_list[i],
+                        gamma=gamma,
+                        max_iterations=limit_list[i],
+                        ledger=ledger_list[i],
+                        mode=mode,
+                        warm_start=warm_list[i],
+                    )
+                )
+            except ConstructionFailedError as error:
+                if not return_errors:
+                    raise
+                results.append(error)
+        return results
+
+    np = require_numpy()
+    ledger_vec = [
+        ledger if ledger is not None else RoundLedger(barrier_depth=trees[i].height)
+        for i, ledger in enumerate(ledger_list)
+    ]
+    limit_vec = [
+        limit if limit is not None else default_iteration_limit(partitions[i].size)
+        for i, limit in enumerate(limit_list)
+    ]
+    shared_vec = list(shared_list)
+    if use_fast:
+        for i in range(size):
+            if shared_vec[i] is None:
+                shared_vec[i] = draw_shared_seed(topologies[i].n, seed_list[i])
+                rounds, messages = share_randomness_cost(
+                    topologies[i].n, trees[i].height
+                )
+                ledger_vec[i].charge_phase("share-randomness", rounds, messages)
+    results = _find_shortcut_wave(
+        np,
+        topologies,
+        trees,
+        partitions,
+        c_list,
+        b_list,
+        use_fast=use_fast,
+        shared_seeds=shared_vec,
+        gamma=gamma,
+        limits=limit_vec,
+        ledgers=ledger_vec,
+        warm_starts=warm_list,
+    )
+    if not return_errors:
+        for result in results:
+            if isinstance(result, ConstructionFailedError):
+                raise result
+    return results
+
+
+def find_shortcut_doubling_batch(
+    topologies: Sequence[Topology],
+    trees: Sequence[SpanningTree],
+    partitions: Sequence[Partition],
+    *,
+    c_starts: Union[int, Sequence[int]] = 1,
+    b_starts: Union[int, Sequence[int]] = 1,
+    use_fast: bool = True,
+    seeds: Union[int, Sequence[int]] = 0,
+    shared_seeds=None,
+    gamma: float = 2.0,
+    max_trials: int = 64,
+    ledgers: Optional[Sequence[Optional[RoundLedger]]] = None,
+    mode: Optional[str] = None,
+    warm_start: bool = True,
+    initial_states: Optional[Sequence] = None,
+    batch: Optional[str] = None,
+) -> List:
+    """Batch-axis entry point of
+    :func:`repro.core.doubling.find_shortcut_doubling`.
+
+    ``batch="loop"`` (the default) runs the Appendix A search per
+    instance with the selected ``mode``; ``batch="vector"`` climbs the
+    whole ``(c, b)`` doubling ladder in lockstep rungs — the batch twin
+    of ``mode="direct"`` — with two levels of active-set compaction:
+    instances whose search succeeds drop off the ladder while
+    stragglers climb with doubled estimates (carrying their frozen
+    warm-start parts), and inside every rung the wave driver compacts
+    per iteration.  Trials (including the per-rung ledger-delta
+    breakdown), results, and ledgers match the direct-mode loop
+    bit-for-bit.  ``c_starts`` / ``b_starts`` / ``initial_states`` are
+    the warm-start entry points of incremental repair.
+    """
+    from repro.core.construct_fast import share_randomness_cost
+    from repro.core.doubling import (
+        DoublingResult,
+        Trial,
+        find_shortcut_doubling,
+    )
+    from repro.errors import ConstructionFailedError
+
+    size = len(topologies)
+    if len(trees) != size or len(partitions) != size:
+        raise ShortcutError(
+            f"expected {size} trees and partitions, got "
+            f"{len(trees)} and {len(partitions)}"
+        )
+    c_list = [max(1, int(c)) for c in _broadcast(size, c_starts, 1)]
+    b_list = [max(1, int(b)) for b in _broadcast(size, b_starts, 1)]
+    seed_list = _broadcast(size, seeds, 0)
+    shared_list = _broadcast(size, shared_seeds, None)
+    ledger_list = list(ledgers) if ledgers is not None else [None] * size
+    state_list = (
+        list(initial_states) if initial_states is not None else [None] * size
+    )
+    if len(ledger_list) != size or len(state_list) != size:
+        raise ShortcutError(
+            f"expected {size} ledgers and initial states, got "
+            f"{len(ledger_list)} and {len(state_list)}"
+        )
+
+    if resolve_batch(batch) != "vector":
+        return [
+            find_shortcut_doubling(
+                topologies[i],
+                trees[i],
+                partitions[i],
+                c_start=c_list[i],
+                b_start=b_list[i],
+                use_fast=use_fast,
+                seed=seed_list[i],
+                shared_seed=shared_list[i],
+                gamma=gamma,
+                max_trials=max_trials,
+                ledger=ledger_list[i],
+                mode=mode,
+                warm_start=warm_start,
+                initial_state=state_list[i],
+            )
+            for i in range(size)
+        ]
+
+    np = require_numpy()
+    ledger_vec = [
+        ledger if ledger is not None else RoundLedger(barrier_depth=trees[i].height)
+        for i, ledger in enumerate(ledger_list)
+    ]
+    shared_vec = list(shared_list)
+    if use_fast:
+        for i in range(size):
+            if shared_vec[i] is None:
+                shared_vec[i] = draw_shared_seed(topologies[i].n, seed_list[i])
+                rounds, messages = share_randomness_cost(
+                    topologies[i].n, trees[i].height
+                )
+                ledger_vec[i].charge_phase("share-randomness", rounds, messages)
+    carried = list(state_list)
+    budgets = [
+        max(3, math.ceil(math.log2(partitions[i].size + 1)) + 2)
+        for i in range(size)
+    ]
+    trials: List[List] = [[] for _ in range(size)]
+    results: List = [None] * size
+    climbing = list(range(size))
+    pack_cache: Dict = {}
+    for _trial_index in range(max_trials):
+        if not climbing:
+            break
+        before = {
+            i: (ledger_vec[i].total_rounds, ledger_vec[i].total_messages)
+            for i in climbing
+        }
+        wave = _find_shortcut_wave(
+            np,
+            [topologies[i] for i in climbing],
+            [trees[i] for i in climbing],
+            [partitions[i] for i in climbing],
+            [c_list[i] for i in climbing],
+            [b_list[i] for i in climbing],
+            use_fast=use_fast,
+            shared_seeds=[shared_vec[i] for i in climbing],
+            gamma=gamma,
+            limits=[budgets[i] for i in climbing],
+            ledgers=[ledger_vec[i] for i in climbing],
+            warm_starts=[carried[i] for i in climbing],
+            instance_keys=climbing,
+            pack_cache=pack_cache,
+        )
+        next_climbing = []
+        for k, i in enumerate(climbing):
+            outcome = wave[k]
+            delta_rounds = ledger_vec[i].total_rounds - before[i][0]
+            delta_messages = ledger_vec[i].total_messages - before[i][1]
+            if isinstance(outcome, ConstructionFailedError):
+                trials[i].append(
+                    Trial(
+                        c=c_list[i],
+                        b=b_list[i],
+                        succeeded=False,
+                        iterations=outcome.iterations,
+                        rounds=delta_rounds,
+                        messages=delta_messages,
+                    )
+                )
+                if warm_start and outcome.state is not None:
+                    carried[i] = outcome.state
+                c_list[i] *= 2
+                b_list[i] *= 2
+                next_climbing.append(i)
+            else:
+                trials[i].append(
+                    Trial(
+                        c=c_list[i],
+                        b=b_list[i],
+                        succeeded=True,
+                        iterations=outcome.iterations,
+                        rounds=delta_rounds,
+                        messages=delta_messages,
+                    )
+                )
+                results[i] = DoublingResult(
+                    result=outcome, trials=tuple(trials[i]), ledger=ledger_vec[i]
+                )
+        climbing = next_climbing
+    if climbing:
+        i = climbing[0]
+        raise ConstructionFailedError(
+            f"doubling search failed after {max_trials} trials "
+            f"(last estimates c={c_list[i] // 2}, b={b_list[i] // 2})"
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
 # Fused construct → measure → verify pipeline (the E21 workload)
 # ----------------------------------------------------------------------
 
@@ -915,6 +1617,8 @@ __all__ = [
     "verification_batch",
     "verification_counts_batch",
     "core_slow_batch",
+    "find_shortcut_batch",
+    "find_shortcut_doubling_batch",
     "PipelineResult",
     "pipeline_loop",
     "pipeline_batch_vector",

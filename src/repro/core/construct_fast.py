@@ -533,6 +533,29 @@ def verification_counts_direct(
     return per_part
 
 
+def charge_verification_terms(
+    ledger: Optional[RoundLedger],
+    b_limit: int,
+    height: int,
+    task_congestion: int,
+    edge_slots: int,
+    part_edges: int,
+    m: int,
+) -> None:
+    """Charge :func:`verification_cost` from precomputed terms.
+
+    Split out of :func:`charge_verification_model` so array-native
+    callers (the batch ladder) can charge the identical bound without
+    materialising a tentative shortcut object per iteration.
+    """
+    if ledger is None:
+        return
+    rounds, messages = verification_cost(
+        b_limit, height, task_congestion, edge_slots, part_edges, m
+    )
+    ledger.charge("verification", rounds, messages)
+
+
 def charge_verification_model(
     ledger: Optional[RoundLedger],
     topology: Topology,
@@ -545,7 +568,8 @@ def charge_verification_model(
     from repro.core.quality_fast import shortcut_congestion
 
     edge_slots = sum(len(subgraph) for subgraph in shortcut.subgraphs)
-    rounds, messages = verification_cost(
+    charge_verification_terms(
+        ledger,
         b_limit,
         shortcut.tree.height,
         shortcut_congestion(shortcut),
@@ -553,4 +577,3 @@ def charge_verification_model(
         part_internal_edges(topology, shortcut.partition),
         topology.m,
     )
-    ledger.charge("verification", rounds, messages)

@@ -43,13 +43,30 @@ class Trial:
 
     ``iterations`` counts the core/verification iterations the trial
     consumed — the full budget for a failed trial, the actual number
-    needed for the successful one.
+    needed for the successful one.  ``rounds`` and ``messages`` are the
+    ledger deltas this rung charged (share-randomness, charged once per
+    search before the first rung, is not attributed to any rung), so
+    callers can break a ladder's cost down rung by rung; they default
+    to 0 for hand-built trials.
     """
 
     c: int
     b: int
     succeeded: bool
     iterations: int
+    rounds: int = 0
+    messages: int = 0
+
+    @property
+    def signature(self) -> Tuple[int, int, bool, int]:
+        """Mode-independent projection ``(c, b, succeeded, iterations)``.
+
+        The cross-mode conformance key: simulate and direct runs agree
+        on it exactly, while ``rounds``/``messages`` are per-mode costs
+        (measured vs the analytic model) and only match within one
+        mode — e.g. between ``batch="loop"`` and ``batch="vector"``.
+        """
+        return (self.c, self.b, self.succeeded, self.iterations)
 
 
 @dataclass(frozen=True)
@@ -131,6 +148,8 @@ def find_shortcut_doubling(
     # exceeds log2 N + 2 is declared failed and the estimates double.
     trial_budget = max(3, math.ceil(math.log2(partition.size + 1)) + 2)
     for trial_index in range(max_trials):
+        rounds_before = ledger.total_rounds
+        messages_before = ledger.total_messages
         try:
             result = find_shortcut(
                 topology,
@@ -149,14 +168,30 @@ def find_shortcut_doubling(
             )
         except ConstructionFailedError as error:
             trials.append(
-                Trial(c=c, b=b, succeeded=False, iterations=error.iterations)
+                Trial(
+                    c=c,
+                    b=b,
+                    succeeded=False,
+                    iterations=error.iterations,
+                    rounds=ledger.total_rounds - rounds_before,
+                    messages=ledger.total_messages - messages_before,
+                )
             )
             if warm_start and error.state is not None:
                 carried = error.state
             c *= 2
             b *= 2
             continue
-        trials.append(Trial(c=c, b=b, succeeded=True, iterations=result.iterations))
+        trials.append(
+            Trial(
+                c=c,
+                b=b,
+                succeeded=True,
+                iterations=result.iterations,
+                rounds=ledger.total_rounds - rounds_before,
+                messages=ledger.total_messages - messages_before,
+            )
+        )
         return DoublingResult(result=result, trials=tuple(trials), ledger=ledger)
     raise ConstructionFailedError(
         f"doubling search failed after {max_trials} trials "

@@ -92,6 +92,27 @@ class TreeRestrictedShortcut:
         self._subgraphs: Tuple[FrozenSet[Edge], ...] = tuple(normalised)
         self._edge_map: Optional[Dict[Edge, FrozenSet[int]]] = None
 
+    @classmethod
+    def _from_canonical(
+        cls,
+        tree: SpanningTree,
+        partition: Partition,
+        subgraphs: Sequence[FrozenSet[Edge]],
+    ) -> "TreeRestrictedShortcut":
+        """Internal: build from already-canonical tree-edge frozensets.
+
+        The batched kernels emit ``(min, max)`` parent links read
+        straight off the tree arrays, so every subgraph is a frozenset
+        of canonical tree edges by construction; callers take on the
+        invariant that :meth:`__init__` would otherwise re-check.
+        """
+        shortcut = cls.__new__(cls)
+        shortcut.tree = tree
+        shortcut.partition = partition
+        shortcut._subgraphs = tuple(subgraphs)
+        shortcut._edge_map = None
+        return shortcut
+
     # ------------------------------------------------------------------
     # Accessors
     # ------------------------------------------------------------------

@@ -12,7 +12,11 @@ edge failures (ROADMAP item 2):
 * :mod:`repro.failures.repair` — incremental shortcut repair via the
   doubling warm start: frozen parts untouched by the failure are kept,
   only broken parts are reconstructed, and the result is differentially
-  ==-verified against a full rebuild.
+  ==-verified against a full rebuild;
+* :mod:`repro.failures.batch_sweep` — the ``batch=`` axis of the sweep
+  itself: a whole scenario grid's survivors packed into one batched
+  doubling ladder (degradation and repair-vs-rebuild), ==-bit-identical
+  to the per-scenario loop.
 
 The array-native survivor derivation itself lives on the topology:
 :meth:`Topology.delete_edges <repro.congest.topology.Topology.delete_edges>`,
@@ -21,17 +25,26 @@ and :func:`component_subtopologies
 <repro.congest.topology.component_subtopologies>`.
 """
 
+from repro.failures.batch_sweep import (
+    repair_vs_rebuild_batch,
+    scenarios_batch,
+)
 from repro.failures.degradation import (
     Baseline,
     DegradationRecord,
+    degradation_record,
     intact_baseline,
     measure_degradation,
 )
 from repro.failures.repair import (
     RepairComparison,
     RepairResult,
+    SearchSetup,
     assert_valid,
+    finish_search,
     patch_spanning_tree,
+    prepare_rebuild,
+    prepare_repair,
     rebuild_shortcut,
     repair_shortcut,
     repair_vs_rebuild,
@@ -44,6 +57,7 @@ from repro.failures.scenarios import (
     sample_bernoulli,
     sample_srlg,
     srlg_groups,
+    survivors_batch,
 )
 
 __all__ = [
@@ -52,17 +66,25 @@ __all__ = [
     "FailureScenario",
     "RepairComparison",
     "RepairResult",
+    "SearchSetup",
     "assert_valid",
+    "degradation_record",
     "enumerate_kwise",
+    "finish_search",
     "intact_baseline",
     "measure_degradation",
     "node_srlg_groups",
     "patch_spanning_tree",
+    "prepare_rebuild",
+    "prepare_repair",
     "rebuild_shortcut",
     "repair_shortcut",
     "repair_vs_rebuild",
+    "repair_vs_rebuild_batch",
     "sample_bernoulli",
     "sample_srlg",
+    "scenarios_batch",
     "split_partition",
     "srlg_groups",
+    "survivors_batch",
 ]

@@ -122,35 +122,75 @@ def measure_degradation(
     survivor — the differential contract extended to mutated
     topologies.
     """
-    from repro.apps.connectivity import connected_components
-    from repro.apps.mst import minimum_spanning_tree
-
     survivor = topology.delete_edges(scenario.edges)
     components = survivor.components()
-    connected = len(components) == 1
-
-    congestion_delta = block_delta = dilation_delta = rounds_delta = None
-    if connected:
+    outcome = None
+    if len(components) == 1:
         tree = bfs_spanning_tree(survivor, root)
         new_partition, _origin = split_partition(survivor, partition)
         outcome = find_shortcut_doubling(
             survivor, tree, new_partition, seed=seed, mode=mode
         )
-        reports = [
-            measure(
-                outcome.result.shortcut,
-                survivor,
-                with_dilation=with_dilation,
-                kernel=kernel,
-            )
-            for kernel in kernels
-        ]
-        for other in reports[1:]:
-            assert other == reports[0], (
-                f"quality kernels diverge on survivor of {scenario.label}: "
-                f"{other} != {reports[0]}"
-            )
-        report = reports[0]
+    return degradation_record(
+        scenario,
+        baseline,
+        survivor,
+        components,
+        outcome,
+        seed=seed,
+        mode=mode,
+        backends=backends,
+        kernels=kernels,
+        with_dilation=with_dilation,
+    )
+
+
+def degradation_record(
+    scenario: FailureScenario,
+    baseline: Baseline,
+    survivor: Topology,
+    components: Tuple[Tuple[int, ...], ...],
+    outcome,
+    *,
+    seed: int = 0,
+    mode: Optional[str] = None,
+    backends: Sequence[Optional[str]] = (None,),
+    kernels: Sequence[str] = KERNELS,
+    with_dilation: bool = True,
+    report=None,
+) -> DegradationRecord:
+    """Assemble a :class:`DegradationRecord` from a precomputed survivor.
+
+    The shared back half of :func:`measure_degradation` and the batched
+    sweep (:func:`repro.failures.batch_sweep.scenarios_batch`):
+    ``outcome`` is the doubling search on the survivor (``None`` when
+    disconnected) and ``report`` optionally supplies an already-measured
+    :class:`~repro.core.quality.QualityReport` (e.g. from
+    ``measure_batch``) instead of the per-kernel differential loop.
+    """
+    from repro.apps.connectivity import connected_components
+    from repro.apps.mst import minimum_spanning_tree
+
+    connected = len(components) == 1
+
+    congestion_delta = block_delta = dilation_delta = rounds_delta = None
+    if connected:
+        if report is None:
+            reports = [
+                measure(
+                    outcome.result.shortcut,
+                    survivor,
+                    with_dilation=with_dilation,
+                    kernel=kernel,
+                )
+                for kernel in kernels
+            ]
+            for other in reports[1:]:
+                assert other == reports[0], (
+                    f"quality kernels diverge on survivor of {scenario.label}: "
+                    f"{other} != {reports[0]}"
+                )
+            report = reports[0]
         congestion_delta = report.congestion - baseline.congestion
         block_delta = report.block_parameter - baseline.block
         if with_dilation and report.dilation is not None and baseline.dilation is not None:

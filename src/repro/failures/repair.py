@@ -272,35 +272,40 @@ def _derive_survivor(
     return survivor, failed
 
 
-def repair_shortcut(
+@dataclass(frozen=True)
+class SearchSetup:
+    """Everything a repair (or rebuild) needs *before* the doubling
+    search: the derived survivor instance, the pre-charged ledger, and
+    the warm-start inputs.  :func:`prepare_repair` /
+    :func:`prepare_rebuild` build one, the doubling search consumes it
+    (per instance, or batched through
+    :func:`repro.core.batch.find_shortcut_doubling_batch`), and
+    :func:`finish_search` assembles the :class:`RepairResult`.
+    """
+
+    survivor: Topology
+    tree: SpanningTree
+    partition: Partition
+    part_origin: Tuple[int, ...]
+    frozen_parts: FrozenSet[int]
+    tree_rebuilt: bool
+    ledger: RoundLedger
+    state: Optional[ConstructionState]
+    c_start: int
+    b_start: int
+
+
+def prepare_repair(
     topology: Topology,
     old: OldResult,
     failed_edges: Iterable[Tuple[int, int]],
-    *,
-    seed: int = 0,
-    use_fast: bool = True,
-    mode: Optional[str] = None,
-    max_trials: int = 64,
-) -> RepairResult:
-    """Repair ``old`` after ``failed_edges`` die, reusing frozen parts.
+) -> SearchSetup:
+    """Derive the warm-started search instance for a repair.
 
-    A new part stays frozen exactly when its originating part was not
-    split, its frozen subgraph lost no edge, and that subgraph still
-    lives inside the (possibly patched) spanning tree; everything else
-    goes back through the Appendix A search, warm-started at the old
-    ``(c, b)`` estimates instead of ``(1, 1)``.  The carried state is
-    revalidated inside :func:`~repro.core.find_shortcut.find_shortcut`
-    as well, so repair cannot smuggle a stale subgraph past the
-    construction even if this bookkeeping and the topology disagree.
-
-    A dead *tree* edge does not trigger a full BFS rebuild: the
-    orphaned subtrees are re-hung on surviving edges in place
-    (:func:`patch_spanning_tree`), so every surviving old tree edge —
-    and hence every ``H_i`` the failure did not hit — stays valid.
-
-    The ledger charges the failure-report convergecast, one
-    convergecast + broadcast per tree-patch merge wave, and then
-    whatever the warm-started search itself costs.
+    Patches the spanning tree, splits the partition, charges the
+    failure-report (and tree-patch) phases, and freezes every part the
+    failure did not touch into a
+    :class:`~repro.core.find_shortcut.ConstructionState`.
     """
     old_result = _unwrap(old)
     survivor, failed = _derive_survivor(topology, failed_edges)
@@ -341,31 +346,118 @@ def repair_shortcut(
         shortcut=TreeRestrictedShortcut(tree, partition, subgraphs),
         good_history=(),
     )
-    outcome = find_shortcut_doubling(
-        survivor,
-        tree,
-        partition,
-        c_start=old_result.c,
-        b_start=old_result.b,
-        use_fast=use_fast,
-        seed=seed,
-        ledger=ledger,
-        mode=mode,
-        initial_state=state,
-        max_trials=max_trials,
-    )
-    return RepairResult(
+    return SearchSetup(
         survivor=survivor,
         tree=tree,
         partition=partition,
         part_origin=origin,
         frozen_parts=frozenset(range(partition.size)) - remaining,
-        repaired_parts=frozenset(remaining),
         tree_rebuilt=tree_rebuilt,
+        ledger=ledger,
+        state=state,
+        c_start=old_result.c,
+        b_start=old_result.b,
+    )
+
+
+def prepare_rebuild(
+    topology: Topology,
+    old: OldResult,
+    failed_edges: Iterable[Tuple[int, int]],
+) -> SearchSetup:
+    """Derive the from-scratch search instance for a rebuild: a fresh
+    BFS tree, no frozen parts, estimates back at ``(1, 1)``."""
+    old_result = _unwrap(old)
+    survivor, failed = _derive_survivor(topology, failed_edges)
+    old_tree = old_result.shortcut.tree
+    tree = bfs_spanning_tree(survivor, old_tree.root)
+    tree_rebuilt = any(edge in old_tree.edges for edge in failed)
+    partition, origin = split_partition(survivor, old_result.shortcut.partition)
+    ledger = RoundLedger(barrier_depth=tree.height)
+    ledger.charge_phase(
+        "rebuild/failure-report", 2 * tree.height + 1, 2 * survivor.m
+    )
+    # A full rebuild always reconstructs its BFS tree: it cannot know
+    # the old tree survived without checking, and the check is the
+    # build.
+    ledger.charge_phase("rebuild/bfs", tree.height + 1, 2 * survivor.m)
+    return SearchSetup(
+        survivor=survivor,
+        tree=tree,
+        partition=partition,
+        part_origin=origin,
+        frozen_parts=frozenset(),
+        tree_rebuilt=tree_rebuilt,
+        ledger=ledger,
+        state=None,
+        c_start=1,
+        b_start=1,
+    )
+
+
+def finish_search(setup: SearchSetup, outcome: DoublingResult) -> RepairResult:
+    """Assemble the :class:`RepairResult` from a completed doubling
+    search on a :class:`SearchSetup` instance."""
+    return RepairResult(
+        survivor=setup.survivor,
+        tree=setup.tree,
+        partition=setup.partition,
+        part_origin=setup.part_origin,
+        frozen_parts=setup.frozen_parts,
+        repaired_parts=frozenset(range(setup.partition.size))
+        - setup.frozen_parts,
+        tree_rebuilt=setup.tree_rebuilt,
         result=outcome.result,
         trials=outcome.trials,
-        ledger=ledger,
+        ledger=setup.ledger,
     )
+
+
+def repair_shortcut(
+    topology: Topology,
+    old: OldResult,
+    failed_edges: Iterable[Tuple[int, int]],
+    *,
+    seed: int = 0,
+    use_fast: bool = True,
+    mode: Optional[str] = None,
+    max_trials: int = 64,
+) -> RepairResult:
+    """Repair ``old`` after ``failed_edges`` die, reusing frozen parts.
+
+    A new part stays frozen exactly when its originating part was not
+    split, its frozen subgraph lost no edge, and that subgraph still
+    lives inside the (possibly patched) spanning tree; everything else
+    goes back through the Appendix A search, warm-started at the old
+    ``(c, b)`` estimates instead of ``(1, 1)``.  The carried state is
+    revalidated inside :func:`~repro.core.find_shortcut.find_shortcut`
+    as well, so repair cannot smuggle a stale subgraph past the
+    construction even if this bookkeeping and the topology disagree.
+
+    A dead *tree* edge does not trigger a full BFS rebuild: the
+    orphaned subtrees are re-hung on surviving edges in place
+    (:func:`patch_spanning_tree`), so every surviving old tree edge —
+    and hence every ``H_i`` the failure did not hit — stays valid.
+
+    The ledger charges the failure-report convergecast, one
+    convergecast + broadcast per tree-patch merge wave, and then
+    whatever the warm-started search itself costs.
+    """
+    setup = prepare_repair(topology, old, failed_edges)
+    outcome = find_shortcut_doubling(
+        setup.survivor,
+        setup.tree,
+        setup.partition,
+        c_start=setup.c_start,
+        b_start=setup.b_start,
+        use_fast=use_fast,
+        seed=seed,
+        ledger=setup.ledger,
+        mode=mode,
+        initial_state=setup.state,
+        max_trials=max_trials,
+    )
+    return finish_search(setup, outcome)
 
 
 def rebuild_shortcut(
@@ -386,42 +478,18 @@ def rebuild_shortcut(
     This is what repair is differentially verified against and what the
     E19 ledger comparison measures repair's advantage over.
     """
-    old_result = _unwrap(old)
-    survivor, failed = _derive_survivor(topology, failed_edges)
-    old_tree = old_result.shortcut.tree
-    tree = bfs_spanning_tree(survivor, old_tree.root)
-    tree_rebuilt = any(edge in old_tree.edges for edge in failed)
-    partition, origin = split_partition(survivor, old_result.shortcut.partition)
-    ledger = RoundLedger(barrier_depth=tree.height)
-    ledger.charge_phase(
-        "rebuild/failure-report", 2 * tree.height + 1, 2 * survivor.m
-    )
-    # A full rebuild always reconstructs its BFS tree: it cannot know
-    # the old tree survived without checking, and the check is the
-    # build.
-    ledger.charge_phase("rebuild/bfs", tree.height + 1, 2 * survivor.m)
+    setup = prepare_rebuild(topology, old, failed_edges)
     outcome = find_shortcut_doubling(
-        survivor,
-        tree,
-        partition,
+        setup.survivor,
+        setup.tree,
+        setup.partition,
         use_fast=use_fast,
         seed=seed,
-        ledger=ledger,
+        ledger=setup.ledger,
         mode=mode,
         max_trials=max_trials,
     )
-    return RepairResult(
-        survivor=survivor,
-        tree=tree,
-        partition=partition,
-        part_origin=origin,
-        frozen_parts=frozenset(),
-        repaired_parts=frozenset(range(partition.size)),
-        tree_rebuilt=tree_rebuilt,
-        result=outcome.result,
-        trials=outcome.trials,
-        ledger=ledger,
-    )
+    return finish_search(setup, outcome)
 
 
 def _split_origins(origin: Tuple[int, ...]) -> FrozenSet[int]:

@@ -323,3 +323,68 @@ def sample_srlg(
             )
         scenarios.append(_scenario(topology, failed, "srlg", f"srlg#{index}"))
     return tuple(scenarios)
+
+
+# ----------------------------------------------------------------------
+# Batched survivor derivation
+# ----------------------------------------------------------------------
+
+
+def survivors_batch(
+    topology: Topology,
+    scenarios: Sequence[FailureScenario],
+    *,
+    batch: Optional[str] = None,
+) -> Tuple[Topology, ...]:
+    """One survivor topology per scenario — the batch-axis entry point
+    of :meth:`Topology.delete_edges <repro.congest.topology.Topology.delete_edges>`.
+
+    ``batch="loop"`` (the default) deletes per scenario;
+    ``batch="vector"`` resolves every scenario's edges to edge ids
+    against the sorted canonical edge-key array with one
+    ``searchsorted`` per scenario (no per-edge hashing) and derives the
+    survivors id-natively.  Both paths produce field-identical
+    topologies, including the ``TopologyError`` for a scenario naming a
+    non-edge — scenarios are canonical by construction, so key lookup
+    is exact.
+    """
+    from repro.core.batch import resolve_batch
+
+    if resolve_batch(batch) != "vector":
+        return tuple(
+            topology.delete_edges(scenario.edges) for scenario in scenarios
+        )
+
+    from repro.graphs.batch_csr import require_numpy
+
+    np = require_numpy()
+    n = topology.n
+    keys = np.fromiter(
+        (u * n + v for u, v in topology.edges),
+        dtype=np.int64,
+        count=topology.m,
+    )
+    survivors = []
+    for scenario in scenarios:
+        if not scenario.edges:
+            survivors.append(topology.delete_edge_ids(()))
+            continue
+        failed_keys = np.fromiter(
+            (u * n + v for u, v in scenario.edges),
+            dtype=np.int64,
+            count=len(scenario.edges),
+        )
+        if keys.size == 0:
+            raise TopologyError(
+                f"cannot delete non-edge {scenario.edges[0]}"
+            )
+        ids = np.searchsorted(keys, failed_keys)
+        clipped = np.minimum(ids, keys.size - 1)
+        valid = keys[clipped] == failed_keys
+        if not bool(valid.all()):
+            bad = int(np.flatnonzero(~valid)[0])
+            raise TopologyError(
+                f"cannot delete non-edge {scenario.edges[bad]}"
+            )
+        survivors.append(topology.delete_edge_ids(ids.tolist()))
+    return tuple(survivors)

@@ -24,6 +24,14 @@ Durability contract
 * **Bounded memory.**  An LRU layer in front of the disk keeps the last
   ``memory_entries`` payloads hot; the disk itself is the capacity
   layer.
+* **Multi-process safety.**  Commits and the orphan sweep serialize on
+  an advisory ``fcntl`` file lock in the store root, so a store opening
+  in one process (whose sweep deletes stale ``*.tmp`` files) can never
+  race a writer in another process between writing its temp file and
+  publishing it.  The lock is advisory and held only across those two
+  critical sections; plain reads never take it.  On platforms without
+  ``fcntl`` the inter-process lock degrades to a no-op (the in-process
+  ``threading.Lock`` still applies).
 
 Fault injection
 ---------------
@@ -42,12 +50,18 @@ import json
 import os
 import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from repro.analysis.instances import InstanceSpec
 from repro.errors import ReproError
+
+try:  # POSIX only; elsewhere the inter-process lock is a no-op.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 STORE_SCHEMA = "repro.store.v1"
 
@@ -56,6 +70,7 @@ STORE_SCHEMA = "repro.store.v1"
 TMP_SUFFIX = ".tmp"
 ENTRY_SUFFIX = ".json"
 QUARANTINE_DIR = "quarantine"
+LOCK_FILE = ".lock"
 
 
 class StoreError(ReproError):
@@ -180,21 +195,45 @@ class PersistentStore:
         """Entry file for a key (two-hex-digit shard directory)."""
         return self.root / key[:2] / f"{key}{ENTRY_SUFFIX}"
 
+    @contextmanager
+    def _process_lock(self):
+        """Advisory inter-process lock over commit/sweep critical sections.
+
+        An exclusive ``flock`` on ``<root>/.lock``: a sweep in one
+        process cannot interleave with another process's
+        write-temp-then-publish window, so it never unlinks a temp file
+        that is about to be published.  A real ``SIGKILL`` while the
+        lock is held releases it with the process; the simulated
+        :class:`KilledWriter` releases it through ``finally``.
+        """
+        if fcntl is None:
+            yield
+            return
+        handle = open(self.root / LOCK_FILE, "a+b")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            yield
+        finally:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            handle.close()
+
     def sweep_tmp(self) -> int:
         """Remove temp files left by writers killed mid-commit.
 
         Safe at any time: a ``*.tmp`` file is by construction
-        unpublished, so deleting it can only discard an incomplete
-        commit whose request will recompute.
+        unpublished — in-flight commits of live writers are excluded by
+        the advisory lock — so deleting one can only discard an
+        incomplete commit whose request will recompute.
         """
         swept = 0
         try:
-            for tmp in self.root.glob(f"*/*{TMP_SUFFIX}"):
-                try:
-                    tmp.unlink()
-                    swept += 1
-                except OSError:
-                    pass
+            with self._process_lock():
+                for tmp in self.root.glob(f"*/*{TMP_SUFFIX}"):
+                    try:
+                        tmp.unlink()
+                        swept += 1
+                    except OSError:
+                        pass
         except OSError:
             pass
         self.stats.swept_tmp += swept
@@ -300,16 +339,20 @@ class PersistentStore:
             if self.hooks.before_write is not None:
                 self.hooks.before_write(key, path)
             path.parent.mkdir(parents=True, exist_ok=True)
-            with open(tmp, "wb") as handle:
-                handle.write(data)
-                handle.flush()
-                os.fsync(handle.fileno())
-                if self.hooks.during_commit is not None:
-                    # The kill-mid-commit seam: raising KilledWriter
-                    # here models a writer dying after writing bytes
-                    # but before publishing.
-                    self.hooks.during_commit(key, tmp)
-            os.replace(tmp, path)
+            # Hold the advisory lock across the whole temp-then-publish
+            # window so another process's orphan sweep cannot unlink
+            # the temp file before os.replace publishes it.
+            with self._process_lock():
+                with open(tmp, "wb") as handle:
+                    handle.write(data)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                    if self.hooks.during_commit is not None:
+                        # The kill-mid-commit seam: raising KilledWriter
+                        # here models a writer dying after writing bytes
+                        # but before publishing.
+                        self.hooks.during_commit(key, tmp)
+                os.replace(tmp, path)
         except KilledWriter:
             raise
         except OSError:

@@ -10,11 +10,15 @@ ragged batches with different ``n`` per instance, and a batch of one.
 import pytest
 
 from repro.analysis.instances import InstanceSpec, hydrate
+from repro.congest.topology import Topology
 from repro.core import quality_fast
 from repro.core.batch import (
     core_slow_batch,
+    find_shortcut_batch,
+    find_shortcut_doubling_batch,
     measure_batch,
     measure_batch_vector,
+    pack_batch,
     pack_shortcuts,
     pipeline_batch_vector,
     pipeline_loop,
@@ -27,10 +31,13 @@ from repro.core.construct_fast import (
     core_slow_direct,
     verification_counts_direct,
 )
+from repro.core.doubling import find_shortcut_doubling
 from repro.core.existence import greedy_capped_shortcut
+from repro.core.find_shortcut import find_shortcut
 from repro.core.shortcut import TreeRestrictedShortcut
-from repro.errors import ShortcutError
+from repro.errors import ConstructionFailedError, ShortcutError
 from repro.graphs.batch_csr import numpy_available
+from repro.graphs.csr import bfs_spanning_tree
 from repro.graphs.partitions import Partition
 
 pytestmark = pytest.mark.skipif(
@@ -211,3 +218,191 @@ def test_grid_seed_sweep_identical():
     assert pipeline_batch_vector(
         topologies, trees, partitions, 3, [3] * 8
     ) == loop
+
+
+# ----------------------------------------------------------------------
+# Pack edge cases
+# ----------------------------------------------------------------------
+
+
+def _single_node_instance():
+    topology = Topology(1, [])
+    tree = bfs_spanning_tree(topology, 0)
+    partition = Partition(1, [{0}])
+    return topology, tree, partition
+
+
+def test_pack_single_node_zero_edge_instance():
+    topology, tree, partition = _single_node_instance()
+    batch = pack_batch([topology], [tree], [partition])
+    assert batch.size == 1
+    assert batch.n_total == 1
+    assert batch.m_total == 0
+    assert batch.p_total == 1
+    assert batch.max_depth == 0
+
+
+def test_pack_empty_batch():
+    batch = pack_batch([], [], [])
+    assert batch.size == 0
+    assert batch.n_total == 0
+    assert batch.m_total == 0
+    assert batch.p_total == 0
+    assert find_shortcut_doubling_batch([], [], [], seeds=[], batch="vector") == []
+    assert measure_batch([], [], batch="vector") == []
+
+
+def test_single_node_instance_rides_the_ladder(ragged):
+    # A zero-edge single-node instance packed next to real ones: the
+    # ladder must treat it as trivially done without perturbing its
+    # neighbours in the batch.
+    topologies, trees, partitions, _shortcuts = ragged
+    topology, tree, partition = _single_node_instance()
+    mixed_topologies = [topologies[0], topology, topologies[1]]
+    mixed_trees = [trees[0], tree, trees[1]]
+    mixed_partitions = [partitions[0], partition, partitions[1]]
+    seeds = [3, 5, 7]
+    loop = [
+        find_shortcut_doubling(t, tr, p, seed=s, mode="direct")
+        for t, tr, p, s in zip(
+            mixed_topologies, mixed_trees, mixed_partitions, seeds
+        )
+    ]
+    vector = find_shortcut_doubling_batch(
+        mixed_topologies, mixed_trees, mixed_partitions,
+        seeds=seeds, batch="vector",
+    )
+    for reference, batched in zip(loop, vector):
+        _assert_doubling_equal(reference, batched)
+
+
+# ----------------------------------------------------------------------
+# The doubling-construction ladder
+# ----------------------------------------------------------------------
+
+
+def _assert_doubling_equal(reference, batched):
+    """Bit-for-bit equality of two doubling outcomes, including the
+    per-rung rounds/messages timing breakdown carried on the trials."""
+    assert batched.trials == reference.trials
+    assert batched.c == reference.c
+    assert batched.b == reference.b
+    assert batched.result.iterations == reference.result.iterations
+    assert batched.result.good_history == reference.result.good_history
+    assert (
+        batched.result.shortcut.subgraphs
+        == reference.result.shortcut.subgraphs
+    )
+    assert batched.ledger == reference.ledger
+
+
+@pytest.fixture(scope="module")
+def ragged_seeds():
+    return [7 * index + 3 for index in range(len(RAGGED_SPECS))]
+
+
+def test_ladder_identical_over_ragged_batch(ragged, ragged_seeds):
+    topologies, trees, partitions, _shortcuts = ragged
+    loop = [
+        find_shortcut_doubling(t, tr, p, seed=s, mode="direct")
+        for t, tr, p, s in zip(topologies, trees, partitions, ragged_seeds)
+    ]
+    vector = find_shortcut_doubling_batch(
+        topologies, trees, partitions, seeds=ragged_seeds, batch="vector"
+    )
+    for reference, batched in zip(loop, vector):
+        _assert_doubling_equal(reference, batched)
+
+
+def test_fixed_cb_batch_identical(ragged, ragged_seeds):
+    topologies, trees, partitions, _shortcuts = ragged
+    loop = [
+        find_shortcut(t, tr, p, 3, 3, seed=s, mode="direct")
+        for t, tr, p, s in zip(topologies, trees, partitions, ragged_seeds)
+    ]
+    vector = find_shortcut_batch(
+        topologies, trees, partitions, 3, 3, seeds=ragged_seeds,
+        batch="vector",
+    )
+    for reference, batched in zip(loop, vector):
+        assert batched.shortcut.subgraphs == reference.shortcut.subgraphs
+        assert batched.iterations == reference.iterations
+        assert batched.good_history == reference.good_history
+        assert batched.ledger == reference.ledger
+
+
+def test_ladder_use_fast_false_identical(ragged, ragged_seeds):
+    topologies, trees, partitions, _shortcuts = ragged
+    loop = [
+        find_shortcut_doubling(
+            t, tr, p, seed=s, use_fast=False, mode="direct"
+        )
+        for t, tr, p, s in zip(topologies, trees, partitions, ragged_seeds)
+    ]
+    vector = find_shortcut_doubling_batch(
+        topologies, trees, partitions, seeds=ragged_seeds, use_fast=False,
+        batch="vector",
+    )
+    for reference, batched in zip(loop, vector):
+        _assert_doubling_equal(reference, batched)
+
+
+def test_ladder_warm_start_identical(ragged, ragged_seeds):
+    # Warm starts harvested from deliberately-starved (1, 1) searches:
+    # the batch must resume each instance exactly where the loop does.
+    topologies, trees, partitions, _shortcuts = ragged
+    states = []
+    for t, tr, p, s in zip(topologies, trees, partitions, ragged_seeds):
+        try:
+            find_shortcut(
+                t, tr, p, 1, 1, seed=s, max_iterations=1, mode="direct"
+            )
+            states.append(None)
+        except ConstructionFailedError as error:
+            states.append(error.state)
+    assert any(state is not None for state in states)
+    loop = [
+        find_shortcut_doubling(
+            t, tr, p, seed=s, c_start=2, b_start=2, initial_state=state,
+            mode="direct",
+        )
+        for t, tr, p, s, state in zip(
+            topologies, trees, partitions, ragged_seeds, states
+        )
+    ]
+    vector = find_shortcut_doubling_batch(
+        topologies, trees, partitions, seeds=ragged_seeds,
+        c_starts=2, b_starts=2, initial_states=states, batch="vector",
+    )
+    for reference, batched in zip(loop, vector):
+        _assert_doubling_equal(reference, batched)
+
+
+def test_ladder_error_path_identical(ragged, ragged_seeds):
+    # A hopeless budget: per-instance errors (message, iteration count,
+    # carried state) must match the loop exactly.
+    topologies, trees, partitions, _shortcuts = ragged
+    loop = find_shortcut_batch(
+        topologies, trees, partitions, 1, 1, seeds=ragged_seeds,
+        max_iterations=1, return_errors=True, mode="direct",
+    )
+    vector = find_shortcut_batch(
+        topologies, trees, partitions, 1, 1, seeds=ragged_seeds,
+        max_iterations=1, return_errors=True, batch="vector",
+    )
+    for reference, batched in zip(loop, vector):
+        assert isinstance(batched, ConstructionFailedError) == isinstance(
+            reference, ConstructionFailedError
+        )
+        if isinstance(reference, ConstructionFailedError):
+            assert str(batched) == str(reference)
+            assert batched.iterations == reference.iterations
+            assert batched.state.remaining == reference.state.remaining
+            assert (
+                batched.state.shortcut.subgraphs
+                == reference.state.shortcut.subgraphs
+            )
+            assert batched.state.good_history == reference.state.good_history
+        else:
+            assert batched.shortcut.subgraphs == reference.shortcut.subgraphs
+            assert batched.ledger == reference.ledger

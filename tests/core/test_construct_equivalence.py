@@ -191,7 +191,13 @@ def test_doubling_direct_identical(name):
         for mode in MODES
     }
     simulate, direct = results["simulate"], results["direct"]
-    assert direct.trials == simulate.trials
+    assert [t.signature for t in direct.trials] == [
+        t.signature for t in simulate.trials
+    ]
+    # Per-rung ledger deltas are per-mode costs; each mode's rungs must
+    # still sum to its own ledger totals.
+    for outcome in (simulate, direct):
+        assert sum(t.rounds for t in outcome.trials) <= outcome.ledger.total_rounds
     assert direct.result.shortcut.edge_map == simulate.result.shortcut.edge_map
     assert direct.result.good_history == simulate.result.good_history
     _assert_ledger_crosscheck(simulate.ledger, direct.ledger)
@@ -206,7 +212,9 @@ def test_doubling_direct_identical_without_warm_start():
         )
         for mode in MODES
     }
-    assert results["direct"].trials == results["simulate"].trials
+    assert [t.signature for t in results["direct"].trials] == [
+        t.signature for t in results["simulate"].trials
+    ]
     assert (
         results["direct"].result.shortcut.edge_map
         == results["simulate"].result.shortcut.edge_map

@@ -1,0 +1,186 @@
+"""Property-based tests of the batched doubling-construction ladder.
+
+Two invariants beyond the differential suite:
+
+* **the lockstep ladder is the loop** — over random ragged batches
+  (mixed grid/torus/hub/genus_chain families, mixed sizes, random
+  seeds, optionally warm-started from starved searches), the vector
+  ladder returns outcomes bit-identical to the per-instance doubling
+  search, trials and ledgers included;
+* **compaction never leaks state** — an instance's ladder outcome
+  depends only on that instance: any sub-batch of a random batch
+  returns exactly the rows the full batch returned for those
+  instances, so neither rung compaction nor per-iteration wave
+  compaction can couple neighbours.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis.instances import InstanceSpec, hydrate
+from repro.errors import ConstructionFailedError
+from repro.graphs.batch_csr import numpy_available
+
+settings.register_profile(
+    "repro-batch",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro-batch")
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(),
+    reason="batch kernels need the fast-math extra (numpy)",
+)
+
+
+@st.composite
+def ladder_batches(draw):
+    """A ragged batch of 2-5 instances with per-instance seeds."""
+    specs = []
+    for _ in range(draw(st.integers(2, 5))):
+        kind = draw(
+            st.sampled_from(["grid", "torus", "hub", "genus_chain"])
+        )
+        seed = draw(st.integers(0, 30))
+        if kind == "grid":
+            rows = draw(st.integers(3, 6))
+            cols = draw(st.integers(3, 6))
+            spec = InstanceSpec(
+                "grid", (rows, cols), partition=("voronoi", 4, seed)
+            )
+        elif kind == "torus":
+            rows = draw(st.integers(3, 5))
+            spec = InstanceSpec(
+                "torus", (rows, rows), partition=("voronoi", 4, seed)
+            )
+        elif kind == "hub":
+            cycle = draw(st.integers(12, 36))
+            spec = InstanceSpec(
+                "hub", (cycle, 4), partition=("arcs", cycle, 4, 1)
+            )
+        else:
+            genus = draw(st.integers(1, 2))
+            side = draw(st.integers(3, 4))
+            spec = InstanceSpec(
+                "genus_chain", (genus, side, side),
+                partition=("voronoi", 4, seed),
+            )
+        specs.append(spec)
+    seeds = draw(
+        st.lists(
+            st.integers(0, 2**31 - 1),
+            min_size=len(specs),
+            max_size=len(specs),
+        )
+    )
+    return specs, seeds
+
+
+def _assert_outcome_equal(reference, batched):
+    assert batched.trials == reference.trials
+    assert batched.c == reference.c
+    assert batched.b == reference.b
+    assert batched.result.iterations == reference.result.iterations
+    assert batched.result.good_history == reference.result.good_history
+    assert (
+        batched.result.shortcut.subgraphs
+        == reference.result.shortcut.subgraphs
+    )
+    assert batched.ledger == reference.ledger
+
+
+@needs_numpy
+@given(batch=ladder_batches())
+def test_ladder_matches_per_instance_loop(batch):
+    from repro.core.batch import find_shortcut_doubling_batch
+    from repro.core.doubling import find_shortcut_doubling
+
+    specs, seeds = batch
+    instances = [hydrate(spec) for spec in specs]
+    topologies = [instance.topology for instance in instances]
+    trees = [instance.tree for instance in instances]
+    partitions = [instance.partition for instance in instances]
+    loop = [
+        find_shortcut_doubling(t, tr, p, seed=s, mode="direct")
+        for t, tr, p, s in zip(topologies, trees, partitions, seeds)
+    ]
+    vector = find_shortcut_doubling_batch(
+        topologies, trees, partitions, seeds=seeds, batch="vector"
+    )
+    for reference, batched in zip(loop, vector):
+        _assert_outcome_equal(reference, batched)
+
+
+@needs_numpy
+@given(data=st.data(), batch=ladder_batches())
+def test_ladder_compaction_never_leaks(data, batch):
+    from repro.core.batch import find_shortcut_doubling_batch
+
+    specs, seeds = batch
+    instances = [hydrate(spec) for spec in specs]
+    topologies = [instance.topology for instance in instances]
+    trees = [instance.tree for instance in instances]
+    partitions = [instance.partition for instance in instances]
+    full = find_shortcut_doubling_batch(
+        topologies, trees, partitions, seeds=seeds, batch="vector"
+    )
+    picked = data.draw(
+        st.lists(
+            st.integers(0, len(specs) - 1),
+            min_size=1,
+            max_size=len(specs),
+            unique=True,
+        )
+    )
+    sub = find_shortcut_doubling_batch(
+        [topologies[index] for index in picked],
+        [trees[index] for index in picked],
+        [partitions[index] for index in picked],
+        seeds=[seeds[index] for index in picked],
+        batch="vector",
+    )
+    for position, index in enumerate(picked):
+        _assert_outcome_equal(full[index], sub[position])
+
+
+@needs_numpy
+@given(batch=ladder_batches())
+def test_warm_started_ladder_matches_loop(batch):
+    from repro.core.batch import find_shortcut_doubling_batch
+    from repro.core.doubling import find_shortcut_doubling
+    from repro.core.find_shortcut import find_shortcut
+
+    specs, seeds = batch
+    instances = [hydrate(spec) for spec in specs]
+    topologies = [instance.topology for instance in instances]
+    trees = [instance.tree for instance in instances]
+    partitions = [instance.partition for instance in instances]
+    # Starve a (1, 1) search to harvest real mid-construction states;
+    # instances that finish within the budget re-enter cold.
+    states = []
+    for t, tr, p, s in zip(topologies, trees, partitions, seeds):
+        try:
+            find_shortcut(
+                t, tr, p, 1, 1, seed=s, max_iterations=1, mode="direct"
+            )
+            states.append(None)
+        except ConstructionFailedError as error:
+            states.append(error.state)
+    loop = [
+        find_shortcut_doubling(
+            t, tr, p, seed=s, c_start=2, b_start=2, initial_state=state,
+            mode="direct",
+        )
+        for t, tr, p, s, state in zip(
+            topologies, trees, partitions, seeds, states
+        )
+    ]
+    vector = find_shortcut_doubling_batch(
+        topologies, trees, partitions, seeds=seeds,
+        c_starts=2, b_starts=2, initial_states=states, batch="vector",
+    )
+    for reference, batched in zip(loop, vector):
+        _assert_outcome_equal(reference, batched)
