@@ -1,0 +1,106 @@
+"""E23 — unreliable networks: reliable-sublayer overhead and recovery.
+
+As a pytest benchmark this wraps :func:`repro.analysis.experiments.run_e23`
+like every other ``bench_eXX`` module.  Run directly as a script it
+also writes the machine-readable baseline::
+
+    python benchmarks/bench_e23_resilience.py --scale paper \
+        --out BENCH_resilience.json
+
+so the resilience trajectory (recovery rate, round overhead, message
+amplification, and prod counts per family × drop rate, plus crash
+detection counters) is tracked alongside the other baselines.  The
+JSON schema (``repro.bench_resilience.v1``) is documented in
+``benchmarks/conftest.py``.
+
+The acceptance gate: mean round overhead of the reliable sublayer at
+drop probability 0.05 must stay at or below 3x the fault-free run,
+every transport-fault cell must recover bit-identically (the runner
+raises on silent divergence), and every crash-stop cell must end as a
+declared detection.
+"""
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+try:
+    from repro.analysis.experiments import run_e23
+except ImportError:  # direct script run without the package installed
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.analysis.experiments import run_e23
+
+# The headline acceptance bar: physical rounds per inner round at the
+# gated drop rate, averaged across families.
+MAX_GATE_OVERHEAD = 3.0
+
+
+def test_e23_resilience(benchmark, scale):
+    # Deferred so the script path below works without pytest installed.
+    from conftest import run_experiment
+
+    result = run_experiment(benchmark, run_e23, scale)
+    # run_e23 itself raises on silent divergence and missed crashes.
+    assert result.data["gate_overhead"] <= MAX_GATE_OVERHEAD
+    assert result.data["crash_detected"] == result.data["crash_cells"]
+    for key, row in result.data["results"].items():
+        assert row["recovery_rate"] == 1.0, key
+
+
+def write_baseline(scale: str, out_path: Path) -> dict:
+    """Run E23 and write the ``BENCH_resilience.json`` baseline file."""
+    result = run_e23(scale)
+    payload = dict(result.data)
+    payload["python"] = platform.python_version()
+    payload["machine"] = platform.machine()
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="paper", choices=["small", "paper"])
+    parser.add_argument(
+        "--out", default="BENCH_resilience.json", type=Path,
+        help="where to write the baseline JSON",
+    )
+    parser.add_argument(
+        "--max-overhead", default=MAX_GATE_OVERHEAD, type=float,
+        help="fail (exit 1) if mean overhead at the gate rate exceeds "
+        "this; pass a huge value for record-only mode",
+    )
+    args = parser.parse_args(argv)
+    payload = write_baseline(args.scale, args.out)
+    for key, row in sorted(payload["results"].items()):
+        print(
+            f"{key:<16} recovery={row['recovery_rate']:.0%} "
+            f"overhead={row['mean_overhead']:.2f}x "
+            f"amp={row['mean_amplification']:.2f}x "
+            f"prods={row['prods']}"
+        )
+    print(
+        f"crash detection: {payload['crash_detected']}/"
+        f"{payload['crash_cells']} declared"
+    )
+    print(
+        f"gate: mean overhead {payload['gate_overhead']:.2f}x at drop "
+        f"{payload['gate_rate']} (limit {args.max_overhead}x)"
+    )
+    print(f"wrote {args.out}")
+    if payload["gate_overhead"] > args.max_overhead:
+        print(
+            f"FAIL: overhead at drop {payload['gate_rate']} exceeds "
+            f"{args.max_overhead}x",
+            file=sys.stderr,
+        )
+        return 1
+    if payload["crash_detected"] != payload["crash_cells"]:
+        print("FAIL: a crash-stop cell went undetected", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -355,6 +355,40 @@ packed ``BatchCSR`` with active-set compaction, needing the
 * ``speedup`` — loop wall time / vector wall time, or ``null``
   without numpy; the tracked headline number (CI gates it at >= 3 at
   paper scale via the ``batch-construct-bench`` job).
+
+BENCH_resilience.json schema
+----------------------------
+
+``python benchmarks/bench_e23_resilience.py --scale paper --out
+BENCH_resilience.json`` writes the unreliable-network baseline (schema
+id ``repro.bench_resilience.v1``): the lockstep-with-repair sublayer
+(:func:`repro.congest.reliable.run_reliably`) re-executing a flood
+workload under seeded pure-drop :class:`~repro.congest.faults.FaultPlan`
+schedules, per family × drop rate × seed, plus one crash-stop cell per
+family × seed.  A JSON object with:
+
+* ``schema`` — the literal string ``"repro.bench_resilience.v1"``.
+* ``scale`` — ``"small"`` or ``"paper"`` (grid side 9 vs 14; the
+  acceptance gate lives at paper scale).
+* ``families`` / ``rates`` / ``seeds`` / ``workload`` — the sweep
+  shape (grid, torus, hub, delaunay × drop 0.02/0.05/0.1 × 5 seeds,
+  flood workload).
+* ``results`` — mapping ``"<family>@<rate>"`` ->
+  ``{"recovery_rate", "mean_overhead", "mean_amplification",
+  "prods"}``.  ``recovery_rate`` is the fraction of cells whose final
+  states were bit-identical to the fault-free reference (non-recovered
+  cells ended as declared detections — silent divergence raises inside
+  the runner).  ``mean_overhead`` is physical rounds per inner round;
+  ``mean_amplification`` is physical frames per reference message;
+  ``prods`` counts retransmission requests.
+* ``gate_rate`` / ``gate_overhead`` — the gated drop rate (0.05) and
+  the mean overhead across families at that rate; the tracked
+  headline number (CI gates it at <= 3 at paper scale via the
+  ``resilience-bench`` job).
+* ``crash_cells`` / ``crash_detected`` — crash-stop cells run and how
+  many surfaced as declared detections (the runner raises unless
+  every one did).
+* ``python`` / ``machine`` — interpreter version and architecture.
 """
 
 import os

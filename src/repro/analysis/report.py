@@ -4,7 +4,7 @@ Usage::
 
     python -m repro.analysis.report [small|paper] [output-path]
 
-Runs every experiment E1–E22 and writes the paper-claim-vs-measured
+Runs every experiment E1–E23 and writes the paper-claim-vs-measured
 record.  The same tables print during ``pytest benchmarks/``.  Set
 ``REPRO_JOBS`` to fan the parallel-friendly runners out over worker
 processes (the output is identical at any worker count).
@@ -52,7 +52,10 @@ strategy vs the per-instance loop over one paper-scale grid), and E22
 tracks the batched doubling-construction ladder (the whole ``(c, b)``
 climb vectorized across a mixed-family grid, bit-identical to the
 per-instance search; E19's sweep column times the same axis through
-the failure layer).
+the failure layer), and E23 measures the unreliable-network stack
+(the reliable-delivery sublayer's round overhead, message
+amplification, and recovery rate under seeded transport faults, plus
+crash-stop detection).
 
 **Summary of reproduction status** (scale = ``{scale}``): every bound
 holds on every instance tested; the w.h.p. guarantees hold on every

@@ -28,6 +28,16 @@ from repro.apps.mst_baselines import (
 from repro.apps.fragment_comm import fragment_aggregate, fragment_flood_min
 from repro.apps.connectivity import ConnectivityResult, connected_components
 from repro.apps.mincut import MinCutResult, approximate_min_cut
+from repro.apps.selfcheck import (
+    VerifiedRun,
+    certify_components,
+    certify_leaders,
+    certify_mst,
+    run_verified,
+    verified_connectivity,
+    verified_leaders,
+    verified_mst,
+)
 
 __all__ = [
     "decode_edge_candidate",
@@ -54,4 +64,12 @@ __all__ = [
     "connected_components",
     "MinCutResult",
     "approximate_min_cut",
+    "VerifiedRun",
+    "certify_components",
+    "certify_leaders",
+    "certify_mst",
+    "run_verified",
+    "verified_connectivity",
+    "verified_leaders",
+    "verified_mst",
 ]

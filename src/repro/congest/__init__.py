@@ -25,6 +25,16 @@ from repro.congest.engine import (
     using_engine,
 )
 from repro.congest.simulator import RunResult, Simulator, run_algorithm
+from repro.congest.faults import (
+    FaultPlan,
+    FaultStats,
+    FaultyEngine,
+    faults_parameter,
+    get_default_faults,
+    set_default_faults,
+    using_faults,
+)
+from repro.congest.reliable import ReliableRunResult, run_reliably
 from repro.congest.trace import PhaseRecord, RoundLedger
 from repro.congest.bfs import BFSTreeAlgorithm, build_bfs_tree
 from repro.congest.randomness import (
@@ -56,6 +66,15 @@ __all__ = [
     "RunResult",
     "Simulator",
     "run_algorithm",
+    "FaultPlan",
+    "FaultStats",
+    "FaultyEngine",
+    "faults_parameter",
+    "get_default_faults",
+    "set_default_faults",
+    "using_faults",
+    "ReliableRunResult",
+    "run_reliably",
     "PhaseRecord",
     "RoundLedger",
     "BFSTreeAlgorithm",

@@ -1,0 +1,301 @@
+"""Chaos-differential harness for the unreliable CONGEST stack.
+
+The contract under test — the whole point of
+:mod:`repro.congest.faults` + :mod:`repro.congest.reliable` — is:
+
+    **every** seeded fault schedule yields a reliable run whose inner
+    states are bit-identical to the fault-free reference, **or** a
+    declared :class:`~repro.errors.DetectedFailure`.  Silent wrongness
+    is a :class:`ChaosViolation`.
+
+:func:`run_congest_chaos` sweeps a grid of graph families × drop rates
+× seeds (plus crash-stop cells), runs the fault-free reference and the
+reliable faulted run for each cell, and compares final states
+field-for-field.  The module doubles as the CI smoke matrix::
+
+    python -m repro.congest.chaos --seeds 3 --rates 0.02,0.05,0.1
+
+exits non-zero on any violation, so a regression in the fault layer,
+the delivery seam, or the retransmission protocol fails the build.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.congest.faults import FaultPlan
+from repro.congest.randomness import mix
+from repro.congest.reliable import run_reliably
+from repro.congest.simulator import Simulator
+from repro.congest.topology import Topology
+from repro.congest.workloads import (
+    AlarmStormAlgorithm,
+    FloodAlgorithm,
+    TokenWalkAlgorithm,
+)
+from repro.errors import DetectedFailure
+from repro.graphs import generators
+
+CHAOS_SALT = 0xC6A5
+
+
+class ChaosViolation(AssertionError):
+    """A reliable run silently diverged from the fault-free reference."""
+
+
+def _delaunay(n: int) -> Topology:
+    return generators.delaunay(n, seed=11)
+
+
+CHAOS_FAMILIES: Dict[str, Callable[[], Topology]] = {
+    "grid": lambda: generators.grid(6, 6),
+    "torus": lambda: generators.torus(6, 6),
+    "hub": lambda: generators.cycle_with_hub(24, 3),
+    "delaunay": lambda: _delaunay(32),
+}
+
+CHAOS_WORKLOADS: Dict[str, Callable[[], object]] = {
+    "flood": lambda: FloodAlgorithm(rounds=5),
+    "token": lambda: TokenWalkAlgorithm(steps=10),
+    "alarm": lambda: AlarmStormAlgorithm(period=3, ticks=3),
+}
+
+DEFAULT_RATES: Tuple[float, ...] = (0.02, 0.05, 0.1)
+
+
+@dataclass(frozen=True)
+class ChaosCell:
+    """One (family, workload, plan, seed) execution of the contract."""
+
+    family: str
+    workload: str
+    plan: str
+    seed: int
+    outcome: str  # "identical" | "detected"
+    reference_rounds: int
+    physical_rounds: int
+    overhead: float
+    prods: int
+    detail: str = ""
+
+
+@dataclass
+class ChaosReport:
+    """Aggregated sweep outcome (violations raise, they never land here)."""
+
+    cells: List[ChaosCell] = field(default_factory=list)
+
+    @property
+    def identical(self) -> int:
+        return sum(1 for c in self.cells if c.outcome == "identical")
+
+    @property
+    def detected(self) -> int:
+        return sum(1 for c in self.cells if c.outcome == "detected")
+
+    def summary(self) -> str:
+        lines = [
+            f"{len(self.cells)} cells: {self.identical} bit-identical, "
+            f"{self.detected} declared detections, 0 silent divergences"
+        ]
+        worst = sorted(
+            (c for c in self.cells if c.outcome == "identical"),
+            key=lambda c: -c.overhead,
+        )[:3]
+        for cell in worst:
+            lines.append(
+                f"  worst overhead {cell.overhead:.2f}x: {cell.family}/"
+                f"{cell.workload} seed={cell.seed} [{cell.plan}]"
+            )
+        return "\n".join(lines)
+
+
+def _diff_states(reference, recovered, nodes: Iterable[int]) -> Optional[str]:
+    for v in nodes:
+        ref_vars = vars(reference.states[v])
+        got_vars = vars(recovered.states[v])
+        if ref_vars != got_vars:
+            keys = {
+                k
+                for k in set(ref_vars) | set(got_vars)
+                if ref_vars.get(k, "<missing>") != got_vars.get(k, "<missing>")
+            }
+            return f"node {v} fields {sorted(keys)}: {ref_vars} != {got_vars}"
+    return None
+
+
+def run_cell(
+    family: str,
+    workload: str,
+    plan: FaultPlan,
+    *,
+    seed: int,
+    max_retries: int = 12,
+) -> ChaosCell:
+    """Run one chaos cell and enforce the identical-or-detected contract."""
+    topology = CHAOS_FAMILIES[family]()
+    make = CHAOS_WORKLOADS[workload]
+    reference = Simulator(topology, make(), seed=seed).run()
+    try:
+        recovered = run_reliably(
+            topology,
+            make(),
+            horizon=reference.rounds,
+            seed=seed,
+            faults=plan,
+            max_retries=max_retries,
+        )
+    except DetectedFailure as error:
+        return ChaosCell(
+            family=family,
+            workload=workload,
+            plan=plan.describe(),
+            seed=seed,
+            outcome="detected",
+            reference_rounds=reference.rounds,
+            physical_rounds=0,
+            overhead=0.0,
+            prods=0,
+            detail=str(error)[:160],
+        )
+    divergence = _diff_states(reference, recovered, topology.nodes)
+    if divergence is not None:
+        raise ChaosViolation(
+            f"silent divergence in {family}/{workload} seed={seed} under "
+            f"[{plan.describe()}]: {divergence}"
+        )
+    return ChaosCell(
+        family=family,
+        workload=workload,
+        plan=plan.describe(),
+        seed=seed,
+        outcome="identical",
+        reference_rounds=reference.rounds,
+        physical_rounds=recovered.rounds,
+        overhead=recovered.overhead,
+        prods=recovered.prods,
+    )
+
+
+def _transport_plan(seed: int, rate: float) -> FaultPlan:
+    """The standard chaos mix at a given base drop rate."""
+    return FaultPlan(
+        seed=seed,
+        p_drop=rate,
+        p_duplicate=rate / 2,
+        p_delay=rate / 2,
+        max_delay=3,
+        p_reorder=0.2,
+    )
+
+
+def _crash_plan(seed: int, topology_size: int, rate: float) -> FaultPlan:
+    """A transport plan plus one seeded crash-stop node."""
+    node = mix(seed, CHAOS_SALT, 1) % topology_size
+    crash_round = 1 + mix(seed, CHAOS_SALT, 2) % 4
+    return FaultPlan(
+        seed=seed,
+        p_drop=rate,
+        crashes=((node, crash_round),),
+    )
+
+
+def run_congest_chaos(
+    *,
+    seeds: Sequence[int] = tuple(range(5)),
+    rates: Sequence[float] = DEFAULT_RATES,
+    families: Sequence[str] = ("grid", "torus", "hub"),
+    workloads: Sequence[str] = ("flood", "token"),
+    include_crashes: bool = True,
+    max_retries: int = 12,
+) -> ChaosReport:
+    """Sweep the chaos grid; raise :class:`ChaosViolation` on divergence.
+
+    Every cell must end bit-identical or with a declared detection.
+    Crash cells additionally assert the *detection* side actually
+    fires: a crash-stop schedule must never produce an "identical"
+    run that quietly ignored the dead node.
+    """
+    report = ChaosReport()
+    for family in families:
+        if family not in CHAOS_FAMILIES:
+            raise ValueError(f"unknown chaos family {family!r}")
+        for workload in workloads:
+            if workload not in CHAOS_WORKLOADS:
+                raise ValueError(f"unknown chaos workload {workload!r}")
+            for rate in rates:
+                for seed in seeds:
+                    cell_seed = mix(seed, CHAOS_SALT) & 0xFFFF
+                    plan = _transport_plan(cell_seed, rate)
+                    report.cells.append(
+                        run_cell(
+                            family,
+                            workload,
+                            plan,
+                            seed=seed,
+                            max_retries=max_retries,
+                        )
+                    )
+            if include_crashes:
+                for seed in seeds:
+                    topology = CHAOS_FAMILIES[family]()
+                    plan = _crash_plan(
+                        mix(seed, CHAOS_SALT) & 0xFFFF, topology.n, rates[0]
+                    )
+                    cell = run_cell(
+                        family, workload, plan, seed=seed, max_retries=6
+                    )
+                    if cell.outcome != "detected":
+                        raise ChaosViolation(
+                            f"crash-stop plan [{plan.describe()}] on "
+                            f"{family}/{workload} seed={seed} was not "
+                            f"detected (outcome: {cell.outcome})"
+                        )
+                    report.cells.append(cell)
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Chaos-differential smoke matrix for the fault stack"
+    )
+    parser.add_argument("--seeds", type=int, default=5, metavar="N",
+                        help="number of seeds per cell (default 5)")
+    parser.add_argument("--seed-base", type=int, default=0,
+                        help="first seed (CI shards the matrix by base)")
+    parser.add_argument("--rates", type=str, default="0.02,0.05,0.1",
+                        help="comma-separated drop rates")
+    parser.add_argument("--families", type=str, default="grid,torus,hub",
+                        help=f"comma-separated families from "
+                             f"{sorted(CHAOS_FAMILIES)}")
+    parser.add_argument("--workloads", type=str, default="flood,token",
+                        help=f"comma-separated workloads from "
+                             f"{sorted(CHAOS_WORKLOADS)}")
+    parser.add_argument("--no-crashes", action="store_true",
+                        help="skip the crash-stop detection cells")
+    args = parser.parse_args(argv)
+
+    seeds = tuple(range(args.seed_base, args.seed_base + args.seeds))
+    rates = tuple(float(r) for r in args.rates.split(",") if r)
+    families = tuple(f for f in args.families.split(",") if f)
+    workloads = tuple(w for w in args.workloads.split(",") if w)
+    try:
+        report = run_congest_chaos(
+            seeds=seeds,
+            rates=rates,
+            families=families,
+            workloads=workloads,
+            include_crashes=not args.no_crashes,
+        )
+    except ChaosViolation as violation:
+        print(f"CHAOS VIOLATION: {violation}", file=sys.stderr)
+        return 1
+    print(report.summary())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -325,6 +325,18 @@ class ReferenceEngine(EngineBase):
         self._sent_pairs.clear()
         return inbox
 
+    def collect_inbox(self) -> Dict[int, List[Tuple[int, Any]]]:
+        """Drain the messages queued this round into an inbox mapping.
+
+        The delivery seam used by the fault-injection layer
+        (:mod:`repro.congest.faults`): the wrapper validates sends
+        through :meth:`queue_message` and then pulls the queued round
+        out through this method to apply drop/duplicate/delay/reorder
+        decisions before delivery.  Calling it resets the per-round
+        send state exactly as the engine's own run loop would.
+        """
+        return self._collect_outgoing()
+
 
 class BatchedEngine(EngineBase):
     """Throughput-oriented engine with flat, preallocated round state.
@@ -547,6 +559,24 @@ class BatchedEngine(EngineBase):
         # current buffer is all-empty and can absorb the next round's sends.
         self._this_box, self._next_box = self._next_box, self._this_box
         return touched
+
+    def collect_inbox(self) -> Dict[int, List[Tuple[int, Any]]]:
+        """Drain the messages queued this round into an inbox mapping.
+
+        The fault-layer delivery seam (see
+        :meth:`ReferenceEngine.collect_inbox`).  Swaps the double
+        buffers and harvests the touched recipients, resetting their
+        slots so the buffers stay recyclable.
+        """
+        inbox: Dict[int, List[Tuple[int, Any]]] = {}
+        touched = self._swap_buffers()
+        this_box = self._this_box
+        for to in touched:
+            messages = this_box[to]
+            if messages:
+                this_box[to] = []
+                inbox[to] = messages
+        return inbox
 
 
 # ----------------------------------------------------------------------

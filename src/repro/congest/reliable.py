@@ -1,0 +1,621 @@
+"""Reliable-delivery sublayer over unreliable CONGEST execution.
+
+:class:`ReliableAlgorithm` wraps any :class:`~repro.congest.algorithm.
+NodeAlgorithm` so it survives the transport faults injected by
+:mod:`repro.congest.faults` — message drop, duplication, delay, and
+inbox reordering — and *detects* the ones it cannot mask (crash-stop
+nodes, exhausted retransmission budgets), surfacing a declared
+:class:`~repro.errors.DetectedFailure` instead of a silently wrong
+answer.
+
+The protocol: lockstep with repair
+----------------------------------
+
+Every node runs the inner algorithm's rounds ``0..horizon`` locally
+("inner rounds").  For each inner round ``j`` it emits one *frame* per
+neighbor — the inner message for ``j`` if any, else a heartbeat — and
+it may execute inner round ``j + 1`` only once it holds a ``j``-frame
+from **every** neighbor, so its inner inbox is provably complete.
+Because a node advances only on full frame sets, neighboring nodes
+drift by at most one inner round, which bounds the retransmit buffer
+at two frames per edge.
+
+Recovery is two-sided:
+
+* **proactive** — a node stuck waiting re-sends its own latest frame as
+  a *prod*, with per-message timeouts and capped exponential backoff
+  (``timeout * 2^attempt``, capped, up to ``max_retries`` attempts);
+* **reactive** — receiving a stale or duplicate frame means the sender
+  is stuck, so the matching buffered frame is re-sent to it.
+
+Duplicates are idempotent (frames are keyed by round), reordering is
+absorbed by the per-round keying, and delays only stretch the wait.
+A crash-stop neighbor answers no prod, so the retry budget runs out
+and the node declares itself *stalled* — the run ends with a detected,
+never a silent, failure.
+
+Cost model
+----------
+
+Fault-free, the sublayer costs **one physical round per inner round**
+(plus one start-up round): overhead ``~1x`` in rounds.  Messages are
+amplified to ``2m`` frames per inner round (every edge, both
+directions, every round — heartbeats included), the price of knowing
+an inbox is complete without acks.  Each drop on the critical path
+adds one backoff window.  :func:`run_reliably` charges the *physical*
+rounds and frames to the :class:`~repro.congest.trace.RoundLedger`,
+so composed experiments account the true cost.  Frames add a constant
+header (tag + round number) to inner payloads, preserving ``O(log n)``
+messages; the wrapper widens the audit budget by that constant.
+
+Determinism: the wrapper flips no coins — backoff is a pure function
+of the attempt count, and the inner algorithm consumes the node's own
+RNG exactly as it would on a clean engine — so the recovered inner
+states are **bit-identical** to the fault-free reference run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import SimpleNamespace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.congest.algorithm import NodeAlgorithm
+from repro.congest.faults import FaultPlan, FaultsLike, resolve_faults
+from repro.congest.message import bandwidth_limit
+from repro.congest.simulator import Simulator
+from repro.congest.topology import Topology
+from repro.congest.trace import RoundLedger
+from repro.errors import (
+    DetectedFailure,
+    RoundLimitExceededError,
+    SimulationError,
+)
+
+FRAME_TAG = "rf"
+_TUPLE, _SCALAR, _HEARTBEAT = "t", "v", "h"
+_ORIGINAL, _PROD, _ANSWER = "o", "p", "a"
+_NO_DATA = object()
+
+DEFAULT_TIMEOUT = 1
+DEFAULT_BACKOFF_CAP = 16
+DEFAULT_MAX_RETRIES = 12
+# Header slack for the frame envelope: tag + round + kind on top of the
+# inner payload.  A constant, so O(log n) messages stay O(log n).
+FRAME_HEADER_BITS = 64
+
+
+class _InnerNode:
+    """The NodeHandle facade the wrapped inner algorithm sees.
+
+    Mirrors :class:`~repro.congest.node.NodeHandle` exactly — same
+    validation errors, same RNG object — but sends collect into a
+    per-round outbox and wake-ups land in an inner-round alarm set.
+    """
+
+    __slots__ = ("id", "neighbors", "state", "random", "_rel")
+
+    def __init__(self, node, rel) -> None:
+        self.id = node.id
+        self.neighbors = node.neighbors
+        self.state = rel.inner
+        self.random = node.random
+        self._rel = rel
+
+    @property
+    def round(self) -> int:
+        return self._rel.executing
+
+    @property
+    def degree(self) -> int:
+        return len(self.neighbors)
+
+    @property
+    def halted(self) -> bool:
+        return self._rel.inner_halted
+
+    def send(self, to: int, payload: Any) -> None:
+        rel = self._rel
+        if rel.inner_halted:
+            raise SimulationError(f"halted node {self.id} tried to send")
+        if to not in rel.neighbor_set:
+            raise SimulationError(
+                f"node {self.id} tried to send to non-neighbor {to}"
+            )
+        if to in rel.outbox:
+            raise SimulationError(
+                f"node {self.id} sent two messages to {to} in round "
+                f"{rel.executing}"
+            )
+        rel.outbox[to] = payload
+
+    def broadcast(self, payload: Any) -> None:
+        for to in self.neighbors:
+            self.send(to, payload)
+
+    def wake_at(self, round_number: int) -> None:
+        rel = self._rel
+        if round_number <= rel.executing:
+            raise SimulationError(
+                f"wake-up for node {self.id} at round {round_number} is not "
+                f"in the future (current round {rel.executing})"
+            )
+        rel.inner_alarms.add(round_number)
+
+    def wake_after(self, delay: int) -> None:
+        if delay <= 0:
+            raise SimulationError("wake_after requires a positive delay")
+        self._rel.inner_alarms.add(self._rel.executing + delay)
+
+    def halt(self) -> None:
+        self._rel.inner_halted = True
+
+    def __repr__(self) -> str:
+        return f"_InnerNode(id={self.id}, degree={self.degree})"
+
+
+def _encode(j: int, mode: str, data) -> Tuple:
+    """One frame: the inner round's message (or heartbeat) for an edge.
+
+    ``mode`` is the retransmission role: ``"o"`` original, ``"p"`` prod
+    (the sender is stuck and requests this round's frame back), ``"a"``
+    answer to a prod.  Only prods ever trigger a response — answers and
+    originals never do, so duplicated frames cannot ping-pong.
+    """
+    if data is _NO_DATA:
+        return (FRAME_TAG, j, mode, _HEARTBEAT)
+    if isinstance(data, tuple):
+        return (FRAME_TAG, j, mode, _TUPLE) + data
+    return (FRAME_TAG, j, mode, _SCALAR, data)
+
+
+def _decode(payload: Tuple):
+    """Inverse of :func:`_encode` -> ``(round, mode, data_or_sentinel)``."""
+    j, mode, kind = payload[1], payload[2], payload[3]
+    if kind == _HEARTBEAT:
+        return j, mode, _NO_DATA
+    if kind == _TUPLE:
+        return j, mode, tuple(payload[4:])
+    return j, mode, payload[4]
+
+
+class ReliableAlgorithm(NodeAlgorithm):
+    """Ack-free lockstep-with-repair wrapper (see module docstring).
+
+    Parameters
+    ----------
+    inner:
+        The wrapped node program.  Inner state lives in
+        ``node.state.inner``; the final inner namespaces are
+        bit-identical to a fault-free run of ``inner`` when every node
+        completes.
+    horizon:
+        Number of inner rounds to execute (``0..horizon`` inclusive) —
+        normally the fault-free reference run's round count.
+    timeout / backoff_cap / max_retries:
+        Retransmission discipline: prod attempt ``i`` waits
+        ``min(backoff_cap, timeout * 2**i)`` physical rounds; after
+        ``max_retries`` unanswered prods for one inner round the node
+        declares itself stalled (``node.state.rel_failed``).
+    """
+
+    name = "reliable"
+
+    def __init__(
+        self,
+        inner: NodeAlgorithm,
+        *,
+        horizon: int,
+        timeout: int = DEFAULT_TIMEOUT,
+        backoff_cap: int = DEFAULT_BACKOFF_CAP,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+    ) -> None:
+        super().__init__()
+        if horizon < 0:
+            raise SimulationError("reliable horizon must be >= 0")
+        if timeout < 1 or backoff_cap < timeout or max_retries < 1:
+            raise SimulationError("invalid reliable retransmission settings")
+        self.inner_algorithm = inner
+        self.horizon = horizon
+        self.timeout = timeout
+        self.backoff_cap = backoff_cap
+        self.max_retries = max_retries
+        self.name = f"reliable:{getattr(inner, 'name', 'algorithm')}"
+
+    # -- lifecycle -----------------------------------------------------
+
+    def setup(self, node) -> None:
+        rel = SimpleNamespace(
+            k=0,                    # next inner round to execute
+            executing=0,            # inner round currently executing
+            inner=SimpleNamespace(),
+            inner_halted=False,
+            inner_alarms=set(),
+            neighbor_set=frozenset(node.neighbors),
+            outbox={},              # inner sends of the executing round
+            frames={},              # j -> {sender: data_or_sentinel}
+            sent={},                # j -> {neighbor: data_or_sentinel}
+            outq={},                # neighbor -> [j, j, ...] send queue
+            attempts=0,
+            next_prod=0,
+            prods=0,                # retransmit prods sent (stats)
+            rel_done=False,
+            rel_failed=False,
+            inner_dropped_to_halted=0,
+        )
+        node.state.rel = rel
+        # The inner algorithm's per-node inputs land on the inner
+        # namespace, exactly as its own setup would install them.
+        self.inner_algorithm.setup(_InnerNode(node, rel))
+
+    def on_start(self, node) -> None:
+        rel = node.state.rel
+        self._execute_inner(node, rel)          # inner round 0
+        self._flush(node, rel)
+        self._arm_prod_timer(node, rel)
+
+    def on_round(self, node, messages) -> None:
+        rel = node.state.rel
+        self._receive(node, rel, messages)
+        if not rel.rel_failed and not rel.rel_done and self._ready(node, rel):
+            self._execute_inner(node, rel)
+        elif (
+            not rel.rel_failed
+            and not rel.rel_done
+            and node.round >= rel.next_prod
+        ):
+            self._prod(node, rel)
+        self._flush(node, rel)
+        if not rel.rel_done and not rel.rel_failed:
+            self._arm_prod_timer(node, rel)
+            # A backlog of already-received frames can make the next
+            # inner round ready now; the one-frame-per-edge budget
+            # forces the advance into the next physical round.
+            if self._ready(node, rel):
+                node.wake_after(1)
+
+    # -- the state machine ---------------------------------------------
+
+    def _ready(self, node, rel) -> bool:
+        """Can inner round ``k`` execute? (full frame set for ``k-1``)"""
+        if rel.k > self.horizon:
+            return False
+        if rel.k == 0:
+            return True
+        held = rel.frames.get(rel.k - 1)
+        if not node.neighbors:
+            return True
+        return held is not None and len(held) == len(node.neighbors)
+
+    def _execute_inner(self, node, rel) -> None:
+        """Run inner round ``k`` and emit its frames."""
+        j = rel.k
+        rel.executing = j
+        rel.outbox = {}
+        inner_node = _InnerNode(node, rel)
+        if j == 0:
+            if not rel.inner_halted:
+                self.inner_algorithm.on_start(inner_node)
+        else:
+            held = rel.frames.pop(j - 1, {})
+            inbox = sorted(
+                (sender, data)
+                for sender, data in held.items()
+                if data is not _NO_DATA
+            )
+            if rel.inner_halted:
+                rel.inner_dropped_to_halted += len(inbox)
+            else:
+                due = {r for r in rel.inner_alarms if r <= j}
+                rel.inner_alarms -= due
+                if inbox or due:
+                    self.inner_algorithm.on_round(inner_node, inbox)
+        # Emit this round's frames (data or heartbeat) to every edge.
+        emitted = {
+            to: rel.outbox.get(to, _NO_DATA) for to in node.neighbors
+        }
+        rel.sent[j] = emitted
+        rel.sent.pop(j - 2, None)
+        for to in node.neighbors:
+            self._queue_frame(rel, to, j, _ORIGINAL)
+        rel.outbox = {}
+        rel.k = j + 1
+        rel.attempts = 0
+        rel.next_prod = node.round + self.timeout
+        stale = [r for r in rel.frames if r < rel.k - 1]
+        for r in stale:
+            del rel.frames[r]
+        if rel.k > self.horizon:
+            rel.rel_done = True
+
+    def _receive(self, node, rel, messages) -> None:
+        for sender, payload in messages:
+            if type(payload) is not tuple or not payload or payload[0] != FRAME_TAG:
+                raise SimulationError(
+                    f"node {node.id} received a non-frame payload {payload!r} "
+                    f"under the reliable sublayer"
+                )
+            j, mode, data = _decode(payload)
+            bucket = rel.frames.get(j)
+            fresh = (bucket is None or sender not in bucket) and j >= rel.k - 1
+            if fresh:
+                rel.frames.setdefault(j, {})[sender] = data
+                # Progress: the network is demonstrably alive, so the
+                # stall ladder restarts.  A real crash quiets the whole
+                # neighborhood (drift <= 1 stalls every neighbor), so
+                # detection still trips once fresh traffic stops.
+                rel.attempts = 0
+            if mode == _PROD and j in rel.sent and sender in rel.sent[j]:
+                # The sender is stuck at round j and asks for my j-frame
+                # back.  Answer frames never trigger answers, so
+                # duplicated retransmissions cannot ping-pong.
+                self._queue_frame(rel, sender, j, _ANSWER)
+
+    def _prod(self, node, rel) -> None:
+        """Retransmit my latest frame to every neighbor I'm missing."""
+        rel.attempts += 1
+        if rel.attempts > self.max_retries:
+            rel.rel_failed = True
+            return
+        j = rel.k - 1
+        held = rel.frames.get(j, {})
+        for to in node.neighbors:
+            if to not in held and j in rel.sent and to in rel.sent[j]:
+                self._queue_frame(rel, to, j, _PROD)
+                rel.prods += 1
+        backoff = min(self.backoff_cap, self.timeout * (2 ** (rel.attempts - 1)))
+        rel.next_prod = node.round + backoff
+
+    def _arm_prod_timer(self, node, rel) -> None:
+        delay = max(1, rel.next_prod - node.round)
+        node.wake_after(delay)
+
+    def _queue_frame(self, rel, to: int, j: int, mode: str) -> None:
+        # Encode at queue time: a backed-up queue entry must not depend
+        # on the two-round ``sent`` buffer still holding round ``j``.
+        # A prod upgrades a queued answer (prods demand a response; the
+        # payload is identical either way).
+        queue = rel.outq.setdefault(to, {})
+        if j not in queue or (mode == _PROD and queue[j][2] != _PROD):
+            queue[j] = _encode(j, mode, rel.sent[j][to])
+
+    def _flush(self, node, rel) -> None:
+        """Send at most one frame per neighbor (oldest round first)."""
+        backlog = False
+        for to, queue in rel.outq.items():
+            if not queue:
+                continue
+            j = min(queue)
+            node.send(to, queue.pop(j))
+            if queue:
+                backlog = True
+        if backlog:
+            node.wake_after(1)
+
+
+# ----------------------------------------------------------------------
+# The run harness
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ReliableRunResult:
+    """Outcome of one reliable execution over an unreliable network."""
+
+    states: Dict[int, SimpleNamespace]
+    inner_rounds: int
+    rounds: int
+    messages: int
+    prods: int
+    stalled: Tuple[int, ...]
+    fault_stats: Optional[object]
+
+    @property
+    def overhead(self) -> float:
+        """Physical rounds per inner round (~1.0 on a clean network)."""
+        return self.rounds / max(1, self.inner_rounds)
+
+
+def default_round_budget(horizon: int, max_retries: int, backoff_cap: int) -> int:
+    """A physical-round watchdog that outlasts every retry ladder."""
+    return 64 + (horizon + 2) * (4 + max_retries * backoff_cap)
+
+
+def run_reliably(
+    topology: Topology,
+    algorithm: NodeAlgorithm,
+    *,
+    horizon: int,
+    seed: int = 0,
+    faults: FaultsLike = None,
+    timeout: int = DEFAULT_TIMEOUT,
+    backoff_cap: int = DEFAULT_BACKOFF_CAP,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    engine=None,
+    ledger: Optional[RoundLedger] = None,
+    max_rounds: Optional[int] = None,
+    check_bandwidth: bool = True,
+    bandwidth_bits: Optional[int] = None,
+) -> ReliableRunResult:
+    """Execute ``algorithm`` reliably under a fault plan.
+
+    Runs the :class:`ReliableAlgorithm` wrapper for ``horizon`` inner
+    rounds (normally the fault-free reference's round count), charges
+    the physical cost to ``ledger``, and returns the recovered inner
+    states — bit-identical to the fault-free run.
+
+    Raises
+    ------
+    DetectedFailure
+        If any node stalls (retry budget exhausted — e.g. against a
+        crash-stop neighbor), fails to reach the horizon, or the
+        physical-round watchdog fires.  The unreliable layer's promise
+        is *detect, never silently corrupt*.
+    """
+    plan = resolve_faults(faults)
+    if plan is not None and plan.reliable:
+        # Strip the routing flag: this *is* the reliable sublayer, and
+        # the run below must take the plain FaultyEngine path.
+        plan = plan.with_reliable(False)
+    wrapper = ReliableAlgorithm(
+        algorithm,
+        horizon=horizon,
+        timeout=timeout,
+        backoff_cap=backoff_cap,
+        max_retries=max_retries,
+    )
+    budget = (
+        max_rounds
+        if max_rounds is not None
+        else default_round_budget(horizon, max_retries, backoff_cap)
+    )
+    base_bits = (
+        bandwidth_limit(topology.n) if bandwidth_bits is None else bandwidth_bits
+    )
+    sim = Simulator(
+        topology,
+        wrapper,
+        seed=seed,
+        faults=plan if plan is not None else "none",
+        engine=engine,
+        check_bandwidth=check_bandwidth,
+        bandwidth_bits=base_bits + FRAME_HEADER_BITS,
+        max_rounds=budget,
+    )
+    try:
+        result = sim.run()
+    except RoundLimitExceededError as error:
+        raise DetectedFailure(
+            f"reliable run exceeded its {budget}-round budget: {error}",
+            reasons=(str(error),),
+        ) from error
+
+    stalled = tuple(
+        v for v in topology.nodes if result.states[v].rel.rel_failed
+    )
+    unfinished = tuple(
+        v
+        for v in topology.nodes
+        if not result.states[v].rel.rel_done and v not in stalled
+    )
+    prods = sum(result.states[v].rel.prods for v in topology.nodes)
+    if ledger is not None:
+        ledger.charge(wrapper.name, result.rounds, result.messages)
+    if stalled or unfinished:
+        raise DetectedFailure(
+            f"reliable run detected a failure: stalled nodes {list(stalled)}, "
+            f"unfinished nodes {list(unfinished)} "
+            f"(faults: {plan.describe() if plan else 'none'})",
+            reasons=tuple(
+                [f"stalled:{v}" for v in stalled]
+                + [f"unfinished:{v}" for v in unfinished]
+            ),
+        )
+    return ReliableRunResult(
+        states={v: result.states[v].rel.inner for v in topology.nodes},
+        inner_rounds=horizon,
+        rounds=result.rounds,
+        messages=result.messages,
+        prods=prods,
+        stalled=stalled,
+        fault_stats=sim.fault_stats,
+    )
+
+
+class ReliableSimulation:
+    """Engine-like facade behind ``FaultPlan(reliable=True)``.
+
+    When a fault plan carries the ``reliable`` flag,
+    :class:`~repro.congest.simulator.Simulator` routes the run here
+    instead of the bare :class:`~repro.congest.faults.FaultyEngine`:
+
+    1. a *clean* run of the algorithm on the selected inner engine
+       yields the round horizon — the simulation-harness stand-in for
+       the analytic round bound a deployment would know a priori;
+    2. the algorithm then runs under the plan wrapped in
+       :class:`ReliableAlgorithm` for exactly that horizon.
+
+    The returned :class:`~repro.congest.engine.RunResult` carries the
+    recovered inner states (bit-identical to the clean run), the
+    *physical* round and frame counts of the faulted execution, and —
+    when tracing — the clean run's logical edge traffic (congestion
+    analyses measure the algorithm, not the retransmission envelope).
+    A crash-stop partition or exhausted retry ladder raises
+    :class:`~repro.errors.DetectedFailure` out of :meth:`run`.
+    """
+
+    name = "reliable"
+
+    def __init__(
+        self,
+        topology: Topology,
+        algorithm: NodeAlgorithm,
+        *,
+        plan,
+        inner=None,
+        seed: int = 0,
+        check_bandwidth: bool = True,
+        bandwidth_bits: Optional[int] = None,
+        max_rounds: int = 10_000_000,
+        trace_edges: bool = False,
+        audit_sample: int = 1,
+    ) -> None:
+        self.topology = topology
+        self.algorithm = algorithm
+        self.plan = plan
+        self.inner = inner
+        self.seed = seed
+        self.check_bandwidth = check_bandwidth
+        self.max_rounds = max_rounds
+        self.trace_edges = trace_edges
+        self.audit_sample = audit_sample
+        self._base_bits = bandwidth_bits  # the inner algorithm's budget
+        self.bandwidth_bits = (
+            bandwidth_limit(topology.n) if bandwidth_bits is None else bandwidth_bits
+        ) + FRAME_HEADER_BITS
+        self.current_round = 0
+        self.fault_stats = None
+
+    def run(self) -> "RunResult":
+        from repro.congest.engine import RunResult, resolve_engine
+
+        reference = resolve_engine(self.inner)(
+            self.topology,
+            self.algorithm,
+            seed=self.seed,
+            check_bandwidth=self.check_bandwidth,
+            bandwidth_bits=self._base_bits,
+            max_rounds=self.max_rounds,
+            trace_edges=self.trace_edges,
+            audit_sample=self.audit_sample,
+        ).run()
+        outcome = run_reliably(
+            self.topology,
+            self.algorithm,
+            horizon=reference.rounds,
+            seed=self.seed,
+            faults=self.plan.with_reliable(False),
+            engine=self.inner,
+            check_bandwidth=self.check_bandwidth,
+            bandwidth_bits=self._base_bits,
+        )
+        self.fault_stats = outcome.fault_stats
+        self.current_round = outcome.rounds
+        return RunResult(
+            rounds=outcome.rounds,
+            messages=outcome.messages,
+            states=outcome.states,
+            edge_traffic=dict(reference.edge_traffic),
+            dropped_to_halted=reference.dropped_to_halted,
+        )
+
+    # Manual queue/wakeup driving predates the faults axis and has no
+    # meaning for a two-stage reliable execution.
+    def queue_message(self, sender: int, to: int, payload) -> None:
+        raise SimulationError("reliable mode does not support manual queueing")
+
+    def queue_broadcast(self, sender: int, payload) -> None:
+        raise SimulationError("reliable mode does not support manual queueing")
+
+    def schedule_wakeup(self, node_id: int, round_number: int) -> None:
+        raise SimulationError("reliable mode does not support manual wake-ups")

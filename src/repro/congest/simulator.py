@@ -33,6 +33,9 @@ from repro.congest.algorithm import NodeAlgorithm
 from repro.congest.engine import EngineLike, RunResult, resolve_engine
 from repro.congest.topology import Topology
 
+if False:  # typing-only; the runtime import is deferred (see __init__)
+    from repro.congest.faults import FaultsLike
+
 __all__ = ["RunResult", "Simulator", "run_algorithm"]
 
 
@@ -66,6 +69,13 @@ class Simulator:
         Audit every ``audit_sample``-th message instead of every one
         (``1`` = full audit).  Sampling keeps the asymptotic-violation
         check on hot paths at a fraction of the cost.
+    faults:
+        Dynamic-fault plan: a
+        :class:`~repro.congest.faults.FaultPlan`, ``"none"`` for an
+        expressly clean run, or ``None`` for the process-wide default
+        (see :func:`~repro.congest.faults.set_default_faults`).  A
+        non-``None`` plan wraps the selected engine in
+        :class:`~repro.congest.faults.FaultyEngine`.
     """
 
     def __init__(
@@ -80,29 +90,69 @@ class Simulator:
         trace_edges: bool = False,
         engine: EngineLike = None,
         audit_sample: int = 1,
+        faults: "FaultsLike" = None,
     ) -> None:
+        # Deferred import: faults -> randomness -> simulator would
+        # otherwise be a circular module-load chain.
+        from repro.congest.faults import FaultyEngine, resolve_faults
+
         self.topology = topology
         self.algorithm = algorithm
         self.seed = seed
         self.check_bandwidth = check_bandwidth
         self.max_rounds = max_rounds
         self.trace_edges = trace_edges
-        self._engine = resolve_engine(engine)(
-            topology,
-            algorithm,
-            seed=seed,
-            check_bandwidth=check_bandwidth,
-            bandwidth_bits=bandwidth_bits,
-            max_rounds=max_rounds,
-            trace_edges=trace_edges,
-            audit_sample=audit_sample,
-        )
+        plan = resolve_faults(faults)
+        if plan is not None and plan.reliable:
+            from repro.congest.reliable import ReliableSimulation
+
+            self._engine = ReliableSimulation(
+                topology,
+                algorithm,
+                plan=plan,
+                inner=engine,
+                seed=seed,
+                check_bandwidth=check_bandwidth,
+                bandwidth_bits=bandwidth_bits,
+                max_rounds=max_rounds,
+                trace_edges=trace_edges,
+                audit_sample=audit_sample,
+            )
+        elif plan is not None:
+            self._engine = FaultyEngine(
+                topology,
+                algorithm,
+                plan=plan,
+                inner=engine,
+                seed=seed,
+                check_bandwidth=check_bandwidth,
+                bandwidth_bits=bandwidth_bits,
+                max_rounds=max_rounds,
+                trace_edges=trace_edges,
+                audit_sample=audit_sample,
+            )
+        else:
+            self._engine = resolve_engine(engine)(
+                topology,
+                algorithm,
+                seed=seed,
+                check_bandwidth=check_bandwidth,
+                bandwidth_bits=bandwidth_bits,
+                max_rounds=max_rounds,
+                trace_edges=trace_edges,
+                audit_sample=audit_sample,
+            )
         self.bandwidth_bits = self._engine.bandwidth_bits
 
     @property
     def engine_name(self) -> str:
         """Name of the engine executing this simulation."""
         return self._engine.name
+
+    @property
+    def fault_stats(self):
+        """Injection counters when running under a fault plan, else None."""
+        return getattr(self._engine, "fault_stats", None)
 
     @property
     def current_round(self) -> int:

@@ -64,3 +64,28 @@ class ConstructionFailedError(ReproError):
 
 class VerificationError(ReproError):
     """Raised when the Verification subroutine is given malformed input."""
+
+
+class DetectedFailure(ReproError):
+    """A self-verifying run detected a fault it could not mask.
+
+    This is the *declared* failure mode of the unreliable-network
+    execution layer (:mod:`repro.congest.faults`,
+    :mod:`repro.congest.reliable`, :mod:`repro.apps.selfcheck`): when
+    retransmission budgets run out, a crash-stop schedule partitions
+    the protocol, or an output fails its certificate after every retry,
+    the run surfaces this exception instead of a silently wrong answer.
+
+    Attributes
+    ----------
+    attempts:
+        Number of full attempts consumed before declaring failure
+        (0 when the failure was detected inside a single run).
+    reasons:
+        Per-attempt failure descriptions, for logs and reports.
+    """
+
+    def __init__(self, message: str, *, attempts: int = 0, reasons=()) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.reasons = tuple(reasons)

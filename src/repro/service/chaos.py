@@ -475,6 +475,17 @@ def run_chaos_suite(
     report.swept_tmp = swept
     report.injected = dict(schedule.injected)
 
+    # /v1/stats must not lose recovery counters across the restarts the
+    # storm forced: the service's lifetime quarantine count has to
+    # match what the harness itself accumulated store-by-store.
+    recoveries = service.stats_payload()["recoveries"]
+    if recoveries["quarantined"] != report.quarantined:
+        raise ChaosViolation(
+            f"stats lost quarantines across store restarts: "
+            f"/v1/stats reports {recoveries['quarantined']}, "
+            f"harness counted {report.quarantined}"
+        )
+
     if batched_round:
         _batched_round(store, report, seed)
 

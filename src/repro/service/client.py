@@ -7,7 +7,9 @@ production caller needs:
 * **capped exponential backoff with jitter** on idempotent retries:
   attempt ``i`` sleeps ``min(cap, base * 2**i) * uniform(0.5, 1.0)``;
   a ``Retry-After`` header (sent with ``503`` load-shedding) overrides
-  the computed delay;
+  the computed delay — both RFC 7231 forms, delta-seconds and
+  HTTP-date, are honoured, and an unparseable header falls back to
+  the computed backoff;
 * retries fire only on *transient* outcomes — connection errors,
   ``503`` (shed) and ``504`` (deadline expired; the server keeps
   computing, so the retry usually lands warm).  ``4xx`` responses are
@@ -22,6 +24,8 @@ deployments.
 
 from __future__ import annotations
 
+import datetime
+import email.utils
 import json
 import random
 import time
@@ -129,12 +133,27 @@ class ServiceClient:
             return error.code, payload, dict(error.headers or {})
 
     def backoff_delay(self, attempt: int, retry_after: Optional[str] = None) -> float:
-        """The sleep before retry ``attempt`` (0-based)."""
+        """The sleep before retry ``attempt`` (0-based).
+
+        ``Retry-After`` accepts both RFC 7231 forms: delta-seconds
+        (``"120"``) and an HTTP-date (``"Wed, 21 Oct 2015 07:28:00
+        GMT"``).  A date in the past clamps to zero; an unparseable
+        header falls back to the computed backoff.
+        """
         if retry_after is not None:
             try:
                 return max(0.0, float(retry_after))
             except ValueError:
                 pass
+            try:
+                when = email.utils.parsedate_to_datetime(retry_after)
+            except (TypeError, ValueError):
+                when = None
+            if when is not None:
+                if when.tzinfo is None:
+                    when = when.replace(tzinfo=datetime.timezone.utc)
+                now = datetime.datetime.now(datetime.timezone.utc)
+                return max(0.0, (when - now).total_seconds())
         capped = min(self.backoff_cap_s, self.backoff_base_s * (2 ** attempt))
         return capped * (0.5 + 0.5 * self._rng.random())
 

@@ -373,6 +373,14 @@ class ShortcutService:
         batch_window_s: float = 0.0,
         batch_limit: int = 8,
     ) -> None:
+        # Recovery counters survive store restarts: the chaos harness
+        # (and a real operator) reopens the store and reassigns
+        # ``service.store``; the retired instance's quarantine and
+        # eviction counts would otherwise vanish from /v1/stats.
+        self._store: Optional[PersistentStore] = None
+        self._stores_retired = 0
+        self._retired_quarantined = 0
+        self._retired_evictions = 0
         self.store = store
         self.stats = ServiceStats()
         self.queue_limit = queue_limit
@@ -390,6 +398,19 @@ class ShortcutService:
         self._pending = 0
 
     # -- store access (degrades gracefully) ----------------------------
+
+    @property
+    def store(self) -> Optional[PersistentStore]:
+        return self._store
+
+    @store.setter
+    def store(self, store: Optional[PersistentStore]) -> None:
+        previous = self._store
+        if previous is not None and previous is not store:
+            self._stores_retired += 1
+            self._retired_quarantined += previous.stats.quarantined
+            self._retired_evictions += previous.stats.evictions
+        self._store = store
 
     def _store_get(self, key: str) -> Optional[object]:
         if self.store is None:
@@ -631,9 +652,20 @@ class ShortcutService:
 
     def stats_payload(self) -> Dict:
         payload = {"service": self.stats.as_dict()}
+        current = self.store.stats if self.store is not None else None
         if self.store is not None:
-            payload["store"] = self.store.stats.as_dict()
+            payload["store"] = current.as_dict()
             payload["store_root"] = str(self.store.root)
+        # Lifetime recovery counters: quarantines and LRU evictions
+        # across every store this service has pointed at, including
+        # instances retired by a restart.
+        payload["recoveries"] = {
+            "stores_retired": self._stores_retired,
+            "quarantined": self._retired_quarantined
+            + (current.quarantined if current is not None else 0),
+            "evictions": self._retired_evictions
+            + (current.evictions if current is not None else 0),
+        }
         return payload
 
     def close(self) -> None:

@@ -1,0 +1,198 @@
+"""Self-verifying applications: certificates, retries, declared failures.
+
+Two layers under test.  The certificates
+(:func:`~repro.apps.selfcheck.certify_mst` & co.) must accept exactly
+the correct outputs and reject corrupted ones — they are what stands
+between a fault-corrupted run and a silently wrong answer.  The
+detect-and-retry driver (:func:`~repro.apps.selfcheck.run_verified`
+and the ``verified_*`` wrappers) must recover under transport faults,
+reseed between attempts, and raise a declared
+:class:`~repro.errors.DetectedFailure` when no attempt certifies.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.apps.connectivity import connected_components
+from repro.apps.leader_election import LeaderElectionResult
+from repro.apps.mst import kruskal_reference, minimum_spanning_tree
+from repro.apps.selfcheck import (
+    VerifiedRun,
+    certify_components,
+    certify_leaders,
+    certify_mst,
+    run_verified,
+    verified_connectivity,
+    verified_leaders,
+    verified_mst,
+)
+from repro.congest.faults import FaultPlan, get_default_faults
+from repro.errors import DetectedFailure
+from repro.graphs import generators, partitions
+from repro.graphs.weights import weighted
+
+
+@pytest.fixture(scope="module")
+def wgrid():
+    return weighted(generators.grid(4, 4), seed=1)
+
+
+# ----------------------------------------------------------------------
+# Certificates: accept the truth, reject corruption
+# ----------------------------------------------------------------------
+
+
+def test_certify_mst_accepts_correct_result(wgrid):
+    result = minimum_spanning_tree(wgrid, seed=2)
+    assert certify_mst(wgrid, result) == []
+
+
+def test_certify_mst_rejects_corruptions(wgrid):
+    result = minimum_spanning_tree(wgrid, seed=2)
+    edges = sorted(result.edges)
+    # Wrong weight claim.
+    lying = dataclasses.replace(result, weight=result.weight + 1)
+    assert any("weight" in p for p in certify_mst(wgrid, lying))
+    # A non-edge smuggled in.
+    fake = dataclasses.replace(
+        result, edges=frozenset(edges[:-1]) | {(0, 15)}
+    )
+    assert any("not a graph edge" in p for p in certify_mst(wgrid, fake))
+    # An edge swapped for a heavier one: wrong forest, wrong weight.
+    missing = dataclasses.replace(result, edges=frozenset(edges[:-1]))
+    assert any("components" in p for p in certify_mst(wgrid, missing))
+
+
+def test_certify_components_accepts_and_rejects(wgrid):
+    alive = [e for e in wgrid.edges if 0 not in e]  # isolates node 0
+    result = connected_components(wgrid, alive, use_shortcuts=False)
+    assert certify_components(wgrid, alive, result) == []
+    bad_labels = dict(result.labels)
+    bad_labels[0] = bad_labels[15]  # merges two components' labels
+    corrupt = dataclasses.replace(result, labels=bad_labels)
+    assert certify_components(wgrid, alive, corrupt)
+
+
+def test_certify_leaders_accepts_and_rejects():
+    topology = generators.grid(4, 4)
+    partition = partitions.voronoi(topology, 4, seed=3)
+    leaders = {i: min(partition.members(i)) for i in range(partition.size)}
+    knowledge = {
+        v: leaders[i]
+        for i in range(partition.size)
+        for v in partition.members(i)
+    }
+    good = LeaderElectionResult(leaders=leaders, knowledge=knowledge, rounds=1)
+    assert certify_leaders(partition, good) == []
+    wrong = LeaderElectionResult(
+        leaders={**leaders, 0: max(partition.members(0))},
+        knowledge=knowledge,
+        rounds=1,
+    )
+    assert any("leader" in p for p in certify_leaders(partition, wrong))
+    amnesiac = LeaderElectionResult(
+        leaders=leaders, knowledge={**knowledge, 5: None}, rounds=1
+    )
+    assert any("knows" in p for p in certify_leaders(partition, amnesiac))
+
+
+# ----------------------------------------------------------------------
+# The retry driver
+# ----------------------------------------------------------------------
+
+
+def test_run_verified_retries_until_certified():
+    plan = FaultPlan(seed=1, p_drop=0.5)
+    seen_plans = []
+
+    def run():
+        seen_plans.append(get_default_faults())
+        return len(seen_plans)
+
+    outcome = run_verified(
+        run,
+        lambda value: [] if value >= 3 else [f"value {value} too small"],
+        plan,
+        max_attempts=4,
+    )
+    assert isinstance(outcome, VerifiedRun)
+    assert outcome.value == 3 and outcome.attempts == 3
+    assert len(outcome.reasons) == 2
+    # Attempt 1 runs the plan verbatim; retries reseed it but keep the
+    # fault mix.
+    assert seen_plans[0] is plan
+    assert {p.seed for p in seen_plans} == {p.seed for p in seen_plans}
+    assert all(p.p_drop == 0.5 for p in seen_plans)
+    assert len({p.seed for p in seen_plans}) == 3
+
+
+def test_run_verified_declares_failure_with_reasons():
+    plan = FaultPlan(seed=2)
+    with pytest.raises(DetectedFailure) as info:
+        run_verified(
+            lambda: (_ for _ in ()).throw(RuntimeError("boom")),
+            lambda value: [],
+            plan,
+            label="doomed",
+            max_attempts=2,
+        )
+    error = info.value
+    assert error.attempts == 2
+    assert len(error.reasons) == 2
+    assert "RuntimeError" in error.reasons[0]
+    assert "doomed" in str(error)
+
+
+def test_run_verified_rejects_zero_attempts():
+    with pytest.raises(ValueError):
+        run_verified(lambda: 1, lambda v: [], FaultPlan(), max_attempts=0)
+
+
+# ----------------------------------------------------------------------
+# End-to-end verified applications under fault plans
+# ----------------------------------------------------------------------
+
+
+def test_verified_mst_recovers_under_drops(wgrid):
+    plan = FaultPlan(seed=3, p_drop=0.02)
+    outcome = verified_mst(wgrid, plan, seed=1)
+    edges, weight = kruskal_reference(wgrid)
+    assert outcome.value.edges == edges
+    assert outcome.value.weight == weight
+    assert outcome.attempts >= 1
+
+
+def test_verified_connectivity_recovers_under_drops(wgrid):
+    alive = [e for e in wgrid.edges if 0 not in e]
+    plan = FaultPlan(seed=4, p_drop=0.02)
+    outcome = verified_connectivity(wgrid, alive, plan, seed=1)
+    assert certify_components(wgrid, alive, outcome.value) == []
+    assert outcome.value.components == 2
+
+
+def test_verified_leaders_recovers_under_drops():
+    topology = generators.grid(4, 4)
+    partition = partitions.voronoi(topology, 4, seed=3)
+    plan = FaultPlan(seed=5, p_drop=0.02)
+    outcome = verified_leaders(topology, partition, plan, seed=1)
+    for i in range(partition.size):
+        assert outcome.value.leaders[i] == min(partition.members(i))
+
+
+def test_verified_mst_declares_crash_partitions(wgrid):
+    # A crashed node persists across reseeds, so no retry can succeed:
+    # the run must end as a declared failure, never a wrong tree.
+    plan = FaultPlan(seed=6, crashes=((5, 1),))
+    with pytest.raises(DetectedFailure) as info:
+        verified_mst(wgrid, plan, seed=1, max_attempts=2)
+    assert info.value.attempts == 2
+
+
+def test_bare_protocol_detects_but_cannot_recover(wgrid):
+    # Without the reliable sublayer any dropped message corrupts some
+    # phase; the certificate (or a model check) catches it and the run
+    # is declared failed — detection without recovery.
+    plan = FaultPlan(seed=7, p_drop=0.05)
+    with pytest.raises(DetectedFailure):
+        verified_mst(wgrid, plan, seed=1, max_attempts=1, reliable=False)

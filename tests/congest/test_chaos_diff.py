@@ -1,0 +1,83 @@
+"""Chaos-differential sweep: the identical-or-detected contract.
+
+The acceptance criterion for the fault stack: across at least three
+graph families × three drop rates × five seeds, every reliable run is
+bit-identical to its fault-free reference or ends as a declared
+detection — :class:`~repro.congest.chaos.ChaosViolation` otherwise.
+"""
+
+import pytest
+
+from repro.congest.chaos import (
+    CHAOS_FAMILIES,
+    ChaosViolation,
+    run_cell,
+    run_congest_chaos,
+    _crash_plan,
+    _transport_plan,
+)
+
+
+def test_chaos_sweep_three_families_three_rates_five_seeds():
+    report = run_congest_chaos(
+        seeds=range(5),
+        rates=(0.02, 0.05, 0.1),
+        families=("grid", "torus", "hub"),
+        workloads=("flood",),
+        include_crashes=True,
+    )
+    # 3 families x 3 rates x 5 seeds transport cells + 3 x 5 crash cells.
+    assert len(report.cells) == 60
+    assert report.identical == 45
+    assert report.detected == 15
+    assert "0 silent divergences" in report.summary()
+
+
+def test_chaos_covers_delaunay_and_token_workload():
+    report = run_congest_chaos(
+        seeds=range(2),
+        rates=(0.05,),
+        families=("delaunay",),
+        workloads=("token",),
+        include_crashes=False,
+    )
+    assert report.identical == len(report.cells) == 2
+
+
+def test_crash_cells_always_detect():
+    for seed in range(5):
+        topology = CHAOS_FAMILIES["grid"]()
+        plan = _crash_plan(seed, topology.n, 0.02)
+        cell = run_cell("grid", "flood", plan, seed=seed, max_retries=6)
+        assert cell.outcome == "detected", (seed, cell)
+        assert cell.detail
+
+
+def test_transport_cells_record_overhead():
+    cell = run_cell("hub", "flood", _transport_plan(17, 0.05), seed=1)
+    assert cell.outcome == "identical"
+    assert cell.physical_rounds >= cell.reference_rounds
+    assert cell.overhead >= 1.0
+
+
+def test_unknown_family_or_workload_rejected():
+    with pytest.raises(ValueError):
+        run_congest_chaos(families=("nope",), seeds=(0,))
+    with pytest.raises(ValueError):
+        run_congest_chaos(workloads=("nope",), seeds=(0,))
+
+
+def test_cli_smoke(capsys):
+    from repro.congest.chaos import main
+
+    code = main(
+        ["--seeds", "1", "--rates", "0.05", "--families", "grid",
+         "--workloads", "flood", "--no-crashes"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "1 cells" in out
+
+
+def test_chaos_violation_is_assertion_error():
+    assert issubclass(ChaosViolation, AssertionError)

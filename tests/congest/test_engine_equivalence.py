@@ -193,3 +193,52 @@ def test_mst_identical(topo_name):
     assert batched.ledger.total_messages == reference.ledger.total_messages
     _edges, ref_weight = kruskal_reference(topology)
     assert batched.weight == ref_weight
+
+
+class HaltMidRunAlgorithm(FloodAlgorithm):
+    """Flood, but even-numbered nodes halt mid-protocol.
+
+    Odd nodes keep flooding at their halted neighbors for several more
+    rounds, so both engines must drop (and count) in-flight traffic to
+    dead inboxes identically.
+    """
+
+    name = "halt-mid-run"
+
+    def __init__(self, rounds: int, halt_round: int):
+        super().__init__(rounds)
+        self.halt_round = halt_round
+
+    def on_round(self, node, messages) -> None:
+        super().on_round(node, messages)
+        if node.id % 2 == 0 and node.round >= self.halt_round:
+            node.halt()
+
+
+@pytest.mark.parametrize("topo_name", ["grid", "hub"])
+@pytest.mark.parametrize("seed", [0, 3])
+def test_dropped_to_halted_identical(topo_name, seed):
+    topology = TOPOLOGIES[topo_name]()
+    reference, batched = _run(
+        topology, HaltMidRunAlgorithm(rounds=10, halt_round=3), seed
+    )
+    # The halted nodes' neighbors flood for 7 more rounds: the counter
+    # must move, and must move identically on both engines.
+    assert reference.dropped_to_halted > 0
+    assert batched.dropped_to_halted == reference.dropped_to_halted
+    _assert_identical(reference, batched)
+
+
+@pytest.mark.parametrize("topo_name", ["grid", "hub"])
+def test_dropped_to_halted_counts_every_late_message(topo_name):
+    topology = TOPOLOGIES[topo_name]()
+    reference, batched = _run(
+        topology, HaltMidRunAlgorithm(rounds=8, halt_round=2), seed=1
+    )
+    _assert_identical(reference, batched)
+    halted = [v for v in topology.nodes if v % 2 == 0]
+    # A dead inbox can swallow at most one message per incident edge per
+    # round between the halt and the end of the flood.
+    live_rounds = 8 - 2
+    upper = sum(len(topology.neighbors(v)) for v in halted) * live_rounds
+    assert 0 < reference.dropped_to_halted <= upper

@@ -1,0 +1,214 @@
+"""The reliable-delivery sublayer: recovery, detection, accounting.
+
+:func:`repro.congest.reliable.run_reliably` must turn any seeded
+transport-fault schedule into either a run whose inner states are
+bit-identical to the fault-free reference, or a declared
+:class:`~repro.errors.DetectedFailure` — never a silently wrong
+answer.  These tests pin the recovery side (lossy plans, all
+workloads), the detection side (crash-stop partitions), the cost model
+(low fault-free overhead, ledger charging, widened frame budget), and
+the ``plan.reliable`` routing through :class:`Simulator`.
+"""
+
+import pytest
+
+from repro.congest.faults import FaultPlan, using_faults
+from repro.congest.reliable import (
+    FRAME_HEADER_BITS,
+    ReliableSimulation,
+    run_reliably,
+)
+from repro.congest.message import bandwidth_limit
+from repro.congest.simulator import Simulator
+from repro.congest.trace import RoundLedger
+from repro.congest.workloads import (
+    AlarmStormAlgorithm,
+    FloodAlgorithm,
+    TokenWalkAlgorithm,
+)
+from repro.errors import DetectedFailure, SimulationError
+from repro.graphs import generators
+
+LOSSY = FaultPlan(
+    seed=3, p_drop=0.1, p_duplicate=0.05, p_delay=0.05, p_reorder=0.2
+)
+
+
+def _reference(topology, make, seed):
+    return Simulator(topology, make(), seed=seed).run()
+
+
+def _assert_states_match(reference, outcome, topology):
+    for v in topology.nodes:
+        assert vars(reference.states[v]) == vars(outcome.states[v]), v
+
+
+# ----------------------------------------------------------------------
+# Recovery: lossy plans end bit-identical to the fault-free reference
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: FloodAlgorithm(rounds=5),
+        lambda: TokenWalkAlgorithm(steps=10),
+        lambda: AlarmStormAlgorithm(period=3, ticks=3),
+    ],
+)
+@pytest.mark.parametrize("seed", [0, 7])
+def test_lossy_run_recovers_bit_identical(make, seed):
+    topology = generators.grid(4, 4)
+    reference = _reference(topology, make, seed)
+    outcome = run_reliably(
+        topology, make(), horizon=reference.rounds, seed=seed, faults=LOSSY
+    )
+    _assert_states_match(reference, outcome, topology)
+    assert outcome.inner_rounds == reference.rounds
+    assert not outcome.stalled
+    assert outcome.fault_stats.dropped > 0
+
+
+def test_heavy_faults_still_recover():
+    topology = generators.grid(4, 4)
+    make = lambda: FloodAlgorithm(rounds=5)  # noqa: E731
+    reference = _reference(topology, make, 1)
+    plan = FaultPlan(
+        seed=13, p_drop=0.3, p_duplicate=0.15, p_delay=0.15, p_reorder=0.3
+    )
+    outcome = run_reliably(
+        topology, make(), horizon=reference.rounds, seed=1, faults=plan
+    )
+    _assert_states_match(reference, outcome, topology)
+
+
+def test_fault_free_overhead_is_small():
+    topology = generators.grid(5, 5)
+    make = lambda: FloodAlgorithm(rounds=8)  # noqa: E731
+    reference = _reference(topology, make, 0)
+    outcome = run_reliably(
+        topology, make(), horizon=reference.rounds, seed=0
+    )
+    _assert_states_match(reference, outcome, topology)
+    # Lockstep without faults costs ~1 physical round per inner round
+    # plus constant start-up; prod traffic stays zero.
+    assert outcome.overhead <= 1.6
+    assert outcome.prods == 0
+
+
+# ----------------------------------------------------------------------
+# Detection: crash-stop partitions surface as declared failures
+# ----------------------------------------------------------------------
+
+
+def test_crash_stop_is_detected_not_masked():
+    topology = generators.grid(4, 4)
+    make = lambda: FloodAlgorithm(rounds=6)  # noqa: E731
+    reference = _reference(topology, make, 2)
+    plan = FaultPlan(seed=2, crashes=((5, 2),))
+    with pytest.raises(DetectedFailure):
+        run_reliably(
+            topology,
+            make(),
+            horizon=reference.rounds,
+            seed=2,
+            faults=plan,
+            max_retries=4,
+        )
+
+
+def test_detection_is_deterministic():
+    topology = generators.cycle_with_hub(16, 4)
+    make = lambda: FloodAlgorithm(rounds=5)  # noqa: E731
+    reference = _reference(topology, make, 0)
+    plan = FaultPlan(seed=5, p_drop=0.05, crashes=((3, 1),))
+    messages = []
+    for _ in range(2):
+        with pytest.raises(DetectedFailure) as info:
+            run_reliably(
+                topology,
+                make(),
+                horizon=reference.rounds,
+                seed=0,
+                faults=plan,
+                max_retries=4,
+            )
+        messages.append(str(info.value))
+    assert messages[0] == messages[1]
+
+
+# ----------------------------------------------------------------------
+# Accounting: ledger, frame budget, result shape
+# ----------------------------------------------------------------------
+
+
+def test_ledger_charges_physical_rounds():
+    topology = generators.grid(4, 4)
+    make = lambda: FloodAlgorithm(rounds=4)  # noqa: E731
+    reference = _reference(topology, make, 0)
+    ledger = RoundLedger()
+    outcome = run_reliably(
+        topology,
+        make(),
+        horizon=reference.rounds,
+        seed=0,
+        faults=LOSSY,
+        ledger=ledger,
+    )
+    assert len(ledger.records) == 1
+    record = ledger.records[0]
+    assert record.name.startswith("reliable:")
+    assert record.rounds == outcome.rounds
+    assert record.messages == outcome.messages
+
+
+def test_frame_budget_extends_inner_budget():
+    topology = generators.grid(4, 4)
+    base = bandwidth_limit(topology.n)
+    sim = ReliableSimulation(
+        topology,
+        FloodAlgorithm(rounds=3),
+        plan=FaultPlan(seed=0, p_drop=0.05, reliable=True),
+    )
+    assert sim.bandwidth_bits == base + FRAME_HEADER_BITS
+
+
+def test_reliable_simulation_rejects_direct_queueing():
+    sim = ReliableSimulation(
+        generators.grid(3, 3),
+        FloodAlgorithm(rounds=2),
+        plan=FaultPlan(seed=0, reliable=True),
+    )
+    with pytest.raises(SimulationError):
+        sim.queue_message(0, 1, ("x",))
+
+
+# ----------------------------------------------------------------------
+# plan.reliable routing through Simulator / the faults axis
+# ----------------------------------------------------------------------
+
+
+def test_simulator_routes_reliable_plans():
+    topology = generators.grid(4, 4)
+    plan = FaultPlan(seed=4, p_drop=0.1, reliable=True)
+    sim = Simulator(topology, FloodAlgorithm(rounds=4), seed=4, faults=plan)
+    assert sim.engine_name == "reliable"
+    clean = Simulator(topology, FloodAlgorithm(rounds=4), seed=4).run()
+    result = sim.run()
+    assert {v: vars(s) for v, s in result.states.items()} == {
+        v: vars(s) for v, s in clean.states.items()
+    }
+    assert result.rounds > clean.rounds
+    assert sim.fault_stats is not None and sim.fault_stats.dropped > 0
+
+
+def test_using_faults_reaches_inner_simulations_reliably():
+    topology = generators.grid(4, 4)
+    clean = Simulator(topology, TokenWalkAlgorithm(steps=8), seed=9).run()
+    with using_faults(FaultPlan(seed=9, p_drop=0.1, reliable=True)):
+        recovered = Simulator(
+            topology, TokenWalkAlgorithm(steps=8), seed=9
+        ).run()
+    assert {v: vars(s) for v, s in recovered.states.items()} == {
+        v: vars(s) for v, s in clean.states.items()
+    }

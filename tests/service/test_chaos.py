@@ -140,3 +140,14 @@ def test_fault_schedule_corrupts_only_existing_entries(tmp_path):
         # but then the checksum can no longer match: a read must miss.
         assert store.get(key) is None or store.get(key) == {"x": 1}
     assert schedule.injected["corruptions"] == 1
+
+
+def test_stats_recoveries_track_storm_quarantines(tmp_path):
+    # A corruption-heavy schedule guarantees quarantines fire; the
+    # harness itself raises ChaosViolation if /v1/stats loses any of
+    # them across the per-round store restarts.
+    schedule = FaultSchedule(seed=5, p_corrupt=0.9, p_kill=0.0)
+    report = run_small(tmp_path, "storm", seed=5, schedule=schedule)
+    assert report.wrong == 0
+    assert report.injected["corruptions"] > 0
+    assert report.quarantined > 0  # the counter moved

@@ -154,3 +154,43 @@ def test_bad_retry_after_falls_back_to_backoff():
     client = ServiceClient("http://service.invalid", jitter_seed=3)
     delay = client.backoff_delay(0, retry_after="soon")
     assert 0 < delay <= client.backoff_base_s
+
+
+def test_http_date_retry_after_is_honoured():
+    import email.utils
+    import time as time_module
+
+    client = ServiceClient("http://service.invalid", jitter_seed=5)
+    future = email.utils.formatdate(time_module.time() + 120, usegmt=True)
+    delay = client.backoff_delay(0, retry_after=future)
+    # Formatting truncates to whole seconds; allow that plus test slack.
+    assert 115 <= delay <= 120
+
+
+def test_past_http_date_clamps_to_zero():
+    client = ServiceClient("http://service.invalid", jitter_seed=5)
+    past = "Wed, 21 Oct 2015 07:28:00 GMT"
+    assert client.backoff_delay(0, retry_after=past) == 0.0
+
+
+def test_unparseable_http_date_falls_back_to_backoff():
+    client = ServiceClient("http://service.invalid", jitter_seed=5)
+    for header in ("Wed, 99 Oct 2015 07:28:00 GMT", "next tuesday", ""):
+        delay = client.backoff_delay(0, retry_after=header)
+        assert 0 < delay <= client.backoff_base_s
+
+
+def test_http_date_retry_after_through_request_path():
+    import email.utils
+    import time as time_module
+
+    stamp = email.utils.formatdate(time_module.time() + 60, usegmt=True)
+    client, sleeps, _log = scripted_client(
+        [
+            (503, {"error": "full", "kind": "overload"}, {"Retry-After": stamp}),
+            ("ok", {"x": 5}),
+        ]
+    )
+    client.request("mst", SPEC)
+    assert len(sleeps) == 1
+    assert 55 <= sleeps[0] <= 60

@@ -496,3 +496,44 @@ def test_http_rejects_bad_json(tmp_path):
             status, body = error.code, json.loads(error.read().decode())
         assert status == 400
         assert body["kind"] == "bad-request"
+
+
+def test_stats_surface_recovery_counters(tmp_path):
+    store = PersistentStore(tmp_path / "store", memory_entries=1)
+    service = ShortcutService(store, workers=2)
+    try:
+        recoveries = service.stats_payload()["recoveries"]
+        assert recoveries == {
+            "stores_retired": 0, "quarantined": 0, "evictions": 0,
+        }
+        # Two puts through a one-entry memory layer: one LRU eviction.
+        store.put("entry-a", {"x": 1})
+        store.put("entry-b", {"x": 2})
+        # Corrupt entry-a on disk; the next read must quarantine it.
+        store.forget_memory()
+        store.path_for("entry-a").write_bytes(b"garbage")
+        assert store.get("entry-a") is None
+        recoveries = service.stats_payload()["recoveries"]
+        assert recoveries["quarantined"] == 1
+        assert recoveries["evictions"] >= 1
+    finally:
+        service.close()
+
+
+def test_recovery_counters_survive_store_restart(tmp_path):
+    store = PersistentStore(tmp_path / "store", memory_entries=1)
+    service = ShortcutService(store, workers=2)
+    try:
+        store.put("entry-a", {"x": 1})
+        store.forget_memory()
+        store.path_for("entry-a").write_bytes(b"garbage")
+        assert store.get("entry-a") is None
+        # Restart: a fresh store instance starts its counters at zero,
+        # but /v1/stats keeps the lifetime totals.
+        service.store = PersistentStore(tmp_path / "store", memory_entries=1)
+        payload = service.stats_payload()
+        assert payload["store"]["quarantined"] == 0
+        assert payload["recoveries"]["stores_retired"] == 1
+        assert payload["recoveries"]["quarantined"] == 1
+    finally:
+        service.close()
